@@ -1,0 +1,55 @@
+//! Criterion benches of the GFSK PHY: pulse shaping, modulation,
+//! demodulation, and CSI extraction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bloc_ble::access_address::AccessAddress;
+use bloc_ble::channels::Channel;
+use bloc_ble::locpacket::LocalizationPacket;
+use bloc_phy::csi::measure_band_csi;
+use bloc_phy::demodulator::demodulate;
+use bloc_phy::frequency::settled_regions;
+use bloc_phy::modulator::{GfskModulator, ModulatorConfig};
+use bloc_phy::pulse::ble_pulse;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn bench_phy(c: &mut Criterion) {
+    let modem = GfskModulator::new(ModulatorConfig::default());
+    let mut rng = StdRng::seed_from_u64(3);
+    let aa = AccessAddress::generate(&mut rng);
+    let packet =
+        LocalizationPacket::build(Channel::data(10).unwrap(), aa, 0x555555, 8, 8).unwrap();
+    let bits = packet.air_bits();
+    let iq = modem.modulate(&bits);
+    let fs = modem.config().sample_rate();
+
+    c.bench_function("gaussian_pulse_shape_1kbit", |c| {
+        let pulse = ble_pulse(8);
+        let data: Vec<bool> = (0..1000).map(|i| i % 3 == 0).collect();
+        c.iter(|| black_box(pulse.shape(black_box(&data))))
+    });
+
+    c.bench_function("gfsk_modulate_loc_packet", |b| {
+        b.iter(|| black_box(modem.modulate(black_box(&bits))))
+    });
+
+    c.bench_function("gfsk_demodulate_loc_packet", |b| {
+        b.iter(|| black_box(demodulate(black_box(&iq), 8)))
+    });
+
+    c.bench_function("csi_extract_per_band", |b| {
+        b.iter(|| black_box(measure_band_csi(&packet, &iq, &modem, 2)))
+    });
+
+    c.bench_function("settled_region_detection", |b| {
+        b.iter(|| black_box(settled_regions(black_box(&iq), fs, 10e3, 16)))
+    });
+}
+
+criterion_group! {
+    name = phy;
+    config = Criterion::default().sample_size(30);
+    targets = bench_phy
+}
+criterion_main!(phy);

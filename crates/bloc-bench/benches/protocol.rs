@@ -1,0 +1,65 @@
+//! Criterion benches of the BLE link layer: whitening, CRC-24, frame
+//! encode/decode, localization-packet construction, hop scheduling.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bloc_ble::access_address::AccessAddress;
+use bloc_ble::channels::{Channel, ChannelMap};
+use bloc_ble::crc::{crc24, ADV_CRC_INIT};
+use bloc_ble::hopping::{HopIncrement, HopSequence};
+use bloc_ble::locpacket::LocalizationPacket;
+use bloc_ble::packet::Frame;
+use bloc_ble::pdu::{DataPdu, Llid};
+use bloc_ble::whitening::whiten;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn bench_protocol(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let aa = AccessAddress::generate(&mut rng);
+    let ch = Channel::data(17).unwrap();
+    let payload = vec![0xA5u8; 64];
+
+    c.bench_function("whitening_64B", |b| {
+        b.iter(|| black_box(whiten(ch, black_box(&payload))))
+    });
+
+    c.bench_function("crc24_64B", |b| {
+        b.iter(|| black_box(crc24(ADV_CRC_INIT, black_box(&payload))))
+    });
+
+    let pdu = DataPdu { llid: Llid::DataStart, nesn: false, sn: false, md: false, payload }
+        .encode()
+        .unwrap();
+    let frame = Frame::new(aa, pdu, 0x123456);
+    let wire = frame.encode(ch);
+
+    c.bench_function("frame_encode", |b| b.iter(|| black_box(frame.encode(ch))));
+
+    c.bench_function("frame_decode", |b| {
+        b.iter(|| black_box(Frame::decode(black_box(&wire), ch, 0x123456).unwrap()))
+    });
+
+    c.bench_function("loc_packet_build_prewhitened", |b| {
+        b.iter(|| black_box(LocalizationPacket::build(ch, aa, 0x123456, 8, 8).unwrap()))
+    });
+
+    c.bench_function("hop_full_cycle_37", |b| {
+        b.iter(|| {
+            let mut seq =
+                HopSequence::new(HopIncrement::new(7).unwrap(), ChannelMap::all(), 0).unwrap();
+            let mut last = 0u8;
+            for _ in 0..37 {
+                last = seq.next_channel().index();
+            }
+            black_box(last)
+        })
+    });
+}
+
+criterion_group! {
+    name = protocol;
+    config = Criterion::default().sample_size(60);
+    targets = bench_protocol
+}
+criterion_main!(protocol);

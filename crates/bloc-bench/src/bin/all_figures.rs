@@ -1,0 +1,38 @@
+//! Regenerates every table and figure of the paper's evaluation in one
+//! run — the source of EXPERIMENTS.md.
+//!
+//! ```text
+//! cargo run --release -p bloc-bench --bin all_figures [locations]
+//! ```
+//!
+//! The multi-sweep ablations (Figs. 9b/9c/10/11) cost several sweeps each;
+//! at the full 1700 locations the complete run takes tens of minutes. Pass
+//! a smaller location count for a quick pass.
+
+use bloc_testbed::experiments::*;
+
+fn main() {
+    let size = bloc_bench::size_from_args();
+    let t0 = std::time::Instant::now();
+    println!("BLoc reproduction — full evaluation ({} locations, seed {})\n", size.locations, size.seed);
+
+    let micro = ExperimentSize { locations: size.locations.min(64), seed: size.seed };
+    println!("{}", fig4_gfsk::run(&micro).render());
+    println!("{}", fig6_likelihoods::run(&micro).render());
+    println!("{}", fig8a_csi_stability::run(&micro).render());
+    println!("{}", fig8b_offset_cancellation::run(&micro).render());
+    println!("{}", fig8c_profile::run(&micro).render());
+
+    println!("{}", fig9a_accuracy::run(&size).render());
+    println!("{}", fig9b_anchors::run(&size).render());
+    println!("{}", fig9c_antennas::run(&size).render());
+    println!("{}", fig10_bandwidth::run(&size).render());
+    println!("{}", fig11_interference::run(&size).render());
+    println!("{}", fig12_multipath::run(&size).render());
+    println!("{}", fig13_location::run(&size).render());
+
+    let ext = ExperimentSize { locations: size.locations.min(200), seed: size.seed };
+    println!("{}", ext_fusion::run(&ext).render());
+
+    println!("total wall time: {:?}", t0.elapsed());
+}

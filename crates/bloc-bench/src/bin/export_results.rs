@@ -1,0 +1,40 @@
+//! Exports the headline experiment series as CSV files under `results/`
+//! for external plotting (gnuplot/matplotlib): the Fig. 9a and Fig. 12
+//! CDFs and the Fig. 13 RMSE map.
+//!
+//! ```text
+//! cargo run --release -p bloc-bench --bin export_results [locations]
+//! ```
+
+use std::fs;
+use std::path::Path;
+
+use bloc_testbed::experiments::{fig12_multipath, fig13_location, fig9a_accuracy};
+use bloc_testbed::metrics::{cdf_to_csv, grid_to_csv};
+
+fn main() -> std::io::Result<()> {
+    let size = bloc_bench::size_from_args();
+    bloc_bench::banner("CSV export (results/)", &size);
+    let dir = Path::new("results");
+    fs::create_dir_all(dir)?;
+
+    let f9 = fig9a_accuracy::run(&size);
+    fs::write(dir.join("fig9a_bloc_cdf.csv"), cdf_to_csv(&f9.bloc.cdf_rows(6.0, 61)))?;
+    fs::write(dir.join("fig9a_aoa_cdf.csv"), cdf_to_csv(&f9.aoa.cdf_rows(6.0, 61)))?;
+    println!("fig9a: BLoc median {:.2} m, AoA median {:.2} m", f9.bloc.median, f9.aoa.median);
+
+    let f12 = fig12_multipath::run(&size);
+    fs::write(dir.join("fig12_bloc_cdf.csv"), cdf_to_csv(&f12.bloc.cdf_rows(5.0, 51)))?;
+    fs::write(
+        dir.join("fig12_shortest_cdf.csv"),
+        cdf_to_csv(&f12.shortest.cdf_rows(5.0, 51)),
+    )?;
+    println!("fig12: BLoc {:.2} m vs shortest-distance {:.2} m", f12.bloc.median, f12.shortest.median);
+
+    let f13 = fig13_location::run(&size);
+    fs::write(dir.join("fig13_rmse_map.csv"), grid_to_csv(&f13.rmse))?;
+    println!("fig13: corner RMSE {:.2} m, centre RMSE {:.2} m", f13.corner_rmse, f13.center_rmse);
+
+    println!("wrote results/*.csv");
+    Ok(())
+}

@@ -1,0 +1,8 @@
+//! Extension experiment: accuracy vs fused bursts per fix.
+
+fn main() {
+    let size = bloc_bench::size_from_args();
+    bloc_bench::banner("Extension — multi-burst fusion", &size);
+    let result = bloc_testbed::experiments::ext_fusion::run(&size);
+    println!("{}", result.render());
+}

@@ -1,0 +1,9 @@
+//! Regenerates Fig. 10 — bandwidth variation (paper-scale by default; pass a location
+//! count as the first argument for a faster run).
+
+fn main() {
+    let size = bloc_bench::size_from_args();
+    bloc_bench::banner("Fig. 10 — bandwidth variation", &size);
+    let result = bloc_testbed::experiments::fig10_bandwidth::run(&size);
+    println!("{}", result.render());
+}

@@ -1,0 +1,9 @@
+//! Regenerates Fig. 11 — interference avoidance (paper-scale by default; pass a location
+//! count as the first argument for a faster run).
+
+fn main() {
+    let size = bloc_bench::size_from_args();
+    bloc_bench::banner("Fig. 11 — interference avoidance", &size);
+    let result = bloc_testbed::experiments::fig11_interference::run(&size);
+    println!("{}", result.render());
+}

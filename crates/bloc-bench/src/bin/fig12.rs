@@ -1,0 +1,9 @@
+//! Regenerates Fig. 12 — multipath rejection (paper-scale by default; pass a location
+//! count as the first argument for a faster run).
+
+fn main() {
+    let size = bloc_bench::size_from_args();
+    bloc_bench::banner("Fig. 12 — multipath rejection", &size);
+    let result = bloc_testbed::experiments::fig12_multipath::run(&size);
+    println!("{}", result.render());
+}

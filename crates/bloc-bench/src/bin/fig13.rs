@@ -1,0 +1,9 @@
+//! Regenerates Fig. 13 — location dependency (paper-scale by default; pass a location
+//! count as the first argument for a faster run).
+
+fn main() {
+    let size = bloc_bench::size_from_args();
+    bloc_bench::banner("Fig. 13 — location dependency", &size);
+    let result = bloc_testbed::experiments::fig13_location::run(&size);
+    println!("{}", result.render());
+}

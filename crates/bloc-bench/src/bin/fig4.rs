@@ -1,0 +1,9 @@
+//! Regenerates Fig. 4 — GFSK settling (paper-scale by default; pass a location
+//! count as the first argument for a faster run).
+
+fn main() {
+    let size = bloc_bench::size_from_args();
+    bloc_bench::banner("Fig. 4 — GFSK settling", &size);
+    let result = bloc_testbed::experiments::fig4_gfsk::run(&size);
+    println!("{}", result.render());
+}

@@ -1,0 +1,8 @@
+//! Regenerates Fig. 6 — the angle/distance/joint likelihood geometries.
+
+fn main() {
+    let size = bloc_bench::size_from_args();
+    bloc_bench::banner("Fig. 6 — CSI to location", &size);
+    let result = bloc_testbed::experiments::fig6_likelihoods::run(&size);
+    println!("{}", result.render());
+}

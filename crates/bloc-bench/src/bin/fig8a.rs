@@ -1,0 +1,9 @@
+//! Regenerates Fig. 8a — CSI stability (paper-scale by default; pass a location
+//! count as the first argument for a faster run).
+
+fn main() {
+    let size = bloc_bench::size_from_args();
+    bloc_bench::banner("Fig. 8a — CSI stability", &size);
+    let result = bloc_testbed::experiments::fig8a_csi_stability::run(&size);
+    println!("{}", result.render());
+}

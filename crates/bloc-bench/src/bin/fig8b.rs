@@ -1,0 +1,9 @@
+//! Regenerates Fig. 8b — offset cancellation (paper-scale by default; pass a location
+//! count as the first argument for a faster run).
+
+fn main() {
+    let size = bloc_bench::size_from_args();
+    bloc_bench::banner("Fig. 8b — offset cancellation", &size);
+    let result = bloc_testbed::experiments::fig8b_offset_cancellation::run(&size);
+    println!("{}", result.render());
+}

@@ -1,0 +1,9 @@
+//! Regenerates Fig. 8c — multipath profile (paper-scale by default; pass a location
+//! count as the first argument for a faster run).
+
+fn main() {
+    let size = bloc_bench::size_from_args();
+    bloc_bench::banner("Fig. 8c — multipath profile", &size);
+    let result = bloc_testbed::experiments::fig8c_profile::run(&size);
+    println!("{}", result.render());
+}

@@ -1,0 +1,9 @@
+//! Regenerates Fig. 9a — localization accuracy (paper-scale by default; pass a location
+//! count as the first argument for a faster run).
+
+fn main() {
+    let size = bloc_bench::size_from_args();
+    bloc_bench::banner("Fig. 9a — localization accuracy", &size);
+    let result = bloc_testbed::experiments::fig9a_accuracy::run(&size);
+    println!("{}", result.render());
+}

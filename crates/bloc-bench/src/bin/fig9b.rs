@@ -1,0 +1,9 @@
+//! Regenerates Fig. 9b — number of anchors (paper-scale by default; pass a location
+//! count as the first argument for a faster run).
+
+fn main() {
+    let size = bloc_bench::size_from_args();
+    bloc_bench::banner("Fig. 9b — number of anchors", &size);
+    let result = bloc_testbed::experiments::fig9b_anchors::run(&size);
+    println!("{}", result.render());
+}

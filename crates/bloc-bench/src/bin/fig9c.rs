@@ -1,0 +1,9 @@
+//! Regenerates Fig. 9c — number of antennas (paper-scale by default; pass a location
+//! count as the first argument for a faster run).
+
+fn main() {
+    let size = bloc_bench::size_from_args();
+    bloc_bench::banner("Fig. 9c — number of antennas", &size);
+    let result = bloc_testbed::experiments::fig9c_antennas::run(&size);
+    println!("{}", result.render());
+}

@@ -1,0 +1,49 @@
+//! # bloc-bench — benchmarks and figure regeneration
+//!
+//! Two kinds of targets live here:
+//!
+//! * **Criterion benches** (`cargo bench -p bloc-bench`): wall-clock cost
+//!   of every pipeline stage — GFSK modulation, CSI extraction, framing,
+//!   offset correction, likelihood grids, peak scoring, full
+//!   localization, and sounding.
+//! * **Figure binaries** (`cargo run --release -p bloc-bench --bin figNN`):
+//!   one per paper table/figure; each reruns the corresponding
+//!   `bloc-testbed::experiments` module and prints the same series the
+//!   paper plots. `--bin all_figures` runs the lot (EXPERIMENTS.md is its
+//!   output), `--bin ablations` sweeps the design choices DESIGN.md §6
+//!   calls out.
+//!
+//! Every figure binary accepts the number of evaluated locations as its
+//! first argument (or the `BLOC_LOCATIONS` environment variable); the
+//! default is the paper's 1700.
+
+use bloc_testbed::experiments::ExperimentSize;
+
+/// Resolves the experiment size from argv\[1\] or `BLOC_LOCATIONS`,
+/// defaulting to the paper's 1700 locations.
+pub fn size_from_args() -> ExperimentSize {
+    let n = std::env::args()
+        .nth(1)
+        .or_else(|| std::env::var("BLOC_LOCATIONS").ok())
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(bloc_testbed::dataset::PAPER_DATASET_SIZE);
+    ExperimentSize { locations: n, seed: 2018 }
+}
+
+/// Prints a standard experiment header.
+pub fn banner(fig: &str, size: &ExperimentSize) {
+    println!("=== {fig} (locations = {}, seed = {}) ===", size.locations, size.seed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_size_is_paper_scale() {
+        // argv of the test harness has no numeric argv[1]
+        if std::env::var("BLOC_LOCATIONS").is_err() {
+            assert_eq!(size_from_args().locations, 1700);
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Error type for link-layer operations.
+
+use std::fmt;
+
+/// Errors produced while encoding, decoding or driving the BLE link layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BleError {
+    /// A channel index outside the valid 0..=39 range.
+    InvalidChannel(u8),
+    /// A hop increment outside the spec's 5..=16 range.
+    InvalidHop(u8),
+    /// A received frame failed its CRC check.
+    CrcMismatch {
+        /// CRC carried in the frame.
+        received: u32,
+        /// CRC computed over the payload.
+        computed: u32,
+    },
+    /// A frame or PDU was shorter than its header claims.
+    Truncated {
+        /// Bytes (or bits) expected.
+        expected: usize,
+        /// Bytes (or bits) available.
+        actual: usize,
+    },
+    /// A payload exceeding the PDU length field's capacity.
+    PayloadTooLong(usize),
+    /// An access address violating the BLE validity rules.
+    InvalidAccessAddress(u32),
+    /// A PDU type code not defined by the spec subset we implement.
+    UnknownPduType(u8),
+    /// The frame's preamble did not match the access address polarity.
+    BadPreamble,
+    /// A link-layer operation attempted in the wrong connection state.
+    InvalidState(&'static str),
+    /// A channel map with fewer than 2 used channels (spec minimum).
+    EmptyChannelMap,
+}
+
+impl fmt::Display for BleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidChannel(c) => write!(f, "invalid BLE channel index {c} (must be 0..=39)"),
+            Self::InvalidHop(h) => write!(f, "invalid hop increment {h} (must be 5..=16)"),
+            Self::CrcMismatch { received, computed } => {
+                write!(f, "CRC mismatch: frame carries {received:#08x}, computed {computed:#08x}")
+            }
+            Self::Truncated { expected, actual } => {
+                write!(f, "truncated frame: expected {expected}, got {actual}")
+            }
+            Self::PayloadTooLong(n) => write!(f, "payload of {n} bytes exceeds PDU capacity"),
+            Self::InvalidAccessAddress(aa) => write!(f, "invalid access address {aa:#010x}"),
+            Self::UnknownPduType(t) => write!(f, "unknown PDU type {t:#x}"),
+            Self::BadPreamble => write!(f, "preamble does not alternate from access address LSB"),
+            Self::InvalidState(op) => write!(f, "operation `{op}` invalid in current link state"),
+            Self::EmptyChannelMap => write!(f, "channel map must enable at least 2 data channels"),
+        }
+    }
+}
+
+impl std::error::Error for BleError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = BleError::CrcMismatch { received: 0xABCDEF, computed: 0x123456 };
+        let s = e.to_string();
+        assert!(s.contains("abcdef") && s.contains("123456"), "{s}");
+        assert!(BleError::InvalidChannel(41).to_string().contains("41"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&BleError::BadPreamble);
+    }
+}

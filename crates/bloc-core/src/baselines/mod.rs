@@ -1,0 +1,14 @@
+//! The comparison systems of the paper's evaluation.
+//!
+//! * [`aoa`] — AoA-combining triangulation, "the state-of-the-art in
+//!   localization" the paper compares against (§7/§8.2, built in the style
+//!   of SpotFi/ArrayTrack).
+//! * [`rssi`] — log-distance RSSI trilateration, the pre-CSI status quo
+//!   for BLE (§2.2, §9.2); included for context and used by the examples.
+//!
+//! The third baseline — shortest-distance peak picking in place of the
+//! entropy score (§8.7) — shares BLoc's whole pipeline and lives in
+//! [`crate::localizer::BlocLocalizer::localize_shortest_distance`].
+
+pub mod aoa;
+pub mod rssi;

@@ -1,0 +1,304 @@
+//! Phase-offset cancellation across anchors — paper §5.2, Eqs. 7–14.
+//!
+//! Every frequency hop leaves each device's oscillator at a random phase,
+//! so the measured channels are `ĥ^f_ij = h^f_ij·e^{ι(φT−φRi)}` etc. BLoc's
+//! insight: the slave anchors overhear *both* directions of the
+//! master↔tag exchange, and the product
+//!
+//! `α^f_ij = ĥ^f_ij · Ĥ^{f*}_i0 · ĥ^{f*}_00`
+//!
+//! cancels every offset (Eq. 10) because
+//! `(φT−φRi) − (φR0−φRi) − (φT−φR0) = 0`. Geometrically (Eq. 14) the
+//! corrected channel's phase encodes the *relative* distance
+//! `d^ij_T − d^00_T − d^{i0}_{00}`, where the last term (master-to-anchor
+//! spacing) is known from deployment.
+//!
+//! The master anchor itself needs no inter-anchor correction: all its
+//! antennas share one oscillator, so `α^f_0j = ĥ^f_0j · ĥ^{f*}_00` is
+//! already offset-free with reference distance `d^00_T`.
+
+use serde::{Deserialize, Serialize};
+
+use bloc_chan::sounder::SoundingData;
+use bloc_chan::AnchorArray;
+use bloc_num::{C64, P2};
+
+/// Corrected channels for one frequency band.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CorrectedBand {
+    /// Band centre frequency, hertz.
+    pub freq_hz: f64,
+    /// `alpha[i][j]` = corrected channel `α^f_ij`.
+    pub alpha: Vec<Vec<C64>>,
+}
+
+/// The full corrected-channel tensor plus the geometry needed to interpret
+/// it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CorrectedChannels {
+    /// Per-band corrected channels, in sounding order.
+    pub bands: Vec<CorrectedBand>,
+    /// Anchor geometry (anchor 0 is the master).
+    pub anchors: Vec<AnchorArray>,
+    /// `d^{i0}_{00}`: distance from master antenna 0 to anchor *i* antenna
+    /// 0, measured once at deployment (paper §5.3: "a fixed distance known
+    /// a priori"). Entry 0 is 0.
+    pub master_anchor_dist: Vec<f64>,
+}
+
+impl CorrectedChannels {
+    /// Number of anchors.
+    pub fn n_anchors(&self) -> usize {
+        self.anchors.len()
+    }
+
+    /// The reference phase argument for anchor `i`, antenna `j`, at a
+    /// hypothetical tag position `x`: the relative path length
+    /// `Δ_ij(x) = d_ij(x) − d_00(x) − d^{i0}_{00}` whose phase
+    /// `−2πfΔ/c` a corrected channel would carry if the tag were at `x`
+    /// (Eq. 14).
+    pub fn relative_distance(&self, i: usize, j: usize, x: P2) -> f64 {
+        let d_ij = x.dist(self.anchors[i].antenna(j));
+        let d_00 = x.dist(self.anchors[0].antenna(0));
+        d_ij - d_00 - self.master_anchor_dist[i]
+    }
+}
+
+/// Applies BLoc's offset cancellation to a sounding.
+///
+/// When `normalize` is true each corrected channel is scaled to unit
+/// magnitude: Eq. 17's correlation then weighs every (antenna, band)
+/// observation equally instead of by the product of three link amplitudes.
+/// The pipeline defaults to `true` (see `BlocConfig`); the raw Eq.-10 form
+/// is available for ablation.
+pub fn correct(data: &SoundingData, normalize: bool) -> CorrectedChannels {
+    let anchors = data.anchors.clone();
+    let master0 = anchors[0].antenna(0);
+    let master_anchor_dist: Vec<f64> =
+        anchors.iter().map(|a| a.antenna(0).dist(master0)).collect();
+
+    let bands = data
+        .bands
+        .iter()
+        .map(|band| {
+            let h00 = band.tag_to_master0();
+            let alpha = band
+                .tag_to_anchor
+                .iter()
+                .enumerate()
+                .map(|(i, row)| {
+                    row.iter()
+                        .map(|&h_ij| {
+                            // Master (i = 0): within-anchor reference only.
+                            // Slaves: the full three-term product of Eq. 10.
+                            let a = if i == 0 {
+                                h_ij * h00.conj()
+                            } else {
+                                h_ij * band.master_to_anchor[i].conj() * h00.conj()
+                            };
+                            if normalize {
+                                a.normalize()
+                            } else {
+                                a
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+            CorrectedBand { freq_hz: band.freq_hz, alpha }
+        })
+        .collect();
+
+    CorrectedChannels { bands, anchors, master_anchor_dist }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bloc_chan::geometry::Room;
+    use proptest::prelude::*;
+    use bloc_chan::sounder::{all_data_channels, Sounder, SounderConfig};
+    use bloc_chan::Environment;
+    use bloc_num::angle::unwrap;
+    use bloc_num::constants::SPEED_OF_LIGHT;
+    use bloc_num::linalg::linear_fit;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn anchors(room: &Room) -> Vec<AnchorArray> {
+        room.wall_midpoints()
+            .iter()
+            .zip(room.walls().iter())
+            .enumerate()
+            .map(|(i, (&m, w))| AnchorArray::centered(i, m, w.direction(), 4))
+            .collect()
+    }
+
+    /// Free-space, noiseless soundings with random offsets.
+    fn sound_free_space(seed: u64) -> (SoundingData, P2) {
+        let room = Room::new(5.0, 6.0);
+        let env = Environment::free_space();
+        let anchors = anchors(&room);
+        let sounder = Sounder::new(
+            &env,
+            &anchors,
+            SounderConfig { csi_snr_db: 300.0, antenna_phase_err_std: 0.0, ..Default::default() },
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tag = P2::new(1.7, 2.3);
+        (sounder.sound(tag, &all_data_channels(), &mut rng), tag)
+    }
+
+    #[test]
+    fn corrected_phase_is_linear_in_frequency() {
+        // The headline microbenchmark (paper Fig. 8b): raw measured phase
+        // is random across subbands; corrected phase is linear.
+        let (data, _) = sound_free_space(1);
+        let corrected = correct(&data, true);
+
+        let freqs: Vec<f64> = corrected.bands.iter().map(|b| b.freq_hz).collect();
+
+        // Raw phases: garbled.
+        let raw: Vec<f64> = data.bands.iter().map(|b| b.tag_to_anchor[1][2].arg()).collect();
+        let (_, _, r2_raw) = linear_fit(&freqs, &unwrap(&raw)).unwrap();
+
+        // Corrected phases: linear with slope −2πΔ/c.
+        let cor: Vec<f64> = corrected.bands.iter().map(|b| b.alpha[1][2].arg()).collect();
+        let (slope, _, r2_cor) = linear_fit(&freqs, &unwrap(&cor)).unwrap();
+
+        assert!(r2_cor > 0.999, "corrected phase must be linear, r² = {r2_cor}");
+        assert!(r2_raw < 0.95, "raw phase must stay garbled, r² = {r2_raw}");
+
+        let (_, tag) = sound_free_space(1);
+        let delta = corrected.relative_distance(1, 2, tag);
+        let expected_slope = -std::f64::consts::TAU * delta / SPEED_OF_LIGHT;
+        assert!(
+            (slope - expected_slope).abs() / expected_slope.abs().max(1e-9) < 1e-2,
+            "slope {slope} vs expected {expected_slope}"
+        );
+    }
+
+    #[test]
+    fn correction_is_exactly_offset_free() {
+        // Same environment sounded with and without offsets: α must agree.
+        let room = Room::new(5.0, 6.0);
+        let env = Environment::free_space();
+        let anchors = anchors(&room);
+        let cfg = SounderConfig { csi_snr_db: 300.0, antenna_phase_err_std: 0.0, ..Default::default() };
+        let sounder = Sounder::new(&env, &anchors, cfg);
+        let tag = P2::new(3.1, 4.2);
+        let chans = all_data_channels();
+
+        let mut rng = StdRng::seed_from_u64(2);
+        let garbled = correct(&sounder.sound(tag, &chans, &mut rng), false);
+        let mut rng = StdRng::seed_from_u64(3);
+        let ideal = correct(&sounder.sound_ideal(tag, &chans, &mut rng), false);
+
+        for (bg, bi) in garbled.bands.iter().zip(&ideal.bands) {
+            for i in 0..4 {
+                for j in 0..4 {
+                    let g = bg.alpha[i][j];
+                    let c = bi.alpha[i][j];
+                    assert!(
+                        (g - c).abs() < 1e-6 * c.abs().max(1e-12),
+                        "band {} anchor {i} ant {j}: {g:?} vs {c:?}",
+                        bg.freq_hz
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn master_alpha_reference_is_own_antenna_zero() {
+        let (data, _) = sound_free_space(4);
+        let corrected = correct(&data, false);
+        for b in &corrected.bands {
+            // α_00 = |ĥ00|² is real and positive.
+            let a00 = b.alpha[0][0];
+            assert!(a00.im.abs() < 1e-12 * a00.re.max(1e-12));
+            assert!(a00.re > 0.0);
+        }
+    }
+
+    #[test]
+    fn relative_distance_geometry() {
+        let (data, tag) = sound_free_space(5);
+        let c = correct(&data, true);
+        // i = 0, j = 0: Δ = 0 by construction.
+        assert!(c.relative_distance(0, 0, tag).abs() < 1e-12);
+        // Reconstruction: Δ_ij = d_ij − d_00 − d_i0.
+        let d = c.relative_distance(2, 3, tag);
+        let manual = tag.dist(c.anchors[2].antenna(3))
+            - tag.dist(c.anchors[0].antenna(0))
+            - c.anchors[2].antenna(0).dist(c.anchors[0].antenna(0));
+        assert!((d - manual).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalization_gives_unit_magnitudes() {
+        let (data, _) = sound_free_space(6);
+        let c = correct(&data, true);
+        for b in &c.bands {
+            for row in &b.alpha {
+                for a in row {
+                    assert!((a.abs() - 1.0).abs() < 1e-9);
+                }
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+        #[test]
+        fn prop_offsets_cancel_for_any_tag_position(tx in 0.6..4.4f64, ty in 0.6..5.4f64,
+                                                    seed in 0u64..1000) {
+            // Eq. 10 must hold for arbitrary geometry: garbled and ideal
+            // soundings yield identical corrected channels.
+            let room = Room::new(5.0, 6.0);
+            let env = Environment::free_space();
+            let anchors = anchors(&room);
+            let cfg = SounderConfig {
+                csi_snr_db: 300.0,
+                antenna_phase_err_std: 0.0,
+                ..Default::default()
+            };
+            let sounder = Sounder::new(&env, &anchors, cfg);
+            let tag = P2::new(tx, ty);
+            let chans = &all_data_channels()[..6];
+
+            let mut rng = StdRng::seed_from_u64(seed);
+            let garbled = correct(&sounder.sound(tag, chans, &mut rng), false);
+            let mut rng = StdRng::seed_from_u64(seed.wrapping_add(1));
+            let ideal = correct(&sounder.sound_ideal(tag, chans, &mut rng), false);
+            for (bg, bi) in garbled.bands.iter().zip(&ideal.bands) {
+                for i in 0..4 {
+                    for j in 0..4 {
+                        let d = (bg.alpha[i][j] - bi.alpha[i][j]).abs();
+                        prop_assert!(d < 1e-6 * bi.alpha[i][j].abs().max(1e-15));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn antenna_relative_phases_preserved_within_anchor() {
+        // Correction multiplies all antennas of an anchor by the same
+        // factor, so within-anchor phase differences (the AoA information,
+        // §5.3 "Effect on Angle Measurements") are untouched.
+        let (data, _) = sound_free_space(7);
+        let c = correct(&data, false);
+        for (braw, bcor) in data.bands.iter().zip(&c.bands) {
+            for i in 0..4 {
+                for j in 1..4 {
+                    let raw_rel = (braw.tag_to_anchor[i][j] * braw.tag_to_anchor[i][0].conj()).arg();
+                    let cor_rel = (bcor.alpha[i][j] * bcor.alpha[i][0].conj()).arg();
+                    assert!(
+                        (raw_rel - cor_rel).abs() < 1e-9,
+                        "anchor {i} antenna {j}: {raw_rel} vs {cor_rel}"
+                    );
+                }
+            }
+        }
+    }
+}

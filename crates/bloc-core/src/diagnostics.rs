@@ -1,0 +1,266 @@
+//! Sounding-quality diagnostics: validate a measurement set before
+//! spending compute on it.
+//!
+//! A production localizer ingests soundings from live radios; malformed or
+//! degraded captures (lost packets, saturated frontends, one dead antenna)
+//! should be caught *before* the likelihood grid is computed. This module
+//! checks structural validity and measures quality indicators, returning a
+//! report the caller can gate on.
+
+use serde::{Deserialize, Serialize};
+
+use bloc_chan::sounder::SoundingData;
+use bloc_num::constants::BLE_TOTAL_SPAN_HZ;
+
+/// One problem found in a sounding.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SoundingIssue {
+    /// No bands at all.
+    Empty,
+    /// A band whose measurement matrix does not match the anchor list.
+    ShapeMismatch {
+        /// Index of the offending band.
+        band: usize,
+    },
+    /// Non-finite (NaN/∞) channel values.
+    NonFinite {
+        /// Index of the offending band.
+        band: usize,
+    },
+    /// A measurement that is exactly zero (a lost packet leaves a hole).
+    DeadMeasurement {
+        /// Band index.
+        band: usize,
+        /// Anchor index.
+        anchor: usize,
+        /// Antenna index.
+        antenna: usize,
+    },
+    /// The sounded bands span too little bandwidth for useful relative-
+    /// distance resolution.
+    NarrowSpan {
+        /// Spanned bandwidth, Hz.
+        span_hz: f64,
+    },
+    /// Fewer than two anchors (localization is impossible).
+    TooFewAnchors {
+        /// Anchors present.
+        count: usize,
+    },
+    /// Duplicate sounding of the same channel (harmless but suspicious —
+    /// a hop-tracking bug upstream).
+    DuplicateBand {
+        /// The duplicated frequency index.
+        freq_index: usize,
+    },
+}
+
+/// The diagnostic report for one sounding.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SoundingReport {
+    /// Problems found, roughly ordered by severity.
+    pub issues: Vec<SoundingIssue>,
+    /// Number of bands present.
+    pub bands: usize,
+    /// Frequency span covered, Hz.
+    pub span_hz: f64,
+    /// Mean |ĥ| over all tag links (a coarse received-level indicator).
+    pub mean_amplitude: f64,
+}
+
+impl SoundingReport {
+    /// True when the sounding is structurally usable (quality warnings such
+    /// as [`SoundingIssue::DuplicateBand`] do not make it unusable).
+    pub fn is_usable(&self) -> bool {
+        !self.issues.iter().any(|i| {
+            matches!(
+                i,
+                SoundingIssue::Empty
+                    | SoundingIssue::ShapeMismatch { .. }
+                    | SoundingIssue::NonFinite { .. }
+                    | SoundingIssue::TooFewAnchors { .. }
+            )
+        })
+    }
+}
+
+/// Inspects a sounding and reports every problem found.
+pub fn inspect(data: &SoundingData) -> SoundingReport {
+    let mut issues = Vec::new();
+
+    if data.anchors.len() < 2 {
+        issues.push(SoundingIssue::TooFewAnchors { count: data.anchors.len() });
+    }
+    if data.bands.is_empty() {
+        issues.push(SoundingIssue::Empty);
+        return SoundingReport { issues, bands: 0, span_hz: 0.0, mean_amplitude: f64::NAN };
+    }
+
+    let mut seen_freq = std::collections::HashSet::new();
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    let mut amp_sum = 0.0;
+    let mut amp_n = 0usize;
+
+    for (b, band) in data.bands.iter().enumerate() {
+        lo = lo.min(band.freq_hz);
+        hi = hi.max(band.freq_hz);
+        if !seen_freq.insert(band.channel.freq_index()) {
+            issues.push(SoundingIssue::DuplicateBand { freq_index: band.channel.freq_index() });
+        }
+        if band.tag_to_anchor.len() != data.anchors.len()
+            || band.master_to_anchor.len() != data.anchors.len()
+            || band
+                .tag_to_anchor
+                .iter()
+                .zip(&data.anchors)
+                .any(|(row, a)| row.len() != a.n_antennas)
+        {
+            issues.push(SoundingIssue::ShapeMismatch { band: b });
+            continue;
+        }
+        let mut nonfinite = false;
+        for (i, row) in band.tag_to_anchor.iter().enumerate() {
+            for (j, h) in row.iter().enumerate() {
+                if !h.is_finite() {
+                    nonfinite = true;
+                } else if h.norm_sq() == 0.0 {
+                    issues.push(SoundingIssue::DeadMeasurement { band: b, anchor: i, antenna: j });
+                } else {
+                    amp_sum += h.abs();
+                    amp_n += 1;
+                }
+            }
+        }
+        if nonfinite || band.master_to_anchor.iter().any(|h| !h.is_finite()) {
+            issues.push(SoundingIssue::NonFinite { band: b });
+        }
+    }
+
+    let span_hz = if hi > lo { hi - lo } else { 0.0 };
+    // Less than a quarter of the BLE span forfeits most delay resolution.
+    if span_hz < BLE_TOTAL_SPAN_HZ / 4.0 && data.bands.len() > 1 {
+        issues.push(SoundingIssue::NarrowSpan { span_hz });
+    }
+
+    SoundingReport {
+        issues,
+        bands: data.bands.len(),
+        span_hz,
+        mean_amplitude: if amp_n > 0 { amp_sum / amp_n as f64 } else { f64::NAN },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bloc_chan::geometry::Room;
+    use bloc_chan::sounder::{all_data_channels, Sounder, SounderConfig};
+    use bloc_chan::Environment;
+    use bloc_num::P2;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn healthy() -> SoundingData {
+        let room = Room::new(5.0, 6.0);
+        let env = Environment::free_space();
+        let anchors: Vec<bloc_chan::AnchorArray> = room
+            .wall_midpoints()
+            .iter()
+            .zip(room.walls().iter())
+            .enumerate()
+            .map(|(i, (&m, w))| bloc_chan::AnchorArray::centered(i, m, w.direction(), 4))
+            .collect();
+        let sounder = Sounder::new(&env, &anchors, SounderConfig::default());
+        let mut rng = StdRng::seed_from_u64(1);
+        sounder.sound(P2::new(2.0, 3.0), &all_data_channels(), &mut rng)
+    }
+
+    #[test]
+    fn healthy_sounding_is_usable() {
+        let report = inspect(&healthy());
+        assert!(report.is_usable(), "{:?}", report.issues);
+        assert_eq!(report.bands, 37);
+        assert!(report.span_hz > 70e6);
+        assert!(report.mean_amplitude.is_finite());
+        assert!(report.issues.is_empty());
+    }
+
+    #[test]
+    fn empty_sounding_flagged() {
+        let mut d = healthy();
+        d.bands.clear();
+        let report = inspect(&d);
+        assert!(!report.is_usable());
+        assert!(report.issues.contains(&SoundingIssue::Empty));
+    }
+
+    #[test]
+    fn nan_measurement_flagged() {
+        let mut d = healthy();
+        d.bands[3].tag_to_anchor[1][2] = bloc_num::C64::new(f64::NAN, 0.0);
+        let report = inspect(&d);
+        assert!(!report.is_usable());
+        assert!(matches!(report.issues[0], SoundingIssue::NonFinite { band: 3 }));
+    }
+
+    #[test]
+    fn dead_measurement_is_warning_not_fatal() {
+        let mut d = healthy();
+        d.bands[5].tag_to_anchor[0][1] = bloc_num::complex::ZERO;
+        let report = inspect(&d);
+        assert!(report.is_usable(), "one hole should not kill the sounding");
+        assert!(report
+            .issues
+            .contains(&SoundingIssue::DeadMeasurement { band: 5, anchor: 0, antenna: 1 }));
+    }
+
+    #[test]
+    fn shape_mismatch_flagged() {
+        let mut d = healthy();
+        d.bands[0].tag_to_anchor[2].pop();
+        let report = inspect(&d);
+        assert!(!report.is_usable());
+        assert!(report.issues.contains(&SoundingIssue::ShapeMismatch { band: 0 }));
+    }
+
+    #[test]
+    fn narrow_span_warned() {
+        let d = healthy().with_bands_where(|b| b.channel.freq_index() < 5);
+        let report = inspect(&d);
+        assert!(report.is_usable(), "narrow span is a warning");
+        assert!(report.issues.iter().any(|i| matches!(i, SoundingIssue::NarrowSpan { .. })));
+    }
+
+    #[test]
+    fn duplicate_band_warned() {
+        let mut d = healthy();
+        let dup = d.bands[0].clone();
+        d.bands.push(dup);
+        let report = inspect(&d);
+        assert!(report.is_usable());
+        assert!(report.issues.iter().any(|i| matches!(i, SoundingIssue::DuplicateBand { .. })));
+    }
+
+    #[test]
+    fn single_anchor_flagged() {
+        let d = healthy();
+        // Keep only the master: structurally present, but localization is
+        // impossible.
+        let solo = SoundingData {
+            bands: d
+                .bands
+                .iter()
+                .map(|b| bloc_chan::sounder::BandSounding {
+                    channel: b.channel,
+                    freq_hz: b.freq_hz,
+                    tag_to_anchor: vec![b.tag_to_anchor[0].clone()],
+                    tag_to_anchor_tones: vec![b.tag_to_anchor_tones[0].clone()],
+                    master_to_anchor: vec![b.master_to_anchor[0]],
+                })
+                .collect(),
+            anchors: vec![d.anchors[0]],
+        };
+        let report = inspect(&solo);
+        assert!(!report.is_usable());
+        assert!(report.issues.contains(&SoundingIssue::TooFewAnchors { count: 1 }));
+    }
+}

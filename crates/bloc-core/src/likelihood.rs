@@ -1,0 +1,314 @@
+//! Spatial likelihood maps from corrected channels — paper §5.3, Eq. 17.
+//!
+//! For each anchor *i*, the likelihood that the signal originated at a
+//! point `x` is the coherent matched-filter correlation of the corrected
+//! channels against the phases that a source at `x` *would* produce:
+//!
+//! `P_i(x) = | Σ_j Σ_k α^{f_k}_ij · e^{ι 2π f_k Δ_ij(x) / c} |`
+//!
+//! with `Δ_ij(x) = d_ij(x) − d_00(x) − d^{i0}_{00}` (Eq. 14's relative
+//! distance). Evaluating per-antenna exact distances subsumes both terms
+//! of the paper's Eq. 17 (AoA steering *and* relative-distance steering) —
+//! the "change of coordinates" onto the X-Y plane, without a far-field
+//! approximation. Per-anchor maps are summed to form the joint likelihood
+//! (§5.3's final step); the hyperbolic high-likelihood contours of Fig. 6b
+//! emerge from the relative-distance geometry.
+
+use serde::{Deserialize, Serialize};
+
+use bloc_num::constants::SPEED_OF_LIGHT;
+use bloc_num::{C64, Grid2D, GridSpec};
+
+use crate::correction::CorrectedChannels;
+
+/// How antennas combine inside the per-anchor likelihood.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum AntennaCombining {
+    /// Eq. 17 verbatim: antennas and bands sum coherently. Maximum
+    /// resolution, but static per-antenna phase-calibration error
+    /// decoheres the antenna sum.
+    Coherent,
+    /// Antennas combine non-coherently (`Σ_j |Σ_k …|`): each antenna's
+    /// across-band (relative-distance) correlation stays fully coherent,
+    /// and unknown per-antenna phases cancel — fully robust to
+    /// uncalibrated arrays but blind to angle.
+    NoncoherentAntennas,
+    /// The sum of the two: coherent angle gain where the array phase
+    /// coherence survives, plus a calibration-immune relative-distance
+    /// floor. The workspace default (DESIGN.md §6 ablates all three).
+    #[default]
+    Hybrid,
+}
+
+/// Computes the per-anchor likelihood map for anchor `i` over `spec`.
+pub fn anchor_likelihood(
+    corrected: &CorrectedChannels,
+    i: usize,
+    spec: GridSpec,
+    combining: AntennaCombining,
+) -> Grid2D {
+    let anchor = &corrected.anchors[i];
+    let master0 = corrected.anchors[0].antenna(0);
+    let d_i0 = corrected.master_anchor_dist[i];
+    let n_ant = anchor.n_antennas;
+
+    Grid2D::from_fn(spec, |x| {
+        let d_00 = x.dist(master0);
+        let mut coherent = bloc_num::complex::ZERO;
+        let mut noncoherent = 0.0;
+        for j in 0..n_ant {
+            let delta = x.dist(anchor.antenna(j)) - d_00 - d_i0;
+            let mut per_antenna = bloc_num::complex::ZERO;
+            for band in &corrected.bands {
+                let phase = std::f64::consts::TAU * band.freq_hz * delta / SPEED_OF_LIGHT;
+                per_antenna += band.alpha[i][j] * C64::cis(phase);
+            }
+            coherent += per_antenna;
+            noncoherent += per_antenna.abs();
+        }
+        match combining {
+            AntennaCombining::Coherent => coherent.abs(),
+            AntennaCombining::NoncoherentAntennas => noncoherent,
+            AntennaCombining::Hybrid => coherent.abs() + 0.5 * noncoherent,
+        }
+    })
+}
+
+/// The angle-only likelihood of anchor `i` (paper Eq. 15 / Fig. 6a),
+/// mapped over space: each band's 4-antenna Bartlett response toward each
+/// cell, summed non-coherently across bands. Produces the wedge along the
+/// tag's bearing — ambiguous in range.
+pub fn angle_only_likelihood(corrected: &CorrectedChannels, i: usize, spec: GridSpec) -> Grid2D {
+    let anchor = &corrected.anchors[i];
+    let center = anchor.center();
+    let n_ant = anchor.n_antennas;
+
+    Grid2D::from_fn(spec, |x| {
+        let dir = x - center;
+        let r = dir.norm();
+        if r < 1e-6 {
+            return 0.0;
+        }
+        let sin_theta = anchor.axis.dot(dir) / r;
+        let mut total = 0.0;
+        for band in &corrected.bands {
+            let lambda_inv = band.freq_hz / SPEED_OF_LIGHT;
+            let mut acc = bloc_num::complex::ZERO;
+            for (j, &a) in band.alpha[i].iter().enumerate().take(n_ant) {
+                // Antenna j is closer to a source at sinθ > 0 by j·l·sinθ
+                // (phase +2πjl·sinθ/λ in its channel); correlate with the
+                // conjugate steering phase.
+                let phase =
+                    -std::f64::consts::TAU * j as f64 * anchor.spacing * sin_theta * lambda_inv;
+                acc += a * C64::cis(phase);
+            }
+            total += acc.abs();
+        }
+        total
+    })
+}
+
+/// The distance-only likelihood of anchor `i` (paper Eq. 16 / Fig. 6b):
+/// per antenna, the coherent across-band correlation against the relative
+/// distance `Δ_ij(x)`, summed non-coherently across antennas. Produces the
+/// hyperbolic band ("because we measure relative distances as opposed to
+/// absolute distances, the shape of the high probability region looks like
+/// a hyperbola").
+pub fn distance_only_likelihood(corrected: &CorrectedChannels, i: usize, spec: GridSpec) -> Grid2D {
+    let anchor = &corrected.anchors[i];
+    let master0 = corrected.anchors[0].antenna(0);
+    let d_i0 = corrected.master_anchor_dist[i];
+    let n_ant = anchor.n_antennas;
+
+    Grid2D::from_fn(spec, |x| {
+        let d_00 = x.dist(master0);
+        let mut total = 0.0;
+        for j in 0..n_ant {
+            let delta = x.dist(anchor.antenna(j)) - d_00 - d_i0;
+            let mut acc = bloc_num::complex::ZERO;
+            for band in &corrected.bands {
+                let phase = std::f64::consts::TAU * band.freq_hz * delta / SPEED_OF_LIGHT;
+                acc += band.alpha[i][j] * C64::cis(phase);
+            }
+            total += acc.abs();
+        }
+        total
+    })
+}
+
+/// The joint likelihood: per-anchor maps summed cell-wise (paper §5.3:
+/// "we simply add the likelihood obtained from each anchor").
+///
+/// Each anchor's map is normalized to unit peak before summing so that an
+/// anchor with more antennas/bands (or simply stronger amplitudes, when
+/// correction ran unnormalized) cannot drown out the others.
+pub fn joint_likelihood(
+    corrected: &CorrectedChannels,
+    spec: GridSpec,
+    combining: AntennaCombining,
+) -> Grid2D {
+    let mut joint = Grid2D::zeros(spec);
+    for i in 0..corrected.n_anchors() {
+        let mut map = anchor_likelihood(corrected, i, spec, combining);
+        map.normalize_peak();
+        joint.add_assign(&map);
+    }
+    joint
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::correction::correct;
+    use bloc_chan::geometry::Room;
+    use bloc_chan::sounder::{all_data_channels, Sounder, SounderConfig};
+    use bloc_chan::{AnchorArray, Environment};
+    use bloc_num::P2;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn anchors(room: &Room) -> Vec<AnchorArray> {
+        room.wall_midpoints()
+            .iter()
+            .zip(room.walls().iter())
+            .enumerate()
+            .map(|(i, (&m, w))| AnchorArray::centered(i, m, w.direction(), 4))
+            .collect()
+    }
+
+    fn grid_spec(room: &Room) -> GridSpec {
+        GridSpec::covering(
+            P2::new(-0.5, -0.5),
+            P2::new(room.width + 1.0, room.height + 1.0),
+            0.08,
+        )
+    }
+
+    fn free_space_corrected(tag: P2, seed: u64) -> CorrectedChannels {
+        let room = Room::new(5.0, 6.0);
+        let env = Environment::free_space();
+        let anchors = anchors(&room);
+        let sounder = Sounder::new(
+            &env,
+            &anchors,
+            SounderConfig { csi_snr_db: 300.0, antenna_phase_err_std: 0.0, ..Default::default() },
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        correct(&sounder.sound(tag, &all_data_channels(), &mut rng), true)
+    }
+
+    #[test]
+    fn free_space_joint_peak_at_tag() {
+        // With no multipath and random offsets, the joint likelihood must
+        // peak at the true position — the core Eq. 17 correctness check.
+        let room = Room::new(5.0, 6.0);
+        let tag = P2::new(1.9, 2.7);
+        let corrected = free_space_corrected(tag, 11);
+        let joint = joint_likelihood(&corrected, grid_spec(&room), AntennaCombining::default());
+        let (ix, iy, _) = joint.argmax().unwrap();
+        let peak = joint.spec().cell_center(ix, iy);
+        assert!(peak.dist(tag) < 0.15, "joint peak {peak} vs tag {tag}");
+    }
+
+    /// Spatial extent (max pairwise distance, metres) of the cells whose
+    /// likelihood is within `frac` of the grid maximum — a measure of the
+    /// ambiguity region's size.
+    fn high_region_extent(g: &Grid2D, frac: f64) -> f64 {
+        let spec = g.spec();
+        let (_, _, max) = g.argmax().unwrap();
+        let mut cells = Vec::new();
+        for iy in 0..spec.ny {
+            for ix in 0..spec.nx {
+                if g.get(ix, iy) >= frac * max {
+                    cells.push(spec.cell_center(ix, iy));
+                }
+            }
+        }
+        let mut extent = 0.0f64;
+        for a in &cells {
+            for b in &cells {
+                extent = extent.max(a.dist(*b));
+            }
+        }
+        extent
+    }
+
+    /// Number of cells within `frac` of the grid maximum — the area of the
+    /// high-likelihood region.
+    fn high_region_area(g: &Grid2D, frac: f64) -> usize {
+        let (_, _, max) = g.argmax().unwrap();
+        g.data().iter().filter(|&&v| v >= frac * max).count()
+    }
+
+    #[test]
+    fn angle_only_is_a_wedge_distance_only_a_hyperbola_joint_a_spot() {
+        // The Fig. 6 decomposition: Eq. 15 alone (angle) and Eq. 16 alone
+        // (relative distance) are each ambiguous — long high-likelihood
+        // regions — while Eq. 17 with all anchors collapses to a compact
+        // spot around the tag.
+        let room = Room::new(5.0, 6.0);
+        let tag = P2::new(3.2, 2.2);
+        let corrected = free_space_corrected(tag, 12);
+        let spec = grid_spec(&room);
+
+        let angle = angle_only_likelihood(&corrected, 1, spec);
+        let distance = distance_only_likelihood(&corrected, 1, spec);
+        let joint = joint_likelihood(&corrected, spec, AntennaCombining::default());
+
+        let e_angle = high_region_extent(&angle, 0.9);
+        let e_dist = high_region_extent(&distance, 0.9);
+        let e_joint = high_region_extent(&joint, 0.9);
+        assert!(e_angle > 2.0, "angle wedge should span metres, got {e_angle}");
+        assert!(e_dist > 2.0, "hyperbola band should span metres, got {e_dist}");
+        assert!(e_joint < 1.5, "joint spot should be compact, got {e_joint}");
+        assert!(e_joint < e_angle && e_joint < e_dist);
+
+        // And each projection is still *consistent* with the tag: its
+        // region contains the true position.
+        for g in [&angle, &distance, &joint] {
+            let (_, _, max) = g.argmax().unwrap();
+            assert!(g.at(tag).unwrap() > 0.8 * max, "tag must lie in the high region");
+        }
+    }
+
+    #[test]
+    fn fewer_bands_broader_peak() {
+        // Bandwidth gives distance resolution (paper Eq. 6 / Fig. 10): with
+        // one band (2 MHz) the high-likelihood area is much larger than
+        // with all 37 bands (80 MHz span).
+        let room = Room::new(5.0, 6.0);
+        let tag = P2::new(2.4, 3.4);
+        let spec = grid_spec(&room);
+
+        let corrected_all = free_space_corrected(tag, 13);
+        let mut corrected_one = corrected_all.clone();
+        corrected_one.bands.truncate(1);
+
+        let a_all = high_region_area(&joint_likelihood(&corrected_all, spec, AntennaCombining::default()), 0.5);
+        let a_one = high_region_area(&joint_likelihood(&corrected_one, spec, AntennaCombining::default()), 0.5);
+        assert!(
+            a_one as f64 > 1.3 * a_all as f64,
+            "one-band area {a_one} must exceed all-band area {a_all}"
+        );
+    }
+
+    #[test]
+    fn likelihood_is_nonnegative_and_finite() {
+        let room = Room::new(5.0, 6.0);
+        let corrected = free_space_corrected(P2::new(1.0, 1.0), 14);
+        let joint = joint_likelihood(&corrected, grid_spec(&room), AntennaCombining::default());
+        for &v in joint.data() {
+            assert!(v.is_finite() && v >= 0.0);
+        }
+    }
+
+    #[test]
+    fn anchor_maps_normalized_before_summing() {
+        let room = Room::new(5.0, 6.0);
+        let corrected = free_space_corrected(P2::new(2.0, 2.0), 15);
+        let joint = joint_likelihood(&corrected, grid_spec(&room), AntennaCombining::default());
+        let (_, _, max) = joint.argmax().unwrap();
+        // With 4 anchors each normalized to peak 1, the joint max is ≤ 4
+        // (and > 1 when maps overlap at the tag).
+        assert!(max <= 4.0 + 1e-9 && max > 1.0, "joint max {max}");
+    }
+}

@@ -1,0 +1,366 @@
+//! The end-to-end BLoc localizer: sounding → correction → likelihood →
+//! multipath rejection → position.
+
+use serde::{Deserialize, Serialize};
+
+use bloc_chan::geometry::Room;
+use bloc_chan::sounder::SoundingData;
+use bloc_num::peaks::PeakOptions;
+use bloc_num::{Grid2D, GridSpec, P2};
+
+use crate::correction::{correct, CorrectedChannels};
+use crate::likelihood::{joint_likelihood, AntennaCombining};
+use crate::multipath::{score_peaks, ScoreConfig, ScoredPeak};
+
+/// End-to-end pipeline configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BlocConfig {
+    /// The spatial grid the likelihood is evaluated on.
+    pub grid: GridSpec,
+    /// Multipath-rejection score parameters (paper §7: `a = 0.1`,
+    /// `b = 0.05`, 7×7 circular window).
+    pub score: ScoreConfig,
+    /// Normalize corrected channels to unit magnitude before correlating
+    /// (default true; see [`crate::correction::correct`]).
+    pub normalize_alpha: bool,
+    /// How antennas combine in the per-anchor likelihood (default:
+    /// non-coherent across antennas, robust to array calibration error).
+    pub combining: AntennaCombining,
+}
+
+impl BlocConfig {
+    /// A configuration covering `room` plus a 0.5 m margin at 8 cm
+    /// resolution — the workspace default for the paper's 5 m × 6 m room.
+    pub fn for_room(room: &Room) -> Self {
+        Self::for_region(P2::new(-0.5, -0.5), P2::new(room.width + 1.0, room.height + 1.0))
+    }
+
+    /// A configuration covering an arbitrary region at 8 cm resolution.
+    pub fn for_region(origin: P2, extent: P2) -> Self {
+        Self {
+            grid: GridSpec::covering(origin, extent, 0.08),
+            score: ScoreConfig::default(),
+            normalize_alpha: true,
+            combining: AntennaCombining::default(),
+        }
+    }
+
+    /// Returns a copy with a different grid resolution.
+    pub fn with_resolution(mut self, resolution: f64) -> Self {
+        let extent = P2::new(
+            self.grid.nx as f64 * self.grid.resolution,
+            self.grid.ny as f64 * self.grid.resolution,
+        );
+        self.grid = GridSpec::covering(self.grid.origin, extent, resolution);
+        self
+    }
+
+    /// Returns a copy with different score weights (ablations).
+    pub fn with_score_weights(mut self, a: f64, b: f64) -> Self {
+        self.score.a = a;
+        self.score.b = b;
+        self
+    }
+}
+
+/// A localization estimate with its full evidence trail.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Estimate {
+    /// The chosen tag position.
+    pub position: P2,
+    /// All scored likelihood peaks, best first.
+    pub peaks: Vec<ScoredPeak>,
+    /// The joint spatial likelihood (Fig. 8c material).
+    pub likelihood: Grid2D,
+}
+
+impl Estimate {
+    /// A confidence proxy in `[0, 1]`: the score margin of the chosen peak
+    /// over the runner-up, `1 − s₂/s₁`. Near 0 means two locations were
+    /// almost equally plausible (deep multipath ambiguity); near 1 means
+    /// the chosen peak dominated. A single-peak profile is fully
+    /// confident. Returns 0 when produced by a decider that keeps no peak
+    /// list (`localize_shortest_distance` / `localize_argmax`).
+    pub fn confidence(&self) -> f64 {
+        match self.peaks.as_slice() {
+            [] => 0.0,
+            [_] => 1.0,
+            [best, second, ..] => {
+                if best.score <= 0.0 {
+                    0.0
+                } else {
+                    (1.0 - second.score / best.score).clamp(0.0, 1.0)
+                }
+            }
+        }
+    }
+}
+
+/// The BLoc localization pipeline.
+#[derive(Debug, Clone)]
+pub struct BlocLocalizer {
+    config: BlocConfig,
+}
+
+impl BlocLocalizer {
+    /// Builds a localizer.
+    pub fn new(config: BlocConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &BlocConfig {
+        &self.config
+    }
+
+    /// Runs offset correction only (exposed for microbenchmarks).
+    pub fn correct(&self, data: &SoundingData) -> CorrectedChannels {
+        correct(data, self.config.normalize_alpha)
+    }
+
+    /// Computes the joint likelihood map only.
+    pub fn likelihood(&self, data: &SoundingData) -> Grid2D {
+        joint_likelihood(&self.correct(data), self.config.grid, self.config.combining)
+    }
+
+    /// Full localization. Returns `None` when the sounding is degenerate
+    /// (no bands, or a likelihood with no usable peak).
+    pub fn localize(&self, data: &SoundingData) -> Option<Estimate> {
+        if data.bands.is_empty() {
+            return None;
+        }
+        let corrected = self.correct(data);
+        let grid = joint_likelihood(&corrected, self.config.grid, self.config.combining);
+        let anchor_refs: Vec<P2> = data.anchors.iter().map(|a| a.center()).collect();
+        let peaks = score_peaks(&grid, &anchor_refs, &self.config.score);
+        let best = peaks.first()?;
+        Some(Estimate { position: best.peak.position, peaks, likelihood: grid })
+    }
+
+    /// Multi-burst localization: fuses several soundings of the *same*
+    /// (static) tag by summing their joint likelihood maps before peak
+    /// scoring. BLE completes a full hop cycle ~40×/s (paper §6), so a
+    /// tracker can afford several bursts per fix; fusion averages out
+    /// per-burst noise and per-epoch offset artifacts that survive
+    /// correction. Returns `None` when every sounding is degenerate.
+    pub fn localize_fused(&self, soundings: &[SoundingData]) -> Option<Estimate> {
+        let mut combined: Option<Grid2D> = None;
+        let mut anchor_refs: Vec<P2> = Vec::new();
+        for data in soundings.iter().filter(|d| !d.bands.is_empty()) {
+            let corrected = self.correct(data);
+            let grid = joint_likelihood(&corrected, self.config.grid, self.config.combining);
+            match &mut combined {
+                Some(acc) => acc.add_assign(&grid),
+                None => {
+                    anchor_refs = data.anchors.iter().map(|a| a.center()).collect();
+                    combined = Some(grid);
+                }
+            }
+        }
+        let grid = combined?;
+        let peaks = score_peaks(&grid, &anchor_refs, &self.config.score);
+        let best = peaks.first()?;
+        Some(Estimate { position: best.peak.position, peaks, likelihood: grid })
+    }
+
+    /// Localization with multipath rejection replaced by the naive
+    /// shortest-distance peak pick — the paper's Fig. 12 baseline.
+    pub fn localize_shortest_distance(&self, data: &SoundingData) -> Option<Estimate> {
+        if data.bands.is_empty() {
+            return None;
+        }
+        let corrected = self.correct(data);
+        let grid = joint_likelihood(&corrected, self.config.grid, self.config.combining);
+        let anchor_refs: Vec<P2> = data.anchors.iter().map(|a| a.center()).collect();
+        let pick = crate::multipath::shortest_distance_peak(
+            &grid,
+            &anchor_refs,
+            &self.config.score.peaks,
+        )?;
+        Some(Estimate { position: pick.position, peaks: Vec::new(), likelihood: grid })
+    }
+
+    /// Localization by raw argmax of the joint likelihood (no peak
+    /// analysis at all) — the "naive way" of §5.4, exposed for ablations.
+    pub fn localize_argmax(&self, data: &SoundingData) -> Option<Estimate> {
+        if data.bands.is_empty() {
+            return None;
+        }
+        let corrected = self.correct(data);
+        let grid = joint_likelihood(&corrected, self.config.grid, self.config.combining);
+        let (ix, iy, _) = grid.argmax()?;
+        let position = grid.spec().cell_center(ix, iy);
+        Some(Estimate { position, peaks: Vec::new(), likelihood: grid })
+    }
+
+    /// The peak-extraction options in force (exposed for the baselines).
+    pub fn peak_options(&self) -> &PeakOptions {
+        &self.config.score.peaks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bloc_chan::materials::Material;
+    use bloc_chan::sounder::{all_data_channels, Sounder, SounderConfig};
+    use bloc_chan::{AnchorArray, Environment};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn anchors(room: &Room) -> Vec<AnchorArray> {
+        room.wall_midpoints()
+            .iter()
+            .zip(room.walls().iter())
+            .enumerate()
+            .map(|(i, (&m, w))| AnchorArray::centered(i, m, w.direction(), 4))
+            .collect()
+    }
+
+    #[test]
+    fn free_space_localization_is_tight() {
+        let room = Room::new(5.0, 6.0);
+        let env = Environment::free_space();
+        let anchors = anchors(&room);
+        let sounder = Sounder::new(&env, &anchors, SounderConfig { antenna_phase_err_std: 0.0, ..Default::default() });
+        let localizer = BlocLocalizer::new(BlocConfig::for_room(&room));
+        let mut rng = StdRng::seed_from_u64(21);
+        for tag in [P2::new(1.0, 1.5), P2::new(2.5, 3.0), P2::new(4.0, 4.5)] {
+            let data = sounder.sound(tag, &all_data_channels(), &mut rng);
+            let est = localizer.localize(&data).unwrap();
+            assert!(
+                est.position.dist(tag) < 0.2,
+                "free-space error {} at {tag}",
+                est.position.dist(tag)
+            );
+        }
+    }
+
+    #[test]
+    fn multipath_localization_stays_submeter() {
+        let room = Room::new(5.0, 6.0);
+        let mut rng = StdRng::seed_from_u64(22);
+        let env = Environment::in_room(room).with_walls(Material::concrete(), &mut rng);
+        let anchors = anchors(&room);
+        let sounder = Sounder::new(&env, &anchors, SounderConfig { antenna_phase_err_std: 0.0, ..Default::default() });
+        let localizer = BlocLocalizer::new(BlocConfig::for_room(&room));
+        let tag = P2::new(2.2, 3.6);
+        let data = sounder.sound(tag, &all_data_channels(), &mut rng);
+        let est = localizer.localize(&data).unwrap();
+        assert!(
+            est.position.dist(tag) < 1.0,
+            "multipath error {}",
+            est.position.dist(tag)
+        );
+    }
+
+    #[test]
+    fn empty_sounding_is_none() {
+        let room = Room::new(5.0, 6.0);
+        let data = SoundingData { bands: Vec::new(), anchors: anchors(&room) };
+        let localizer = BlocLocalizer::new(BlocConfig::for_room(&room));
+        assert!(localizer.localize(&data).is_none());
+        assert!(localizer.localize_shortest_distance(&data).is_none());
+        assert!(localizer.localize_argmax(&data).is_none());
+    }
+
+    #[test]
+    fn estimate_carries_evidence() {
+        let room = Room::new(5.0, 6.0);
+        let env = Environment::free_space();
+        let anchors = anchors(&room);
+        let sounder = Sounder::new(&env, &anchors, SounderConfig { antenna_phase_err_std: 0.0, ..Default::default() });
+        let localizer = BlocLocalizer::new(BlocConfig::for_room(&room));
+        let mut rng = StdRng::seed_from_u64(23);
+        let data = sounder.sound(P2::new(2.0, 2.0), &all_data_channels(), &mut rng);
+        let est = localizer.localize(&data).unwrap();
+        assert!(!est.peaks.is_empty());
+        assert_eq!(est.position, est.peaks[0].peak.position);
+        assert_eq!(est.likelihood.spec(), localizer.config().grid);
+    }
+
+    #[test]
+    fn confidence_reflects_peak_margin() {
+        let room = Room::new(5.0, 6.0);
+        let env = Environment::free_space();
+        let anchors = anchors(&room);
+        let sounder = Sounder::new(&env, &anchors, SounderConfig { antenna_phase_err_std: 0.0, ..Default::default() });
+        let localizer = BlocLocalizer::new(BlocConfig::for_room(&room));
+        let mut rng = StdRng::seed_from_u64(31);
+        let data = sounder.sound(P2::new(2.5, 3.0), &all_data_channels(), &mut rng);
+        let est = localizer.localize(&data).unwrap();
+        let c = est.confidence();
+        assert!((0.0..=1.0).contains(&c));
+        // Free space: the true peak should clearly dominate.
+        assert!(c > 0.2, "free-space confidence {c}");
+        // Deciders without peak lists report zero confidence.
+        let sd = localizer.localize_shortest_distance(&data).unwrap();
+        assert_eq!(sd.confidence(), 0.0);
+    }
+
+    #[test]
+    fn config_builders() {
+        let room = Room::new(5.0, 6.0);
+        let c = BlocConfig::for_room(&room).with_resolution(0.16).with_score_weights(0.2, 0.1);
+        assert_eq!(c.score.a, 0.2);
+        assert_eq!(c.score.b, 0.1);
+        assert!((c.grid.resolution - 0.16).abs() < 1e-12);
+        // Region still covers the room + margins.
+        assert!(c.grid.nx as f64 * c.grid.resolution >= room.width + 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn fusion_is_at_least_as_good_as_single_bursts() {
+        // In the cluttered room, fusing several bursts should not be worse
+        // than the median single burst (it averages per-epoch noise).
+        let room = Room::new(5.0, 6.0);
+        let mut rng = StdRng::seed_from_u64(77);
+        let env = Environment::in_room(room).with_walls(Material::concrete(), &mut rng);
+        let anchors = anchors(&room);
+        let sounder = Sounder::new(&env, &anchors, SounderConfig::default());
+        let localizer = BlocLocalizer::new(BlocConfig::for_room(&room));
+
+        let tag = P2::new(1.7, 3.9);
+        let bursts: Vec<_> =
+            (0..4).map(|_| sounder.sound(tag, &all_data_channels(), &mut rng)).collect();
+
+        let single_errs: Vec<f64> = bursts
+            .iter()
+            .filter_map(|b| localizer.localize(b).map(|e| e.position.dist(tag)))
+            .collect();
+        let fused = localizer.localize_fused(&bursts).unwrap().position.dist(tag);
+        let med_single = bloc_num::stats::median(&single_errs);
+        assert!(
+            fused <= med_single + 0.15,
+            "fused {fused} vs median single {med_single}"
+        );
+    }
+
+    #[test]
+    fn fusion_handles_empty_and_degenerate() {
+        let room = Room::new(5.0, 6.0);
+        let localizer = BlocLocalizer::new(BlocConfig::for_room(&room));
+        assert!(localizer.localize_fused(&[]).is_none());
+        let empty = SoundingData { bands: Vec::new(), anchors: anchors(&room) };
+        assert!(localizer.localize_fused(&[empty]).is_none());
+    }
+
+    #[test]
+    fn variants_agree_in_clean_conditions() {
+        // With no multipath, all three deciders land on the tag.
+        let room = Room::new(5.0, 6.0);
+        let env = Environment::free_space();
+        let anchors = anchors(&room);
+        let sounder = Sounder::new(&env, &anchors, SounderConfig { antenna_phase_err_std: 0.0, ..Default::default() });
+        let localizer = BlocLocalizer::new(BlocConfig::for_room(&room));
+        let mut rng = StdRng::seed_from_u64(24);
+        let tag = P2::new(3.3, 2.1);
+        let data = sounder.sound(tag, &all_data_channels(), &mut rng);
+        for est in [
+            localizer.localize(&data).unwrap(),
+            localizer.localize_shortest_distance(&data).unwrap(),
+            localizer.localize_argmax(&data).unwrap(),
+        ] {
+            assert!(est.position.dist(tag) < 0.25, "{:?}", est.position);
+        }
+    }
+}

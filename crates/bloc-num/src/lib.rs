@@ -1,0 +1,43 @@
+//! # bloc-num — numerics substrate for the BLoc workspace
+//!
+//! The BLoc localization pipeline ([paper: *BLoc: CSI-based Accurate
+//! Localization for BLE Tags*, CoNEXT '18]) is, numerically, a chain of
+//! complex-valued correlations over spatial grids followed by peak analysis.
+//! This crate provides every numeric primitive the rest of the workspace
+//! needs, with no external math dependencies:
+//!
+//! * [`complex::C64`] — double-precision complex numbers with the usual
+//!   arithmetic, polar forms and unit phasors.
+//! * [`grid::Grid2D`] — real-valued 2-D grids over a metric region of space;
+//!   the representation of spatial likelihood maps (paper Eq. 17).
+//! * [`peaks`] — local-maximum extraction on grids (paper §5.4).
+//! * [`entropy`] — Shannon entropy and the *negentropy sharpness* measure
+//!   used by BLoc's multipath-rejection score (paper Eq. 18).
+//! * [`stats`] — medians, percentiles, CDFs, RMSE: everything the
+//!   evaluation section (paper §8) reports.
+//! * [`linalg`] — tiny dense solvers and bearing-line intersection used by
+//!   the AoA-combining baseline.
+//! * [`fft`] — a radix-2 FFT used for spectral sanity checks of the GFSK
+//!   modulator.
+//! * [`angle`], [`constants`] — angle hygiene and physical constants.
+//!
+//! The crate is deliberately free of `unsafe` and of any global state; all
+//! functions are pure and deterministic.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod angle;
+pub mod complex;
+pub mod constants;
+pub mod entropy;
+pub mod fft;
+pub mod grid;
+pub mod linalg;
+pub mod peaks;
+pub mod point;
+pub mod stats;
+
+pub use complex::C64;
+pub use grid::{Grid2D, GridSpec};
+pub use point::P2;

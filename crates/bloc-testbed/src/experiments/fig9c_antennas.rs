@@ -1,0 +1,96 @@
+//! Fig. 9(c): effect of the number of antennas per anchor.
+//!
+//! Paper: BLoc degrades only marginally from 4 to 3 antennas (86 → 90 cm
+//! median) because frequency bandwidth compensates for array resolution;
+//! the AoA baseline sits at 242 / 241 cm.
+
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use super::ExperimentSize;
+use crate::dataset::sample_positions;
+use crate::metrics::ErrorStats;
+use crate::runner::{sweep, Method, SweepSpec};
+use crate::scenario::Scenario;
+
+/// Stats for one (method, antenna-count) cell.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AntennaCountStats {
+    /// Antennas per anchor.
+    pub n_antennas: usize,
+    /// Error statistics.
+    pub stats: ErrorStats,
+}
+
+/// Result of the Fig. 9(c) experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig9cResult {
+    /// BLoc with 3 and 4 antennas.
+    pub bloc: Vec<AntennaCountStats>,
+    /// AoA baseline with 3 and 4 antennas.
+    pub aoa: Vec<AntennaCountStats>,
+}
+
+/// Runs the antenna-count ablation (4 anchors throughout, as in the
+/// paper).
+pub fn run(size: &ExperimentSize) -> Fig9cResult {
+    let scenario = Scenario::paper_testbed(size.seed);
+    let positions = sample_positions(&scenario.room, size.locations, size.seed ^ 0x9C);
+
+    let mut bloc = Vec::new();
+    let mut aoa = Vec::new();
+    for n in [3usize, 4] {
+        let spec = SweepSpec {
+            transform: Some(Arc::new(move |d: bloc_chan::sounder::SoundingData| {
+                d.with_antenna_subset(n)
+            })),
+            ..SweepSpec::standard(
+                &scenario,
+                &positions,
+                vec![Method::Bloc, Method::AoaBaseline],
+                size.seed,
+            )
+        };
+        let out = sweep(&spec);
+        bloc.push(AntennaCountStats { n_antennas: n, stats: out[0].stats.clone() });
+        aoa.push(AntennaCountStats { n_antennas: n, stats: out[1].stats.clone() });
+    }
+    Fig9cResult { bloc, aoa }
+}
+
+impl Fig9cResult {
+    /// Renders the paper-style table.
+    pub fn render(&self) -> String {
+        let mut out = String::from("Fig. 9c — effect of antennas per anchor (median / p90, m)\n");
+        out.push_str("  antennas |        BLoc       |    AoA-baseline\n");
+        for (b, a) in self.bloc.iter().zip(&self.aoa) {
+            out.push_str(&format!(
+                "     {}     |  {:5.2} / {:5.2}    |  {:5.2} / {:5.2}\n",
+                b.n_antennas, b.stats.median, b.stats.p90, a.stats.median, a.stats.p90
+            ));
+        }
+        out.push_str("  (paper: BLoc 0.90/1.71 with 3 ant, 0.86/1.70 with 4; AoA 2.41/3.20 and 2.42/3.40)\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn antenna_reduction_is_gentle_for_bloc() {
+        let r = run(&ExperimentSize { locations: 24, seed: 2018 });
+        let b3 = &r.bloc[0].stats;
+        let b4 = &r.bloc[1].stats;
+        // The paper's point: bandwidth compensates; 3-antenna BLoc stays
+        // within tens of centimetres of 4-antenna BLoc.
+        assert!(
+            b3.median - b4.median < 0.5,
+            "3-ant {} vs 4-ant {} — degradation should be minimal",
+            b3.median,
+            b4.median
+        );
+    }
+}

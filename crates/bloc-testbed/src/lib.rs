@@ -1,0 +1,29 @@
+//! # bloc-testbed — the experiment harness of the BLoc reproduction
+//!
+//! Everything needed to rerun the paper's evaluation (§7–§8) against the
+//! simulated substrate:
+//!
+//! * [`scenario`] — deployments: the 5 m × 6 m multipath-rich VICON-like
+//!   room with 4 four-antenna anchors at the wall midpoints, plus the
+//!   clean-LOS variant used by the Fig. 8(b) microbenchmark.
+//! * [`dataset`] — the 1700 seeded tag positions (≈10 cm spacing, §7).
+//! * [`metrics`] — error CDFs, medians, percentiles, and the per-cell RMSE
+//!   map of Fig. 13.
+//! * [`runner`] — a multi-threaded location sweep evaluating any set of
+//!   localization methods.
+//! * [`experiments`] — one module per paper figure; each returns a
+//!   serializable result and renders the same rows/series the paper plots.
+//!   These are shared between `cargo test` (smoke sizes) and the
+//!   `bloc-bench` figure binaries (full sizes).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod experiments;
+pub mod metrics;
+pub mod runner;
+pub mod scenario;
+
+pub use runner::{sweep, Method, SweepOutcome};
+pub use scenario::Scenario;

@@ -1,0 +1,190 @@
+//! Deployment scenarios: the paper's testbed, reconstructed.
+//!
+//! Paper §7: a 5 m × 6 m VICON room — "a shared space … full of metallic
+//! objects, like robotic equipment, large metal cupboards, etc. As a
+//! result, the room is rich in multipath and presents a challenging
+//! localization environment." Four 4-antenna anchors sit at the midpoints
+//! of the four walls.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use bloc_chan::environment::Obstruction;
+use bloc_chan::geometry::{Room, Segment};
+use bloc_chan::materials::Material;
+use bloc_chan::reflector::Reflector;
+use bloc_chan::sounder::{Sounder, SounderConfig};
+use bloc_chan::{AnchorArray, Environment};
+use bloc_num::P2;
+
+/// How much clutter the room carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Clutter {
+    /// Open free space, ideal LOS — the Fig. 8(b) microbenchmark setting
+    /// ("a relatively multipath free environment").
+    None,
+    /// Reflective walls only.
+    WallsOnly,
+    /// Walls + metal cupboards/robots + partial obstructions — the VICON
+    /// room regime used for all accuracy numbers.
+    MultipathRich,
+}
+
+/// A complete deployment: room, environment, anchors.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// The room.
+    pub room: Room,
+    /// The propagation environment.
+    pub env: Environment,
+    /// The anchors (index 0 is the master).
+    pub anchors: Vec<AnchorArray>,
+    /// The clutter level the scenario was built with.
+    pub clutter: Clutter,
+    /// The seed the environment was frozen from.
+    pub seed: u64,
+}
+
+impl Scenario {
+    /// The paper's evaluation environment: multipath-rich 5 m × 6 m room.
+    pub fn paper_testbed(seed: u64) -> Self {
+        Self::build(Clutter::MultipathRich, seed)
+    }
+
+    /// The clean microbenchmark environment (Fig. 8b).
+    pub fn clean_los(seed: u64) -> Self {
+        Self::build(Clutter::None, seed)
+    }
+
+    /// Builds the 5 m × 6 m room at the requested clutter level.
+    pub fn build(clutter: Clutter, seed: u64) -> Self {
+        let room = Room::new(5.0, 6.0);
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        let env = match clutter {
+            Clutter::None => Environment::in_room(room),
+            Clutter::WallsOnly => Environment::in_room(room).with_walls(Material::concrete(), &mut rng),
+            Clutter::MultipathRich => {
+                let mut env =
+                    Environment::in_room(room).with_walls(Material::concrete(), &mut rng);
+                // Metallic clutter (cupboards, robots, screens). Each face
+                // both reflects strongly AND blocks LOS crossing it — that
+                // combination is what makes "reflections … stronger than
+                // the line-of-sight path because of obstructions" (paper
+                // §1) a common occurrence in the VICON room.
+                let metal_faces = [
+                    // Large metal cupboards along the left and top walls.
+                    Segment::new(P2::new(0.3, 1.0), P2::new(0.3, 3.2)),
+                    Segment::new(P2::new(1.2, 5.7), P2::new(3.6, 5.7)),
+                    // Robotic equipment: free-standing metal surfaces.
+                    Segment::new(P2::new(4.4, 1.2), P2::new(4.4, 2.6)),
+                    Segment::new(P2::new(1.6, 2.2), P2::new(2.7, 2.8)),
+                    Segment::new(P2::new(3.1, 3.8), P2::new(3.9, 4.5)),
+                    Segment::new(P2::new(0.9, 0.8), P2::new(1.8, 1.3)),
+                    Segment::new(P2::new(4.2, 4.8), P2::new(4.7, 5.4)),
+                    Segment::new(P2::new(2.3, 4.6), P2::new(3.0, 5.0)),
+                ];
+                for face in metal_faces {
+                    env.add_reflector(Reflector::new(face, Material::metal(), &mut rng));
+                    env.add_obstruction(Obstruction { blocker: face, loss_db: 16.0 });
+                }
+                // A glass screen (reflects modestly, attenuates little).
+                let glass = Segment::new(P2::new(2.0, 0.4), P2::new(3.4, 0.4));
+                env.add_reflector(Reflector::new(glass, Material::glass(), &mut rng));
+                env.add_obstruction(Obstruction { blocker: glass, loss_db: 3.0 });
+                // Softer clutter: desks and crates that attenuate without
+                // reflecting much.
+                env.add_obstruction(Obstruction {
+                    blocker: Segment::new(P2::new(0.8, 4.2), P2::new(2.0, 4.2)),
+                    loss_db: 8.0,
+                });
+                env.add_obstruction(Obstruction {
+                    blocker: Segment::new(P2::new(3.6, 0.9), P2::new(3.6, 2.0)),
+                    loss_db: 8.0,
+                });
+                env
+            }
+        };
+
+        let anchors = standard_anchors(&room);
+        Self { room, env, anchors, clutter, seed }
+    }
+
+    /// A sounder over this scenario.
+    pub fn sounder(&self, config: SounderConfig) -> Sounder<'_> {
+        Sounder::new(&self.env, &self.anchors, config)
+    }
+
+    /// The default BLoc pipeline configuration for this room.
+    pub fn bloc_config(&self) -> bloc_core::BlocConfig {
+        bloc_core::BlocConfig::for_room(&self.room)
+    }
+}
+
+/// The paper's anchor placement: 4-antenna linear arrays at the wall
+/// midpoints, aligned with their walls (boresight into the room).
+pub fn standard_anchors(room: &Room) -> Vec<AnchorArray> {
+    room.wall_midpoints()
+        .iter()
+        .zip(room.walls().iter())
+        .enumerate()
+        .map(|(i, (&mid, wall))| AnchorArray::centered(i, mid, wall.direction(), 4))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_testbed_is_cluttered() {
+        let s = Scenario::paper_testbed(1);
+        assert_eq!(s.env.reflector_count(), 13); // 4 walls + 8 metal + 1 glass
+        assert_eq!(s.anchors.len(), 4);
+        assert!(s.anchors.iter().all(|a| a.n_antennas == 4));
+    }
+
+    #[test]
+    fn clean_scenario_has_single_path() {
+        let s = Scenario::clean_los(1);
+        let paths = s.env.paths(P2::new(1.0, 1.0), P2::new(4.0, 4.0));
+        assert_eq!(paths.len(), 1);
+        assert!(paths[0].is_los);
+    }
+
+    #[test]
+    fn anchors_face_into_the_room() {
+        let s = Scenario::paper_testbed(2);
+        let c = s.room.center();
+        for a in &s.anchors {
+            let inward = (c - a.center()).normalize();
+            assert!(
+                a.boresight().dot(inward) > 0.9,
+                "anchor {} boresight {:?} must face the room",
+                a.id,
+                a.boresight()
+            );
+        }
+    }
+
+    #[test]
+    fn scenario_is_deterministic_per_seed() {
+        let a = Scenario::paper_testbed(7);
+        let b = Scenario::paper_testbed(7);
+        let tx = P2::new(1.5, 2.5);
+        let rx = P2::new(3.5, 4.5);
+        assert_eq!(a.env.channel(tx, rx, 2.44e9), b.env.channel(tx, rx, 2.44e9));
+        let c = Scenario::paper_testbed(8);
+        assert_ne!(a.env.channel(tx, rx, 2.44e9), c.env.channel(tx, rx, 2.44e9));
+    }
+
+    #[test]
+    fn anchors_match_paper_layout() {
+        let s = Scenario::paper_testbed(3);
+        let mids = s.room.wall_midpoints();
+        for (a, &m) in s.anchors.iter().zip(mids.iter()) {
+            assert!(a.center().dist(m) < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Wi-Fi interference and adaptive channel blacklisting (paper §8.6).
+//!
+//! ```text
+//! cargo run --release -p bloc-testbed --example interference_blacklist
+//! ```
+//!
+//! BLE's adaptive frequency hopping blacklists channels that collide with
+//! Wi-Fi. This example walks the whole stack: a link-layer connection is
+//! established, a channel-map update removes the channels under a busy
+//! Wi-Fi 20 MHz carrier, the hop schedule provably avoids them — and the
+//! localization accuracy barely moves, because what matters is the *span*
+//! of the surviving channels, not their density.
+
+use bloc_ble::channels::{Channel, ChannelMap};
+use bloc_ble::link::{ConnectionParams, LinkLayer};
+use bloc_ble::pdu::DeviceAddress;
+use bloc_chan::sounder::{all_data_channels, SounderConfig};
+use bloc_core::{BlocConfig, BlocLocalizer};
+use bloc_num::stats;
+use bloc_testbed::dataset::sample_positions;
+use bloc_testbed::scenario::Scenario;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(11);
+
+    // --- Link layer: establish a real connection and apply the blacklist.
+    let mut tag = LinkLayer::new(DeviceAddress::new([0xC0, 1, 2, 3, 4, 5]));
+    let mut master = LinkLayer::new(DeviceAddress::new([0xC0, 9, 8, 7, 6, 5]));
+    tag.start_advertising().expect("fresh device");
+    master.start_initiating(tag.address).expect("fresh device");
+    let adv = tag.advertise().expect("advertising");
+    let (mut conn, connect_ind) = master
+        .on_adv_ind(&adv, &ConnectionParams::bloc_default(), &mut rng)
+        .expect("initiating")
+        .expect("matching peer");
+    let _tag_conn = tag.on_connect_ind(&connect_ind).expect("tag accepts");
+
+    // A Wi-Fi carrier occupies 2442–2462 MHz: blacklist the BLE data
+    // channels inside it.
+    let wifi_lo = 2.442e9;
+    let wifi_hi = 2.462e9;
+    let clear: Vec<u8> = Channel::all_data()
+        .filter(|c| c.freq_hz() < wifi_lo || c.freq_hz() > wifi_hi)
+        .map(|c| c.index())
+        .collect();
+    let map = ChannelMap::from_channels(&clear).expect("enough clear channels");
+    conn.update_channel_map(map);
+    println!(
+        "Wi-Fi at {:.0}–{:.0} MHz ⇒ blacklisted {} of 37 data channels",
+        wifi_lo / 1e6,
+        wifi_hi / 1e6,
+        37 - map.count()
+    );
+
+    // The hop schedule provably avoids the blacklisted channels.
+    let mut avoided = true;
+    for _ in 0..74 {
+        let ev = conn.advance_event(vec![], vec![]).expect("connection alive");
+        avoided &= map.contains(ev.channel);
+    }
+    println!("74 connection events, all on clear channels: {avoided}\n");
+
+    // --- Localization impact: full map vs blacklisted map.
+    let scenario = Scenario::paper_testbed(2018);
+    let sounder = scenario.sounder(SounderConfig::default());
+    let localizer = BlocLocalizer::new(BlocConfig::for_room(&scenario.room));
+    let positions = sample_positions(&scenario.room, 30, 5);
+
+    let run = |label: &str, keep: &dyn Fn(Channel) -> bool| {
+        let mut errors = Vec::new();
+        let mut rng = StdRng::seed_from_u64(21);
+        for &truth in &positions {
+            let data = sounder
+                .sound(truth, &all_data_channels(), &mut rng)
+                .with_bands_where(|b| keep(b.channel));
+            if let Some(est) = localizer.localize(&data) {
+                errors.push(est.position.dist(truth));
+            }
+        }
+        println!(
+            "  {label:24} median {:.2} m  p90 {:.2} m  ({} bands)",
+            stats::median(&errors),
+            stats::percentile(&errors, 90.0),
+            all_data_channels().iter().filter(|&&c| keep(c)).count()
+        );
+    };
+
+    println!("accuracy over {} positions:", positions.len());
+    run("all 37 channels", &|_| true);
+    run("Wi-Fi channels removed", &|c| {
+        let f = c.freq_hz();
+        f < wifi_lo || f > wifi_hi
+    });
+    println!("\n(gaps in the band alias at ≥15 m — beyond any indoor room, so the");
+    println!(" surviving 60 MHz span keeps nearly all of the resolution; paper §8.6)");
+}

@@ -1,0 +1,170 @@
+//! Cross-crate integration tests: the full BLoc system end to end, at
+//! smoke scale. Everything here runs the real pipeline (bloc-chan sounder →
+//! bloc-core localization) in the paper's deployment.
+
+use std::sync::Arc;
+
+use bloc_chan::sounder::{SounderConfig, SoundingData};
+use bloc_core::likelihood::AntennaCombining;
+use bloc_core::{BlocConfig, BlocLocalizer};
+use bloc_num::P2;
+use bloc_testbed::dataset::sample_positions;
+use bloc_testbed::runner::{sweep, Method, SweepSpec};
+use bloc_testbed::scenario::{Clutter, Scenario};
+
+const SMOKE_LOCATIONS: usize = 40;
+
+fn smoke_positions(scenario: &Scenario) -> Vec<P2> {
+    sample_positions(&scenario.room, SMOKE_LOCATIONS, 1234)
+}
+
+#[test]
+fn bloc_beats_every_baseline_in_the_paper_testbed() {
+    let scenario = Scenario::paper_testbed(2018);
+    let positions = smoke_positions(&scenario);
+    let spec = SweepSpec::standard(
+        &scenario,
+        &positions,
+        vec![
+            Method::Bloc,
+            Method::AoaBaseline,
+            Method::BlocShortestDistance,
+            Method::RssiBaseline,
+        ],
+        77,
+    );
+    let out = sweep(&spec);
+    let bloc = &out[0].stats;
+    assert!(bloc.median < 1.3, "BLoc median {} should be near the paper's 0.86 m", bloc.median);
+    for o in &out[1..] {
+        assert!(
+            bloc.median < o.stats.median,
+            "BLoc ({}) must beat {} ({})",
+            bloc.median,
+            o.method.name(),
+            o.stats.median
+        );
+    }
+    // And the AoA gap is the paper's headline: ~2-3× worse than BLoc.
+    assert!(
+        out[1].stats.median > 1.5 * bloc.median,
+        "AoA baseline ({}) should be well above BLoc ({})",
+        out[1].stats.median,
+        bloc.median
+    );
+}
+
+#[test]
+fn whole_pipeline_is_deterministic() {
+    let scenario = Scenario::paper_testbed(3);
+    let positions = sample_positions(&scenario.room, 6, 9);
+    let spec = SweepSpec::standard(&scenario, &positions, vec![Method::Bloc], 55);
+    let a = sweep(&spec);
+    let b = sweep(&spec);
+    assert_eq!(a[0].records, b[0].records);
+}
+
+#[test]
+fn anchor_and_antenna_subsets_compose() {
+    // 3 anchors × 3 antennas, applied as stacked transforms, still
+    // localizes (the Fig. 9b/9c machinery end to end).
+    let scenario = Scenario::paper_testbed(4);
+    let positions = sample_positions(&scenario.room, 10, 10);
+    let spec = SweepSpec {
+        transform: Some(Arc::new(|d: SoundingData| {
+            d.with_anchor_subset(&[0, 1, 3]).with_antenna_subset(3)
+        })),
+        ..SweepSpec::standard(&scenario, &positions, vec![Method::Bloc], 66)
+    };
+    let out = sweep(&spec);
+    assert_eq!(out[0].failures, 0);
+    assert!(
+        out[0].stats.median < 2.0,
+        "3×3 configuration should still work: median {}",
+        out[0].stats.median
+    );
+}
+
+#[test]
+fn clean_environment_is_nearly_exact() {
+    let scenario = Scenario::build(Clutter::None, 5);
+    let positions = sample_positions(&scenario.room, 10, 11);
+    let spec = SweepSpec {
+        sounder_config: SounderConfig { antenna_phase_err_std: 0.0, ..Default::default() },
+        ..SweepSpec::standard(&scenario, &positions, vec![Method::Bloc], 88)
+    };
+    let out = sweep(&spec);
+    assert!(
+        out[0].stats.median < 0.2,
+        "free space should localize to grid resolution, got {}",
+        out[0].stats.median
+    );
+}
+
+#[test]
+fn walls_only_sits_between_clean_and_cluttered() {
+    let clean = Scenario::build(Clutter::None, 6);
+    let walls = Scenario::build(Clutter::WallsOnly, 6);
+    let rich = Scenario::build(Clutter::MultipathRich, 6);
+
+    let median_of = |scenario: &Scenario| {
+        let positions = sample_positions(&scenario.room, 24, 13);
+        let spec = SweepSpec::standard(scenario, &positions, vec![Method::Bloc], 99);
+        sweep(&spec)[0].stats.median
+    };
+
+    let (e_clean, e_walls, e_rich) = (median_of(&clean), median_of(&walls), median_of(&rich));
+    assert!(e_clean <= e_walls + 0.1, "clean {e_clean} vs walls {e_walls}");
+    assert!(e_walls <= e_rich + 0.1, "walls {e_walls} vs rich {e_rich}");
+}
+
+#[test]
+fn combining_modes_all_function() {
+    // All three antenna-combining modes produce sane estimates; the
+    // hybrid default should not be worse than the worst of the other two.
+    let scenario = Scenario::paper_testbed(7);
+    let positions = sample_positions(&scenario.room, 20, 14);
+    let sounder = scenario.sounder(SounderConfig::default());
+    use rand::SeedableRng;
+
+    let median_with = |combining: AntennaCombining| {
+        let mut config = BlocConfig::for_room(&scenario.room);
+        config.combining = combining;
+        let localizer = BlocLocalizer::new(config);
+        let mut errs = Vec::new();
+        for (idx, &truth) in positions.iter().enumerate() {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(17 + idx as u64);
+            let data = sounder.sound(truth, &bloc_chan::sounder::all_data_channels(), &mut rng);
+            if let Some(est) = localizer.localize(&data) {
+                errs.push(est.position.dist(truth));
+            }
+        }
+        bloc_num::stats::median(&errs)
+    };
+
+    let coherent = median_with(AntennaCombining::Coherent);
+    let noncoherent = median_with(AntennaCombining::NoncoherentAntennas);
+    let hybrid = median_with(AntennaCombining::Hybrid);
+    for (name, m) in [("coherent", coherent), ("noncoherent", noncoherent), ("hybrid", hybrid)] {
+        assert!(m.is_finite() && m < 3.0, "{name} median {m}");
+    }
+    assert!(
+        hybrid <= coherent.max(noncoherent) + 0.1,
+        "hybrid ({hybrid}) should not be worse than the worst pure mode ({coherent}/{noncoherent})"
+    );
+}
+
+#[test]
+fn estimate_positions_stay_in_the_search_region() {
+    let scenario = Scenario::paper_testbed(8);
+    let positions = sample_positions(&scenario.room, 16, 15);
+    let spec = SweepSpec::standard(&scenario, &positions, vec![Method::Bloc], 21);
+    let out = sweep(&spec);
+    for r in &out[0].records {
+        let p = r.estimate.expect("no failures expected");
+        assert!(
+            (-0.6..=5.6).contains(&p.x) && (-0.6..=6.6).contains(&p.y),
+            "estimate {p} escaped the grid"
+        );
+    }
+}

@@ -1,0 +1,124 @@
+//! Smoke runs of every paper-figure experiment: each figure's *shape*
+//! claim is asserted at reduced scale. The bench binaries rerun these at
+//! the paper's 1700-location scale.
+
+use bloc_testbed::experiments::*;
+
+fn smoke() -> ExperimentSize {
+    ExperimentSize { locations: 36, seed: 2018 }
+}
+
+#[test]
+fn fig4_runs_settle_random_does_not() {
+    let r = fig4_gfsk::run(&smoke());
+    assert!(r.runs_settled_fraction > 3.0 * r.random_settled_fraction);
+    assert!(!r.render().is_empty());
+}
+
+#[test]
+fn fig6_geometry_progression() {
+    let r = fig6_likelihoods::run(&smoke());
+    let [angle, dist, joint] = r.extents;
+    assert!(angle > joint && dist > joint, "wedge {angle} / hyperbola {dist} / spot {joint}");
+}
+
+#[test]
+fn fig8a_csi_is_stable_within_a_dwell() {
+    let r = fig8a_csi_stability::run(&smoke());
+    assert!(r.series.iter().all(|s| s.circular_variance < 0.02));
+    assert!(r.render().contains("subband"));
+}
+
+#[test]
+fn fig8b_correction_restores_linear_phase() {
+    let r = fig8b_offset_cancellation::run(&smoke());
+    assert!(r.corrected_r2 > 0.99, "corrected R² {}", r.corrected_r2);
+    assert!(r.raw_r2 < 0.95, "raw R² {}", r.raw_r2);
+}
+
+#[test]
+fn fig8c_profile_shows_multipath_and_correct_pick() {
+    let r = fig8c_profile::run(&smoke());
+    assert!(r.peaks.len() >= 2);
+    assert!(r.truth.dist(r.estimate) < 1.0, "error {}", r.truth.dist(r.estimate));
+}
+
+#[test]
+fn fig9a_bloc_beats_aoa() {
+    let r = fig9a_accuracy::run(&smoke());
+    assert!(
+        r.aoa.median > 1.5 * r.bloc.median,
+        "BLoc {} vs AoA {}",
+        r.bloc.median,
+        r.aoa.median
+    );
+}
+
+#[test]
+fn fig9b_two_anchors_degrade() {
+    let r = fig9b_anchors::run(&ExperimentSize { locations: 20, seed: 2018 });
+    let med = |v: &[fig9b_anchors::AnchorCountStats], n: usize| {
+        v.iter().find(|s| s.n_anchors == n).unwrap().stats.median
+    };
+    assert!(med(&r.bloc, 2) > med(&r.bloc, 4), "2-anchor BLoc must be worse than 4-anchor");
+    assert!(!r.render().is_empty());
+}
+
+#[test]
+fn fig9c_antenna_loss_is_gentle_for_bloc() {
+    let r = fig9c_antennas::run(&ExperimentSize { locations: 20, seed: 2018 });
+    let b3 = r.bloc[0].stats.median;
+    let b4 = r.bloc[1].stats.median;
+    assert!(b3 - b4 < 0.6, "3-ant {} vs 4-ant {}", b3, b4);
+}
+
+#[test]
+fn fig10_bandwidth_helps() {
+    let r = fig10_bandwidth::run(&ExperimentSize { locations: 32, seed: 2018 });
+    let first = r.points.first().unwrap();
+    let last = r.points.last().unwrap();
+    assert_eq!(first.n_channels, 1, "2 MHz is one BLE channel");
+    assert_eq!(last.n_channels, 37);
+    assert!(
+        first.stats.median > 1.15 * last.stats.median,
+        "2 MHz ({}) must be clearly worse than 80 MHz ({})",
+        first.stats.median,
+        last.stats.median
+    );
+}
+
+#[test]
+fn fig11_subsampling_is_nearly_free() {
+    let r = fig11_interference::run(&ExperimentSize { locations: 24, seed: 2018 });
+    let full = r.points[0].stats.median;
+    let sparsest = r.points.last().unwrap().stats.median;
+    assert!(
+        sparsest < full + 0.5,
+        "×4 subsampling ({sparsest}) should be almost free vs full ({full})"
+    );
+}
+
+#[test]
+fn fig12_multipath_rejection_pays() {
+    let r = fig12_multipath::run(&smoke());
+    assert!(
+        r.shortest.median > 1.3 * r.bloc.median,
+        "shortest-distance ({}) must clearly lose to BLoc ({})",
+        r.shortest.median,
+        r.bloc.median
+    );
+}
+
+#[test]
+fn ext_fusion_does_not_hurt() {
+    let r = ext_fusion::run(&ExperimentSize { locations: 12, seed: 2018 });
+    assert!(r.points[2].stats.median <= r.points[0].stats.median + 0.15);
+}
+
+#[test]
+fn fig13_rmse_map_populates() {
+    let r = fig13_location::run(&ExperimentSize { locations: 48, seed: 2018 });
+    let visited = r.rmse.data().iter().filter(|v| v.is_finite()).count();
+    assert!(visited > 15, "only {visited} cells visited");
+    assert!(r.render().contains("RMSE"));
+}
