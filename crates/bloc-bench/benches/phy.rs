@@ -18,8 +18,7 @@ fn bench_phy(c: &mut Criterion) {
     let modem = GfskModulator::new(ModulatorConfig::default());
     let mut rng = StdRng::seed_from_u64(3);
     let aa = AccessAddress::generate(&mut rng);
-    let packet =
-        LocalizationPacket::build(Channel::data(10).unwrap(), aa, 0x555555, 8, 8).unwrap();
+    let packet = LocalizationPacket::build(Channel::data(10).unwrap(), aa, 0x555555, 8, 8).unwrap();
     let bits = packet.air_bits();
     let iq = modem.modulate(&bits);
     let fs = modem.config().sample_rate();

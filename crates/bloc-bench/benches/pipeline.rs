@@ -40,11 +40,24 @@ fn bench_pipeline(c: &mut Criterion) {
     });
 
     c.bench_function("anchor_likelihood_grid", |b| {
-        b.iter(|| black_box(anchor_likelihood(&corrected, 1, grid_spec, AntennaCombining::Hybrid)))
+        b.iter(|| {
+            black_box(anchor_likelihood(
+                &corrected,
+                1,
+                grid_spec,
+                AntennaCombining::Hybrid,
+            ))
+        })
     });
 
     c.bench_function("joint_likelihood_4_anchors", |b| {
-        b.iter(|| black_box(joint_likelihood(&corrected, grid_spec, AntennaCombining::Hybrid)))
+        b.iter(|| {
+            black_box(joint_likelihood(
+                &corrected,
+                grid_spec,
+                AntennaCombining::Hybrid,
+            ))
+        })
     });
 
     c.bench_function("peak_scoring", |b| {
@@ -60,7 +73,12 @@ fn bench_pipeline(c: &mut Criterion) {
     });
 
     c.bench_function("rssi_baseline_localize", |b| {
-        b.iter(|| black_box(rssi::localize(black_box(&data), &rssi::RssiConfig::default())))
+        b.iter(|| {
+            black_box(rssi::localize(
+                black_box(&data),
+                &rssi::RssiConfig::default(),
+            ))
+        })
     });
 }
 

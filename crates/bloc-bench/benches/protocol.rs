@@ -28,9 +28,15 @@ fn bench_protocol(c: &mut Criterion) {
         b.iter(|| black_box(crc24(ADV_CRC_INIT, black_box(&payload))))
     });
 
-    let pdu = DataPdu { llid: Llid::DataStart, nesn: false, sn: false, md: false, payload }
-        .encode()
-        .unwrap();
+    let pdu = DataPdu {
+        llid: Llid::DataStart,
+        nesn: false,
+        sn: false,
+        md: false,
+        payload,
+    }
+    .encode()
+    .unwrap();
     let frame = Frame::new(aa, pdu, 0x123456);
     let wire = frame.encode(ch);
 

@@ -24,10 +24,14 @@ use rand::{rngs::StdRng, SeedableRng};
 fn main() {
     let size = bloc_bench::size_from_args();
     let n = size.locations.min(400); // ablations are many sweeps; cap them
-    bloc_bench::banner("Ablations (DESIGN.md §6)", &bloc_testbed::experiments::ExperimentSize {
-        locations: n,
-        seed: size.seed,
-    });
+    bloc_bench::banner(
+        "Ablations (DESIGN.md §6)",
+        &bloc_testbed::experiments::ExperimentSize {
+            locations: n,
+            seed: size.seed,
+        },
+    );
+    let obs_before = bloc_obs::Registry::global().snapshot();
 
     let scenario = Scenario::paper_testbed(size.seed);
     let positions = sample_positions(&scenario.room, n, size.seed ^ 0xAB);
@@ -40,14 +44,19 @@ fn main() {
         .enumerate()
         .map(|(idx, &p)| {
             let mut rng = StdRng::seed_from_u64(size.seed ^ (idx as u64).wrapping_mul(0x9E37));
-            (p, sounder.sound(p, &bloc_chan::sounder::all_data_channels(), &mut rng))
+            (
+                p,
+                sounder.sound(p, &bloc_chan::sounder::all_data_channels(), &mut rng),
+            )
         })
         .collect();
 
     let median_with = |config: bloc_core::BlocConfig| -> f64 {
         let localizer = BlocLocalizer::new(config);
         // Fan localization out across all cores.
-        let n_threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
+        let n_threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(4);
         let errs: Vec<f64> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..n_threads)
                 .map(|t| {
@@ -65,7 +74,10 @@ fn main() {
                     })
                 })
                 .collect();
-            handles.into_iter().flat_map(|h| h.join().expect("worker")).collect()
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("worker"))
+                .collect()
         });
         stats::median(&errs)
     };
@@ -73,12 +85,18 @@ fn main() {
 
     println!("\n-- score weight a (distance), b = 0.05 --");
     for a in [0.0, 0.05, 0.1, 0.2, 0.4] {
-        println!("  a = {a:4.2}  median {:.2} m", median_with(base.with_score_weights(a, 0.05)));
+        println!(
+            "  a = {a:4.2}  median {:.2} m",
+            median_with(base.with_score_weights(a, 0.05))
+        );
     }
 
     println!("\n-- score weight b (entropy), a = 0.1 --");
     for b in [0.0, 0.05, 0.1, 0.25, 0.5] {
-        println!("  b = {b:4.2}  median {:.2} m", median_with(base.with_score_weights(0.1, b)));
+        println!(
+            "  b = {b:4.2}  median {:.2} m",
+            median_with(base.with_score_weights(0.1, b))
+        );
     }
 
     println!("\n-- entropy window radius (metres) --");
@@ -108,10 +126,16 @@ fn main() {
 
     println!("\n-- AoA baseline peak selection --");
     for (name, selection) in [
-        ("least pseudo-ToF (paper)", aoa::PeakSelection::LeastPseudoTof),
+        (
+            "least pseudo-ToF (paper)",
+            aoa::PeakSelection::LeastPseudoTof,
+        ),
         ("strongest peak", aoa::PeakSelection::Strongest),
     ] {
-        let cfg = aoa::AoaConfig { selection, ..Default::default() };
+        let cfg = aoa::AoaConfig {
+            selection,
+            ..Default::default()
+        };
         let errs: Vec<f64> = soundings
             .iter()
             .filter_map(|(truth, data)| aoa::localize(data, &cfg).map(|p| p.dist(*truth)))
@@ -141,12 +165,17 @@ fn main() {
             .enumerate()
             .map(|(idx, &p)| {
                 let mut rng = StdRng::seed_from_u64(size.seed ^ (idx as u64) << 8);
-                (p, mirror_sounder.sound(p, &bloc_chan::sounder::all_data_channels(), &mut rng))
+                (
+                    p,
+                    mirror_sounder.sound(p, &bloc_chan::sounder::all_data_channels(), &mut rng),
+                )
             })
             .collect();
         for (name, b) in [("entropy on (b=0.05)", 0.05), ("entropy off (b=0)", 0.0)] {
             let localizer = BlocLocalizer::new(base.with_score_weights(0.1, b));
-            let n_threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
+            let n_threads = std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(4);
             let errs: Vec<f64> = std::thread::scope(|scope| {
                 let handles: Vec<_> = (0..n_threads)
                     .map(|t| {
@@ -163,10 +192,15 @@ fn main() {
                         })
                     })
                     .collect();
-                handles.into_iter().flat_map(|h| h.join().expect("worker")).collect()
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("worker"))
+                    .collect()
             });
             println!("  mirrors, {name:22} median {:.2} m", stats::median(&errs));
         }
         println!("  (with ideal mirrors the entropy term has nothing to detect — the\n   deltas above shrink relative to the scattering room)");
     }
+
+    bloc_bench::emit_run_report("ablations", &obs_before);
 }

@@ -14,9 +14,16 @@ use bloc_testbed::experiments::*;
 fn main() {
     let size = bloc_bench::size_from_args();
     let t0 = std::time::Instant::now();
-    println!("BLoc reproduction — full evaluation ({} locations, seed {})\n", size.locations, size.seed);
+    let obs_before = bloc_obs::Registry::global().snapshot();
+    println!(
+        "BLoc reproduction — full evaluation ({} locations, seed {})\n",
+        size.locations, size.seed
+    );
 
-    let micro = ExperimentSize { locations: size.locations.min(64), seed: size.seed };
+    let micro = ExperimentSize {
+        locations: size.locations.min(64),
+        seed: size.seed,
+    };
     println!("{}", fig4_gfsk::run(&micro).render());
     println!("{}", fig6_likelihoods::run(&micro).render());
     println!("{}", fig8a_csi_stability::run(&micro).render());
@@ -31,8 +38,12 @@ fn main() {
     println!("{}", fig12_multipath::run(&size).render());
     println!("{}", fig13_location::run(&size).render());
 
-    let ext = ExperimentSize { locations: size.locations.min(200), seed: size.seed };
+    let ext = ExperimentSize {
+        locations: size.locations.min(200),
+        seed: size.seed,
+    };
     println!("{}", ext_fusion::run(&ext).render());
 
+    bloc_bench::emit_run_report("all_figures", &obs_before);
     println!("total wall time: {:?}", t0.elapsed());
 }

@@ -19,21 +19,39 @@ fn main() -> std::io::Result<()> {
     fs::create_dir_all(dir)?;
 
     let f9 = fig9a_accuracy::run(&size);
-    fs::write(dir.join("fig9a_bloc_cdf.csv"), cdf_to_csv(&f9.bloc.cdf_rows(6.0, 61)))?;
-    fs::write(dir.join("fig9a_aoa_cdf.csv"), cdf_to_csv(&f9.aoa.cdf_rows(6.0, 61)))?;
-    println!("fig9a: BLoc median {:.2} m, AoA median {:.2} m", f9.bloc.median, f9.aoa.median);
+    fs::write(
+        dir.join("fig9a_bloc_cdf.csv"),
+        cdf_to_csv(&f9.bloc.cdf_rows(6.0, 61)),
+    )?;
+    fs::write(
+        dir.join("fig9a_aoa_cdf.csv"),
+        cdf_to_csv(&f9.aoa.cdf_rows(6.0, 61)),
+    )?;
+    println!(
+        "fig9a: BLoc median {:.2} m, AoA median {:.2} m",
+        f9.bloc.median, f9.aoa.median
+    );
 
     let f12 = fig12_multipath::run(&size);
-    fs::write(dir.join("fig12_bloc_cdf.csv"), cdf_to_csv(&f12.bloc.cdf_rows(5.0, 51)))?;
+    fs::write(
+        dir.join("fig12_bloc_cdf.csv"),
+        cdf_to_csv(&f12.bloc.cdf_rows(5.0, 51)),
+    )?;
     fs::write(
         dir.join("fig12_shortest_cdf.csv"),
         cdf_to_csv(&f12.shortest.cdf_rows(5.0, 51)),
     )?;
-    println!("fig12: BLoc {:.2} m vs shortest-distance {:.2} m", f12.bloc.median, f12.shortest.median);
+    println!(
+        "fig12: BLoc {:.2} m vs shortest-distance {:.2} m",
+        f12.bloc.median, f12.shortest.median
+    );
 
     let f13 = fig13_location::run(&size);
     fs::write(dir.join("fig13_rmse_map.csv"), grid_to_csv(&f13.rmse))?;
-    println!("fig13: corner RMSE {:.2} m, centre RMSE {:.2} m", f13.corner_rmse, f13.center_rmse);
+    println!(
+        "fig13: corner RMSE {:.2} m, centre RMSE {:.2} m",
+        f13.corner_rmse, f13.center_rmse
+    );
 
     println!("wrote results/*.csv");
     Ok(())

@@ -24,7 +24,10 @@ fn main() {
     }
     for a in &scenario.anchors {
         let c = a.center();
-        let (cx, cy) = to_cell(c.x.clamp(0.0, scenario.room.width), c.y.clamp(0.0, scenario.room.height));
+        let (cx, cy) = to_cell(
+            c.x.clamp(0.0, scenario.room.width),
+            c.y.clamp(0.0, scenario.room.height),
+        );
         canvas[cy][cx] = 'A';
     }
     println!("+{}+", "-".repeat(w));

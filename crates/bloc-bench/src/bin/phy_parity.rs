@@ -17,10 +17,13 @@ use rand::{rngs::StdRng, SeedableRng};
 fn main() {
     let size = bloc_bench::size_from_args();
     let n = size.locations.min(24);
-    bloc_bench::banner("Analytic vs PHY fidelity parity", &bloc_testbed::experiments::ExperimentSize {
-        locations: n,
-        seed: size.seed,
-    });
+    bloc_bench::banner(
+        "Analytic vs PHY fidelity parity",
+        &bloc_testbed::experiments::ExperimentSize {
+            locations: n,
+            seed: size.seed,
+        },
+    );
 
     let scenario = Scenario::paper_testbed(size.seed);
     let positions = sample_positions(&scenario.room, n, size.seed ^ 0x9F);
@@ -31,10 +34,14 @@ fn main() {
         .filter(|c| c.freq_index() % 2 == 0)
         .collect();
 
-    for (name, fidelity) in
-        [("analytic", Fidelity::Analytic), ("phy (GFSK IQ)", Fidelity::Phy { sps: 8 })]
-    {
-        let sounder = scenario.sounder(SounderConfig { fidelity, ..Default::default() });
+    for (name, fidelity) in [
+        ("analytic", Fidelity::Analytic),
+        ("phy (GFSK IQ)", Fidelity::Phy { sps: 8 }),
+    ] {
+        let sounder = scenario.sounder(SounderConfig {
+            fidelity,
+            ..Default::default()
+        });
         let t0 = std::time::Instant::now();
         let errs: Vec<f64> = positions
             .iter()

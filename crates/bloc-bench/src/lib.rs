@@ -27,12 +27,47 @@ pub fn size_from_args() -> ExperimentSize {
         .or_else(|| std::env::var("BLOC_LOCATIONS").ok())
         .and_then(|s| s.parse().ok())
         .unwrap_or(bloc_testbed::dataset::PAPER_DATASET_SIZE);
-    ExperimentSize { locations: n, seed: 2018 }
+    ExperimentSize {
+        locations: n,
+        seed: 2018,
+    }
 }
 
 /// Prints a standard experiment header.
 pub fn banner(fig: &str, size: &ExperimentSize) {
-    println!("=== {fig} (locations = {}, seed = {}) ===", size.locations, size.seed);
+    println!(
+        "=== {fig} (locations = {}, seed = {}) ===",
+        size.locations, size.seed
+    );
+}
+
+/// Prints the per-stage timing/counter breakdown accrued on the global
+/// registry since `before`, writes it to `target/<name>-obs-report.jsonl`,
+/// and re-reads the file to prove the trail is parseable.
+pub fn emit_run_report(name: &str, before: &bloc_obs::RunReport) {
+    let run = bloc_obs::Registry::global().snapshot().diff(before);
+    println!("\n== observability: per-stage breakdown ({name}) ==");
+    print!("{}", run.render());
+    let path = std::path::Path::new("target").join(format!("{name}-obs-report.jsonl"));
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent).ok();
+    }
+    match run
+        .write_jsonl(&path)
+        .and_then(|()| bloc_obs::RunReport::read_jsonl(&path))
+    {
+        Ok(back) if back == run => println!(
+            "run report: {} ({} counters, {} histograms; verified parseable)",
+            path.display(),
+            run.counters.len(),
+            run.histograms.len()
+        ),
+        Ok(_) => eprintln!(
+            "warning: run report at {} did not round-trip",
+            path.display()
+        ),
+        Err(e) => eprintln!("warning: run report not written: {e}"),
+    }
 }
 
 #[cfg(test)]

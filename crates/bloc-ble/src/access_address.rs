@@ -7,16 +7,15 @@
 //! between the tag and the anchor"), so generation and validation are
 //! implemented for real.
 
-use rand::Rng;
-use serde::{Deserialize, Serialize};
-
 use crate::error::BleError;
+use rand::Rng;
 
 /// The fixed advertising-channel access address.
 pub const ADVERTISING_AA: u32 = 0x8E89_BED6;
 
 /// A validated access address.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct AccessAddress(u32);
 
 impl AccessAddress {
@@ -143,7 +142,7 @@ mod tests {
     fn long_runs_rejected() {
         assert!(validate(0x0000_0000).is_err()); // 32 consecutive zeros
         assert!(validate(0xFFFF_FFFF).is_err()); // 32 consecutive ones
-        // Exactly seven consecutive ones in bits 8..=14, otherwise mixed.
+                                                 // Exactly seven consecutive ones in bits 8..=14, otherwise mixed.
         let seven_ones = 0b0101_0010_0110_0101_0111_1111_0010_0101u32;
         assert!(validate(seven_ones).is_err());
         // Six consecutive ones in the same spot passes the run rule (may
@@ -161,7 +160,10 @@ mod tests {
 
     #[test]
     fn too_many_transitions_rejected() {
-        assert!(validate(0x5555_5555).is_err(), "alternating bits = 31 transitions");
+        assert!(
+            validate(0x5555_5555).is_err(),
+            "alternating bits = 31 transitions"
+        );
     }
 
     #[test]

@@ -7,8 +7,6 @@
 //! generic length/type/data AD structure framing, Apple iBeacon frames,
 //! and Google Eddystone-UID/-URL frames.
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::BleError;
 
 /// Common AD types (Bluetooth Assigned Numbers §2.3).
@@ -26,7 +24,8 @@ pub mod ad_type {
 }
 
 /// One AD structure: a type code and its data.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct AdStructure {
     /// AD type code.
     pub ad_type: u8,
@@ -60,9 +59,15 @@ pub fn parse_ad(payload: &[u8]) -> Result<Vec<AdStructure>, BleError> {
             break;
         }
         if i + 1 + len > payload.len() {
-            return Err(BleError::Truncated { expected: i + 1 + len, actual: payload.len() });
+            return Err(BleError::Truncated {
+                expected: i + 1 + len,
+                actual: payload.len(),
+            });
         }
-        out.push(AdStructure { ad_type: payload[i + 1], data: payload[i + 2..i + 1 + len].to_vec() });
+        out.push(AdStructure {
+            ad_type: payload[i + 1],
+            data: payload[i + 2..i + 1 + len].to_vec(),
+        });
         i += 1 + len;
     }
     Ok(out)
@@ -81,7 +86,8 @@ pub fn encode_ad(structures: &[AdStructure]) -> Result<Vec<u8>, BleError> {
 }
 
 /// A recognized beacon frame.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Beacon {
     /// Apple iBeacon: 16-byte proximity UUID + major/minor + calibrated
     /// TX power at 1 m (dBm).
@@ -117,20 +123,27 @@ const APPLE_COMPANY_ID: [u8; 2] = [0x4C, 0x00];
 const EDDYSTONE_UUID: [u8; 2] = [0xAA, 0xFE];
 
 /// Eddystone URL scheme prefixes (frame byte 0 of the encoded URL).
-const URL_SCHEMES: [&str; 4] =
-    ["http://www.", "https://www.", "http://", "https://"];
+const URL_SCHEMES: [&str; 4] = ["http://www.", "https://www.", "http://", "https://"];
 /// Eddystone URL expansion codes 0x00–0x0D.
 const URL_EXPANSIONS: [&str; 14] = [
-    ".com/", ".org/", ".edu/", ".net/", ".info/", ".biz/", ".gov/", ".com", ".org", ".edu",
-    ".net", ".info", ".biz", ".gov",
+    ".com/", ".org/", ".edu/", ".net/", ".info/", ".biz/", ".gov/", ".com", ".org", ".edu", ".net",
+    ".info", ".biz", ".gov",
 ];
 
 impl Beacon {
     /// Builds the AD structures advertising this beacon.
     pub fn to_ad(&self) -> Result<Vec<AdStructure>, BleError> {
-        let flags = AdStructure { ad_type: ad_type::FLAGS, data: vec![0x06] };
+        let flags = AdStructure {
+            ad_type: ad_type::FLAGS,
+            data: vec![0x06],
+        };
         match self {
-            Beacon::IBeacon { uuid, major, minor, tx_power } => {
+            Beacon::IBeacon {
+                uuid,
+                major,
+                minor,
+                tx_power,
+            } => {
                 let mut data = Vec::with_capacity(25);
                 data.extend_from_slice(&APPLE_COMPANY_ID);
                 data.push(0x02); // iBeacon type
@@ -139,9 +152,19 @@ impl Beacon {
                 data.extend_from_slice(&major.to_be_bytes());
                 data.extend_from_slice(&minor.to_be_bytes());
                 data.push(*tx_power as u8);
-                Ok(vec![flags, AdStructure { ad_type: ad_type::MANUFACTURER_DATA, data }])
+                Ok(vec![
+                    flags,
+                    AdStructure {
+                        ad_type: ad_type::MANUFACTURER_DATA,
+                        data,
+                    },
+                ])
             }
-            Beacon::EddystoneUid { tx_power, namespace, instance } => {
+            Beacon::EddystoneUid {
+                tx_power,
+                namespace,
+                instance,
+            } => {
                 let mut data = Vec::with_capacity(20);
                 data.extend_from_slice(&EDDYSTONE_UUID);
                 data.push(0x00); // UID frame
@@ -154,7 +177,10 @@ impl Beacon {
                         ad_type: ad_type::COMPLETE_16BIT_UUIDS,
                         data: EDDYSTONE_UUID.to_vec(),
                     },
-                    AdStructure { ad_type: ad_type::SERVICE_DATA_16BIT, data },
+                    AdStructure {
+                        ad_type: ad_type::SERVICE_DATA_16BIT,
+                        data,
+                    },
                 ])
             }
             Beacon::EddystoneUrl { tx_power, url } => {
@@ -168,7 +194,10 @@ impl Beacon {
                         ad_type: ad_type::COMPLETE_16BIT_UUIDS,
                         data: EDDYSTONE_UUID.to_vec(),
                     },
-                    AdStructure { ad_type: ad_type::SERVICE_DATA_16BIT, data },
+                    AdStructure {
+                        ad_type: ad_type::SERVICE_DATA_16BIT,
+                        data,
+                    },
                 ])
             }
         }
@@ -219,7 +248,11 @@ fn parse_eddystone(data: &[u8]) -> Option<Beacon> {
             namespace.copy_from_slice(&data[4..14]);
             let mut instance = [0u8; 6];
             instance.copy_from_slice(&data[14..20]);
-            Some(Beacon::EddystoneUid { tx_power: data[3] as i8, namespace, instance })
+            Some(Beacon::EddystoneUid {
+                tx_power: data[3] as i8,
+                namespace,
+                instance,
+            })
         }
         0x10 if data.len() >= 5 => {
             let scheme = *URL_SCHEMES.get(data[4] as usize)?;
@@ -231,7 +264,10 @@ fn parse_eddystone(data: &[u8]) -> Option<Beacon> {
                     None => return None,
                 }
             }
-            Some(Beacon::EddystoneUrl { tx_power: data[3] as i8, url })
+            Some(Beacon::EddystoneUrl {
+                tx_power: data[3] as i8,
+                url,
+            })
         }
         _ => None,
     }
@@ -282,8 +318,14 @@ mod tests {
     #[test]
     fn ad_roundtrip() {
         let structures = vec![
-            AdStructure { ad_type: ad_type::FLAGS, data: vec![0x06] },
-            AdStructure { ad_type: ad_type::COMPLETE_LOCAL_NAME, data: b"bloc-tag".to_vec() },
+            AdStructure {
+                ad_type: ad_type::FLAGS,
+                data: vec![0x06],
+            },
+            AdStructure {
+                ad_type: ad_type::COMPLETE_LOCAL_NAME,
+                data: b"bloc-tag".to_vec(),
+            },
         ];
         let bytes = encode_ad(&structures).unwrap();
         assert_eq!(parse_ad(&bytes).unwrap(), structures);
@@ -299,14 +341,19 @@ mod tests {
     #[test]
     fn ad_truncated_structure_errors() {
         let payload = [5, ad_type::FLAGS, 0x06]; // claims 5, has 2
-        assert!(matches!(parse_ad(&payload), Err(BleError::Truncated { .. })));
+        assert!(matches!(
+            parse_ad(&payload),
+            Err(BleError::Truncated { .. })
+        ));
     }
 
     #[test]
     fn ibeacon_roundtrip() {
         let b = Beacon::IBeacon {
-            uuid: [0xE2, 0xC5, 0x6D, 0xB5, 0xDF, 0xFB, 0x48, 0xD2, 0xB0, 0x60, 0xD0, 0xF5,
-                   0xA7, 0x10, 0x96, 0xE0],
+            uuid: [
+                0xE2, 0xC5, 0x6D, 0xB5, 0xDF, 0xFB, 0x48, 0xD2, 0xB0, 0x60, 0xD0, 0xF5, 0xA7, 0x10,
+                0x96, 0xE0,
+            ],
             major: 1000,
             minor: 42,
             tx_power: -59,
@@ -332,8 +379,15 @@ mod tests {
 
     #[test]
     fn eddystone_url_roundtrip() {
-        for url in ["https://www.example.com/tag", "http://bloc.net", "https://a.org/x"] {
-            let b = Beacon::EddystoneUrl { tx_power: -10, url: url.to_string() };
+        for url in [
+            "https://www.example.com/tag",
+            "http://bloc.net",
+            "https://a.org/x",
+        ] {
+            let b = Beacon::EddystoneUrl {
+                tx_power: -10,
+                url: url.to_string(),
+            };
             let ad = b.to_ad().unwrap();
             let parsed = Beacon::from_ad(&parse_ad(&encode_ad(&ad).unwrap()).unwrap()).unwrap();
             assert_eq!(parsed, b, "{url}");
@@ -350,7 +404,10 @@ mod tests {
     #[test]
     fn unknown_scheme_rejected() {
         assert!(compress_url("ftp://example.com").is_err());
-        let b = Beacon::EddystoneUrl { tx_power: 0, url: "gopher://x".into() };
+        let b = Beacon::EddystoneUrl {
+            tx_power: 0,
+            url: "gopher://x".into(),
+        };
         assert!(b.to_ad().is_err());
     }
 
@@ -365,7 +422,10 @@ mod tests {
 
     #[test]
     fn non_beacon_ad_is_none() {
-        let structures = vec![AdStructure { ad_type: ad_type::FLAGS, data: vec![0x06] }];
+        let structures = vec![AdStructure {
+            ad_type: ad_type::FLAGS,
+            data: vec![0x06],
+        }];
         assert_eq!(Beacon::from_ad(&structures), None);
         // Manufacturer data from another vendor:
         let other = vec![AdStructure {

@@ -16,13 +16,12 @@
 //! channel *n* maps to frequency index `n+1` for n ≤ 10 and `n+2` for
 //! n ≥ 11.
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::BleError;
 use bloc_num::constants::{BLE_CHANNEL_WIDTH_HZ, BLE_NUM_CHANNELS, BLE_NUM_DATA_CHANNELS};
 
 /// A BLE channel, identified by its link-layer index (0..=39).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Channel(u8);
 
 impl Channel {
@@ -70,11 +69,11 @@ impl Channel {
     /// "subband" number in Figs. 8a/8b).
     pub fn freq_index(self) -> usize {
         match self.0 {
-            37 => 0,             // 2402 MHz
-            38 => 12,            // 2426 MHz
-            39 => 39,            // 2480 MHz
+            37 => 0,                      // 2402 MHz
+            38 => 12,                     // 2426 MHz
+            39 => 39,                     // 2480 MHz
             n @ 0..=10 => n as usize + 1, // 2404..=2424 MHz
-            n => n as usize + 2, // 11..=36 → 2428..=2478 MHz
+            n => n as usize + 2,          // 11..=36 → 2428..=2478 MHz
         }
     }
 
@@ -113,7 +112,8 @@ impl Channel {
 /// experiment (§8.6: "BLE can sometimes blacklist certain channels").
 ///
 /// Stored as a 37-bit mask over link-layer data channel indices.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ChannelMap {
     mask: u64,
 }
@@ -121,7 +121,9 @@ pub struct ChannelMap {
 impl ChannelMap {
     /// All 37 data channels enabled.
     pub fn all() -> Self {
-        Self { mask: (1u64 << BLE_NUM_DATA_CHANNELS) - 1 }
+        Self {
+            mask: (1u64 << BLE_NUM_DATA_CHANNELS) - 1,
+        }
     }
 
     /// A map from an explicit list of enabled data channels.
@@ -147,8 +149,10 @@ impl ChannelMap {
     /// Keeps every `stride`-th data channel starting at `offset` — the
     /// subsampling pattern of the paper's Fig. 11 experiment.
     pub fn subsampled(stride: usize, offset: usize) -> Result<Self, BleError> {
-        let chans: Vec<u8> =
-            (0..BLE_NUM_DATA_CHANNELS).filter(|c| c % stride == offset % stride).map(|c| c as u8).collect();
+        let chans: Vec<u8> = (0..BLE_NUM_DATA_CHANNELS)
+            .filter(|c| c % stride == offset % stride)
+            .map(|c| c as u8)
+            .collect();
         Self::from_channels(&chans)
     }
 
@@ -266,7 +270,10 @@ mod tests {
 
     #[test]
     fn map_minimum_size_enforced() {
-        assert_eq!(ChannelMap::from_channels(&[5]), Err(BleError::EmptyChannelMap));
+        assert_eq!(
+            ChannelMap::from_channels(&[5]),
+            Err(BleError::EmptyChannelMap)
+        );
         assert!(ChannelMap::from_channels(&[5, 6]).is_ok());
     }
 

@@ -8,14 +8,13 @@
 //! event — and **termination** (`LL_TERMINATE_IND`). Control PDUs travel
 //! as data-channel PDUs with `LLID = 0b11`.
 
-use serde::{Deserialize, Serialize};
-
 use crate::channels::ChannelMap;
 use crate::error::BleError;
 use crate::pdu::{DataPdu, Llid};
 
 /// A link-layer control PDU (the subset this stack implements).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum ControlPdu {
     /// `LL_CHANNEL_MAP_IND`: switch to `map` at connection event `instant`.
     ChannelMapInd {
@@ -58,7 +57,10 @@ impl ControlPdu {
         match bytes.first() {
             Some(&OPCODE_CHANNEL_MAP_IND) => {
                 if bytes.len() < 8 {
-                    return Err(BleError::Truncated { expected: 8, actual: bytes.len() });
+                    return Err(BleError::Truncated {
+                        expected: 8,
+                        actual: bytes.len(),
+                    });
                 }
                 let mut mask_bytes = [0u8; 8];
                 mask_bytes[..5].copy_from_slice(&bytes[1..6]);
@@ -70,18 +72,32 @@ impl ControlPdu {
             }
             Some(&OPCODE_TERMINATE_IND) => {
                 if bytes.len() < 2 {
-                    return Err(BleError::Truncated { expected: 2, actual: bytes.len() });
+                    return Err(BleError::Truncated {
+                        expected: 2,
+                        actual: bytes.len(),
+                    });
                 }
-                Ok(Self::TerminateInd { error_code: bytes[1] })
+                Ok(Self::TerminateInd {
+                    error_code: bytes[1],
+                })
             }
             Some(&other) => Err(BleError::UnknownPduType(other)),
-            None => Err(BleError::Truncated { expected: 1, actual: 0 }),
+            None => Err(BleError::Truncated {
+                expected: 1,
+                actual: 0,
+            }),
         }
     }
 
     /// Wraps this control payload in a data-channel PDU (`LLID = 0b11`).
     pub fn to_data_pdu(&self, nesn: bool, sn: bool) -> DataPdu {
-        DataPdu { llid: Llid::Control, nesn, sn, md: false, payload: self.encode() }
+        DataPdu {
+            llid: Llid::Control,
+            nesn,
+            sn,
+            md: false,
+            payload: self.encode(),
+        }
     }
 
     /// Extracts a control PDU from a data-channel PDU, if it is one.
@@ -112,32 +128,52 @@ mod tests {
 
     #[test]
     fn travels_inside_data_pdu() {
-        let ctrl = ControlPdu::ChannelMapInd { map: ChannelMap::all(), instant: 7 };
+        let ctrl = ControlPdu::ChannelMapInd {
+            map: ChannelMap::all(),
+            instant: 7,
+        };
         let data = ctrl.to_data_pdu(true, false);
         assert_eq!(data.llid, Llid::Control);
         let bytes = data.encode().unwrap();
         let back = DataPdu::decode(&bytes).unwrap();
-        let parsed = ControlPdu::from_data_pdu(&back).expect("is control").unwrap();
+        let parsed = ControlPdu::from_data_pdu(&back)
+            .expect("is control")
+            .unwrap();
         assert_eq!(parsed, ctrl);
     }
 
     #[test]
     fn non_control_pdu_is_none() {
-        let data = DataPdu { llid: Llid::DataStart, nesn: false, sn: false, md: false, payload: vec![1] };
+        let data = DataPdu {
+            llid: Llid::DataStart,
+            nesn: false,
+            sn: false,
+            md: false,
+            payload: vec![1],
+        };
         assert!(ControlPdu::from_data_pdu(&data).is_none());
     }
 
     #[test]
     fn malformed_inputs_rejected() {
-        assert!(matches!(ControlPdu::decode(&[]), Err(BleError::Truncated { .. })));
+        assert!(matches!(
+            ControlPdu::decode(&[]),
+            Err(BleError::Truncated { .. })
+        ));
         assert!(matches!(
             ControlPdu::decode(&[OPCODE_CHANNEL_MAP_IND, 1, 2]),
             Err(BleError::Truncated { .. })
         ));
-        assert!(matches!(ControlPdu::decode(&[0x77]), Err(BleError::UnknownPduType(0x77))));
+        assert!(matches!(
+            ControlPdu::decode(&[0x77]),
+            Err(BleError::UnknownPduType(0x77))
+        ));
         // A map with < 2 channels is invalid even if well-framed.
         let bad = [OPCODE_CHANNEL_MAP_IND, 0x01, 0, 0, 0, 0, 0, 0];
-        assert!(matches!(ControlPdu::decode(&bad), Err(BleError::EmptyChannelMap)));
+        assert!(matches!(
+            ControlPdu::decode(&bad),
+            Err(BleError::EmptyChannelMap)
+        ));
     }
 
     proptest! {

@@ -33,7 +33,11 @@ pub fn crc24(init: u32, data: &[u8]) -> u32 {
 /// Serializes a CRC value into its 3 on-air bytes (least-significant byte
 /// first, matching BLE's LSB-first transmission).
 pub fn crc_to_bytes(crc: u32) -> [u8; 3] {
-    [(crc & 0xFF) as u8, ((crc >> 8) & 0xFF) as u8, ((crc >> 16) & 0xFF) as u8]
+    [
+        (crc & 0xFF) as u8,
+        ((crc >> 8) & 0xFF) as u8,
+        ((crc >> 16) & 0xFF) as u8,
+    ]
 }
 
 /// Parses the 3 on-air CRC bytes back into a value.
@@ -66,7 +70,11 @@ mod tests {
             for b in 0..8 {
                 let mut corrupted = data.clone();
                 corrupted[i] ^= 1 << b;
-                assert_ne!(crc24(ADV_CRC_INIT, &corrupted), base, "flip at byte {i} bit {b}");
+                assert_ne!(
+                    crc24(ADV_CRC_INIT, &corrupted),
+                    base,
+                    "flip at byte {i} bit {b}"
+                );
             }
         }
     }

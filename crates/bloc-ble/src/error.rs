@@ -43,7 +43,10 @@ impl fmt::Display for BleError {
             Self::InvalidChannel(c) => write!(f, "invalid BLE channel index {c} (must be 0..=39)"),
             Self::InvalidHop(h) => write!(f, "invalid hop increment {h} (must be 5..=16)"),
             Self::CrcMismatch { received, computed } => {
-                write!(f, "CRC mismatch: frame carries {received:#08x}, computed {computed:#08x}")
+                write!(
+                    f,
+                    "CRC mismatch: frame carries {received:#08x}, computed {computed:#08x}"
+                )
             }
             Self::Truncated { expected, actual } => {
                 write!(f, "truncated frame: expected {expected}, got {actual}")
@@ -66,7 +69,10 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = BleError::CrcMismatch { received: 0xABCDEF, computed: 0x123456 };
+        let e = BleError::CrcMismatch {
+            received: 0xABCDEF,
+            computed: 0x123456,
+        };
         let s = e.to_string();
         assert!(s.contains("abcdef") && s.contains("123456"), "{s}");
         assert!(BleError::InvalidChannel(41).to_string().contains("41"));

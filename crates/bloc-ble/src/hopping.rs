@@ -8,14 +8,13 @@
 //! substrate here, including the remapping step used when a channel map
 //! blacklists channels (exercised by the Fig. 11 interference experiment).
 
-use serde::{Deserialize, Serialize};
-
 use crate::channels::{Channel, ChannelMap};
 use crate::error::BleError;
 use bloc_num::constants::BLE_NUM_DATA_CHANNELS;
 
 /// Validated hop increment (spec range 5..=16).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct HopIncrement(u8);
 
 impl HopIncrement {
@@ -36,7 +35,8 @@ impl HopIncrement {
 
 /// The hop state of one connection: produces the data channel used for each
 /// successive connection event (channel-selection algorithm #1).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct HopSequence {
     hop: HopIncrement,
     map: ChannelMap,
@@ -55,7 +55,12 @@ impl HopSequence {
         if first_unmapped as usize >= BLE_NUM_DATA_CHANNELS {
             return Err(BleError::InvalidChannel(first_unmapped));
         }
-        Ok(Self { hop, map, last_unmapped: first_unmapped, event_counter: 0 })
+        Ok(Self {
+            hop,
+            map,
+            last_unmapped: first_unmapped,
+            event_counter: 0,
+        })
     }
 
     /// The channel map currently in force.
@@ -167,7 +172,10 @@ mod tests {
         let a = seq.peek_schedule(10);
         let b = seq.peek_schedule(10);
         assert_eq!(a, b);
-        assert_eq!(seq.event_counter, 0, "peeking must not advance the event counter");
+        assert_eq!(
+            seq.event_counter, 0,
+            "peeking must not advance the event counter"
+        );
     }
 
     #[test]

@@ -7,9 +7,6 @@
 //! new data channel and carrying a master packet and a slave (tag) response
 //! — the two transmissions whose channels BLoc measures.
 
-use rand::Rng;
-use serde::{Deserialize, Serialize};
-
 use crate::access_address::AccessAddress;
 use crate::channels::{Channel, ChannelMap};
 use crate::control::ControlPdu;
@@ -18,9 +15,11 @@ use crate::hopping::{HopIncrement, HopSequence};
 use crate::locpacket::LocalizationPacket;
 use crate::packet::Frame;
 use crate::pdu::{AdvPdu, AdvPduType, ConnectInd, DataPdu, DeviceAddress, Llid};
+use rand::Rng;
 
 /// Link-layer role of a device.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Role {
     /// Connection initiator (BLoc's master anchor).
     Master,
@@ -29,7 +28,8 @@ pub enum Role {
 }
 
 /// Link-layer state (spec §4.5 state machine, the subset BLoc exercises).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum LinkState {
     /// Not transmitting or receiving.
     Standby,
@@ -52,7 +52,8 @@ pub enum LinkState {
 }
 
 /// A device's link layer.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct LinkLayer {
     /// This device's address.
     pub address: DeviceAddress,
@@ -63,7 +64,10 @@ pub struct LinkLayer {
 impl LinkLayer {
     /// A device in standby.
     pub fn new(address: DeviceAddress) -> Self {
-        Self { address, state: LinkState::Standby }
+        Self {
+            address,
+            state: LinkState::Standby,
+        }
     }
 
     /// Enters the advertising state (tag side).
@@ -124,7 +128,11 @@ impl LinkLayer {
 
     /// Advertiser's reaction to a SCAN_REQ addressed to it: a SCAN_RSP
     /// with the scan-response payload (e.g. a beacon's extra AD data).
-    pub fn scan_response(&self, req: &AdvPdu, rsp_payload: Vec<u8>) -> Result<Option<AdvPdu>, BleError> {
+    pub fn scan_response(
+        &self,
+        req: &AdvPdu,
+        rsp_payload: Vec<u8>,
+    ) -> Result<Option<AdvPdu>, BleError> {
         if self.state != LinkState::Advertising {
             return Err(BleError::InvalidState("scan_response"));
         }
@@ -227,7 +235,8 @@ impl LinkLayer {
 }
 
 /// Parameters the initiator chooses for a connection.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ConnectionParams {
     /// Connection interval in 1.25 ms units (7.5 ms .. 4 s per spec).
     pub interval_units: u16,
@@ -256,7 +265,8 @@ impl ConnectionParams {
 /// One connection event: the channel and the two framed packets exchanged
 /// on it (master → slave, then slave → master — the two transmissions
 /// BLoc's anchors measure CSI from, paper §5.2).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ConnectionEvent {
     /// Event counter value (0-based).
     pub event: u64,
@@ -269,7 +279,8 @@ pub struct ConnectionEvent {
 }
 
 /// An established connection (either party's view, or a follower's).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Connection {
     /// Link data from the CONNECT_IND.
     pub params: ConnectInd,
@@ -285,7 +296,14 @@ pub struct Connection {
 impl Connection {
     fn new(params: ConnectInd, role: Role) -> Result<Self, BleError> {
         let hop = HopSequence::new(params.hop, params.channel_map, 0)?;
-        Ok(Self { params, role, hop, sn: false, nesn: false, pending_map: None })
+        Ok(Self {
+            params,
+            role,
+            hop,
+            sn: false,
+            nesn: false,
+            pending_map: None,
+        })
     }
 
     /// Initiates an instant-synchronized channel-map update (the
@@ -298,10 +316,15 @@ impl Connection {
         instant: u64,
     ) -> Result<ControlPdu, BleError> {
         if instant <= self.hop.event_counter {
-            return Err(BleError::InvalidState("schedule_channel_map: instant in the past"));
+            return Err(BleError::InvalidState(
+                "schedule_channel_map: instant in the past",
+            ));
         }
         self.pending_map = Some((map, instant));
-        Ok(ControlPdu::ChannelMapInd { map, instant: instant as u16 })
+        Ok(ControlPdu::ChannelMapInd {
+            map,
+            instant: instant as u16,
+        })
     }
 
     /// Peer side: arms the switch from a received `LL_CHANNEL_MAP_IND`.
@@ -311,7 +334,9 @@ impl Connection {
                 self.pending_map = Some((*map, *instant as u64));
                 Ok(())
             }
-            _ => Err(BleError::InvalidState("on_channel_map_ind: not a map update")),
+            _ => Err(BleError::InvalidState(
+                "on_channel_map_ind: not a map update",
+            )),
         }
     }
 
@@ -451,8 +476,10 @@ mod tests {
         master.start_initiating(tag_addr()).unwrap();
 
         let adv = tag.advertise().unwrap();
-        let (master_conn, connect_ind) =
-            master.on_adv_ind(&adv, &ConnectionParams::bloc_default(), &mut rng).unwrap().unwrap();
+        let (master_conn, connect_ind) = master
+            .on_adv_ind(&adv, &ConnectionParams::bloc_default(), &mut rng)
+            .unwrap()
+            .unwrap();
         let tag_conn = tag.on_connect_ind(&connect_ind).unwrap();
         (master_conn, tag_conn)
     }
@@ -483,7 +510,11 @@ mod tests {
         for _ in 0..37 {
             seen.insert(m.advance_event(vec![], vec![]).unwrap().channel.index());
         }
-        assert_eq!(seen.len(), 37, "one full cycle must visit every data channel");
+        assert_eq!(
+            seen.len(),
+            37,
+            "one full cycle must visit every data channel"
+        );
     }
 
     #[test]
@@ -494,8 +525,10 @@ mod tests {
         tag.start_advertising().unwrap();
         master.start_initiating(tag_addr()).unwrap();
         let adv = tag.advertise().unwrap();
-        let (mut mconn, connect_ind) =
-            master.on_adv_ind(&adv, &ConnectionParams::bloc_default(), &mut rng).unwrap().unwrap();
+        let (mut mconn, connect_ind) = master
+            .on_adv_ind(&adv, &ConnectionParams::bloc_default(), &mut rng)
+            .unwrap()
+            .unwrap();
         let mut follower = LinkLayer::follow_connection(&connect_ind).unwrap();
         for _ in 0..20 {
             let ev = mconn.advance_event(vec![], vec![]).unwrap();
@@ -516,7 +549,9 @@ mod tests {
             address: DeviceAddress::new([9; 6]),
             payload: vec![],
         };
-        let out = master.on_adv_ind(&stranger, &ConnectionParams::bloc_default(), &mut rng).unwrap();
+        let out = master
+            .on_adv_ind(&stranger, &ConnectionParams::bloc_default(), &mut rng)
+            .unwrap();
         assert!(out.is_none());
         assert!(matches!(master.state, LinkState::Initiating { .. }));
     }
@@ -527,7 +562,10 @@ mod tests {
         assert!(dev.advertise().is_err(), "standby device cannot advertise");
         dev.start_advertising().unwrap();
         assert!(dev.start_advertising().is_err(), "double start must fail");
-        assert!(dev.start_initiating(anchor_addr()).is_err(), "advertiser cannot initiate");
+        assert!(
+            dev.start_initiating(anchor_addr()).is_err(),
+            "advertiser cannot initiate"
+        );
     }
 
     #[test]
@@ -575,7 +613,10 @@ mod tests {
         let adv = tag.advertise().unwrap();
         let req = scanner.scan_request(&adv).unwrap();
         assert_eq!(req.pdu_type, AdvPduType::ScanReq);
-        let rsp = tag.scan_response(&req, b"BLoc tag v1".to_vec()).unwrap().unwrap();
+        let rsp = tag
+            .scan_response(&req, b"BLoc tag v1".to_vec())
+            .unwrap()
+            .unwrap();
         assert_eq!(rsp.pdu_type, AdvPduType::ScanRsp);
         assert_eq!(rsp.address, tag_addr());
         assert_eq!(rsp.payload, b"BLoc tag v1");
@@ -598,13 +639,17 @@ mod tests {
     #[test]
     fn scanning_state_transitions_enforced() {
         let mut dev = LinkLayer::new(tag_addr());
-        assert!(dev.scan_request(&AdvPdu {
-            pdu_type: AdvPduType::AdvInd,
-            tx_add: false,
-            rx_add: false,
-            address: anchor_addr(),
-            payload: vec![],
-        }).is_err(), "standby device cannot scan");
+        assert!(
+            dev.scan_request(&AdvPdu {
+                pdu_type: AdvPduType::AdvInd,
+                tx_add: false,
+                rx_add: false,
+                address: anchor_addr(),
+                payload: vec![],
+            })
+            .is_err(),
+            "standby device cannot scan"
+        );
         dev.start_scanning().unwrap();
         assert!(dev.start_scanning().is_err(), "double start must fail");
     }
@@ -628,7 +673,11 @@ mod tests {
             let te = t.advance_event(vec![], vec![]).unwrap();
             assert_eq!(me.channel, te.channel, "sides must stay in lockstep");
             if me.event >= 10 {
-                assert!(restricted.contains(me.channel), "event {} must use the new map", me.event);
+                assert!(
+                    restricted.contains(me.channel),
+                    "event {} must use the new map",
+                    me.event
+                );
             }
         }
     }

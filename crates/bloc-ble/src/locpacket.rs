@@ -15,8 +15,6 @@
 //! stable (frequency-settled) CSI measurement windows fall inside the
 //! packet, accounting for the Gaussian filter's settling time.
 
-use serde::{Deserialize, Serialize};
-
 use crate::access_address::AccessAddress;
 use crate::channels::Channel;
 use crate::error::BleError;
@@ -34,7 +32,8 @@ pub const SETTLE_BITS: usize = 2;
 
 /// A contiguous run of equal bits inside the payload, in payload-bit
 /// coordinates.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Run {
     /// First payload bit of the run.
     pub start: usize,
@@ -86,7 +85,8 @@ pub fn find_runs(bits: &[bool], min_run: usize) -> Vec<Run> {
 
 /// A localization packet: the frame plus the metadata the CSI extractor
 /// needs (where the stable tone windows are, in on-air bit coordinates).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct LocalizationPacket {
     /// The fully-framed packet (pre-whitened payload already applied).
     pub frame: Frame,
@@ -142,11 +142,22 @@ impl LocalizationPacket {
             .collect();
         let payload = crate::packet::bits_to_bytes(&payload_bits);
 
-        let pdu = DataPdu { llid: Llid::DataStart, nesn: false, sn: false, md: false, payload }
-            .encode()?;
+        let pdu = DataPdu {
+            llid: Llid::DataStart,
+            nesn: false,
+            sn: false,
+            md: false,
+            payload,
+        }
+        .encode()?;
         let frame = Frame::new(access_address, pdu, crc_init);
         let runs = find_runs(&desired, run_bits.min(2));
-        Ok(Self { frame, channel, on_air_payload: desired, runs })
+        Ok(Self {
+            frame,
+            channel,
+            on_air_payload: desired,
+            runs,
+        })
     }
 
     /// The on-air bit sequence of the whole frame (what the modulator
@@ -199,7 +210,21 @@ mod tests {
     fn find_runs_basic() {
         let bits = [false, false, false, true, true, false];
         let runs = find_runs(&bits, 2);
-        assert_eq!(runs, vec![Run { start: 0, len: 3, bit: false }, Run { start: 3, len: 2, bit: true }]);
+        assert_eq!(
+            runs,
+            vec![
+                Run {
+                    start: 0,
+                    len: 3,
+                    bit: false
+                },
+                Run {
+                    start: 3,
+                    len: 2,
+                    bit: true
+                }
+            ]
+        );
     }
 
     #[test]
@@ -228,8 +253,14 @@ mod tests {
     fn prewhitening_is_channel_specific() {
         let a = LocalizationPacket::build(ch(1), aa(), 0, 8, 2).unwrap();
         let b = LocalizationPacket::build(ch(2), aa(), 0, 8, 2).unwrap();
-        assert_ne!(a.frame.pdu, b.frame.pdu, "payload bytes must differ across channels");
-        assert_eq!(a.on_air_payload, b.on_air_payload, "on-air pattern must not");
+        assert_ne!(
+            a.frame.pdu, b.frame.pdu,
+            "payload bytes must differ across channels"
+        );
+        assert_eq!(
+            a.on_air_payload, b.on_air_payload,
+            "on-air pattern must not"
+        );
     }
 
     #[test]
@@ -247,7 +278,11 @@ mod tests {
 
     #[test]
     fn run_too_short_for_window() {
-        let r = Run { start: 0, len: 4, bit: false };
+        let r = Run {
+            start: 0,
+            len: 4,
+            bit: false,
+        };
         assert_eq!(r.stable_window(2), None);
         assert_eq!(r.stable_window(1), Some((1, 2)));
     }

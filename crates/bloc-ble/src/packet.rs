@@ -5,8 +5,6 @@
 //! here, so this module is the boundary between the link layer and the
 //! radio. Bits go on air LSB-first within each byte, per the BLE spec.
 
-use serde::{Deserialize, Serialize};
-
 use crate::access_address::AccessAddress;
 use crate::channels::Channel;
 use crate::crc::{crc24, crc_from_bytes, crc_to_bytes};
@@ -14,7 +12,8 @@ use crate::error::BleError;
 use crate::whitening::Whitener;
 
 /// A fully-framed BLE packet ready for modulation.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Frame {
     /// Sync word of the frame.
     pub access_address: AccessAddress,
@@ -27,7 +26,11 @@ pub struct Frame {
 impl Frame {
     /// Builds a frame; the CRC is computed at encode time.
     pub fn new(access_address: AccessAddress, pdu: Vec<u8>, crc_init: u32) -> Self {
-        Self { access_address, pdu, crc_init }
+        Self {
+            access_address,
+            pdu,
+            crc_init,
+        }
     }
 
     /// Serializes to on-air bytes for transmission on `channel`:
@@ -57,7 +60,10 @@ impl Frame {
     /// the observed `CONNECT_IND`).
     pub fn decode(bytes: &[u8], channel: Channel, crc_init: u32) -> Result<Self, BleError> {
         if bytes.len() < 5 + 2 + 3 {
-            return Err(BleError::Truncated { expected: 10, actual: bytes.len() });
+            return Err(BleError::Truncated {
+                expected: 10,
+                actual: bytes.len(),
+            });
         }
         let aa = AccessAddress::from_bytes([bytes[1], bytes[2], bytes[3], bytes[4]]);
         if bytes[0] != aa.preamble() {
@@ -68,15 +74,29 @@ impl Frame {
         // PDU length is in the (now clear) second header byte.
         let pdu_len = 2 + scrambled[1] as usize;
         if scrambled.len() < pdu_len + 3 {
-            return Err(BleError::Truncated { expected: 5 + pdu_len + 3, actual: bytes.len() });
+            return Err(BleError::Truncated {
+                expected: 5 + pdu_len + 3,
+                actual: bytes.len(),
+            });
         }
         let pdu = scrambled[..pdu_len].to_vec();
-        let rx_crc = crc_from_bytes([scrambled[pdu_len], scrambled[pdu_len + 1], scrambled[pdu_len + 2]]);
+        let rx_crc = crc_from_bytes([
+            scrambled[pdu_len],
+            scrambled[pdu_len + 1],
+            scrambled[pdu_len + 2],
+        ]);
         let computed = crc24(crc_init, &pdu);
         if rx_crc != computed {
-            return Err(BleError::CrcMismatch { received: rx_crc, computed });
+            return Err(BleError::CrcMismatch {
+                received: rx_crc,
+                computed,
+            });
         }
-        Ok(Self { access_address: aa, pdu, crc_init })
+        Ok(Self {
+            access_address: aa,
+            pdu,
+            crc_init,
+        })
     }
 
     /// Parses an on-air bit sequence (inverse of [`Self::encode_bits`]).
@@ -105,7 +125,12 @@ pub fn bytes_to_bits(bytes: &[u8]) -> Vec<bool> {
 /// not fill a byte are dropped.
 pub fn bits_to_bytes(bits: &[bool]) -> Vec<u8> {
     bits.chunks_exact(8)
-        .map(|chunk| chunk.iter().enumerate().fold(0u8, |b, (i, &bit)| b | (u8::from(bit)) << i))
+        .map(|chunk| {
+            chunk
+                .iter()
+                .enumerate()
+                .fold(0u8, |b, (i, &bit)| b | (u8::from(bit)) << i)
+        })
         .collect()
 }
 
@@ -119,9 +144,15 @@ mod tests {
     fn test_frame(payload: Vec<u8>) -> Frame {
         let mut rng = StdRng::seed_from_u64(11);
         let aa = AccessAddress::generate(&mut rng);
-        let pdu = DataPdu { llid: Llid::DataStart, nesn: false, sn: false, md: false, payload }
-            .encode()
-            .unwrap();
+        let pdu = DataPdu {
+            llid: Llid::DataStart,
+            nesn: false,
+            sn: false,
+            md: false,
+            payload,
+        }
+        .encode()
+        .unwrap();
         Frame::new(aa, pdu, 0x55AA55)
     }
 
@@ -154,7 +185,10 @@ mod tests {
         // De-whitening with the wrong seed garbles everything; the usual
         // symptom is a CRC mismatch (or an implausible length → truncated).
         assert!(
-            matches!(err, BleError::CrcMismatch { .. } | BleError::Truncated { .. }),
+            matches!(
+                err,
+                BleError::CrcMismatch { .. } | BleError::Truncated { .. }
+            ),
             "got {err:?}"
         );
     }
@@ -185,7 +219,10 @@ mod tests {
         let f = test_frame(vec![7; 4]);
         let mut bytes = f.encode(ch(2));
         bytes[0] ^= 0xFF;
-        assert_eq!(Frame::decode(&bytes, ch(2), 0x55AA55), Err(BleError::BadPreamble));
+        assert_eq!(
+            Frame::decode(&bytes, ch(2), 0x55AA55),
+            Err(BleError::BadPreamble)
+        );
     }
 
     #[test]

@@ -13,15 +13,14 @@
 //! * the 34-byte `CONNECT_IND` payload carrying the access address, CRC
 //!   init, hop increment and channel map that seed [`crate::hopping`].
 
-use serde::{Deserialize, Serialize};
-
 use crate::access_address::AccessAddress;
 use crate::channels::ChannelMap;
 use crate::error::BleError;
 use crate::hopping::HopIncrement;
 
 /// A 48-bit Bluetooth device address.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DeviceAddress(pub [u8; 6]);
 
 impl DeviceAddress {
@@ -32,7 +31,8 @@ impl DeviceAddress {
 }
 
 /// Advertising PDU types (the subset BLoc's deployment uses).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum AdvPduType {
     /// Connectable undirected advertising — what an off-the-shelf BLE tag
     /// broadcasts.
@@ -77,7 +77,8 @@ impl AdvPduType {
 }
 
 /// An advertising-channel PDU.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct AdvPdu {
     /// PDU type.
     pub pdu_type: AdvPduType,
@@ -104,9 +105,8 @@ impl AdvPdu {
             return Err(BleError::PayloadTooLong(self.payload.len()));
         }
         let len = 6 + self.payload.len();
-        let header0 = self.pdu_type.code()
-            | (u8::from(self.tx_add)) << 6
-            | (u8::from(self.rx_add)) << 7;
+        let header0 =
+            self.pdu_type.code() | (u8::from(self.tx_add)) << 6 | (u8::from(self.rx_add)) << 7;
         let mut out = Vec::with_capacity(2 + len);
         out.push(header0);
         out.push(len as u8);
@@ -118,17 +118,26 @@ impl AdvPdu {
     /// Parses header + payload.
     pub fn decode(bytes: &[u8]) -> Result<Self, BleError> {
         if bytes.len() < 2 {
-            return Err(BleError::Truncated { expected: 2, actual: bytes.len() });
+            return Err(BleError::Truncated {
+                expected: 2,
+                actual: bytes.len(),
+            });
         }
         let pdu_type = AdvPduType::from_code(bytes[0] & 0x0F)?;
         let tx_add = bytes[0] & 0x40 != 0;
         let rx_add = bytes[0] & 0x80 != 0;
         let len = bytes[1] as usize;
         if bytes.len() < 2 + len {
-            return Err(BleError::Truncated { expected: 2 + len, actual: bytes.len() });
+            return Err(BleError::Truncated {
+                expected: 2 + len,
+                actual: bytes.len(),
+            });
         }
         if len < 6 {
-            return Err(BleError::Truncated { expected: 8, actual: 2 + len });
+            return Err(BleError::Truncated {
+                expected: 8,
+                actual: 2 + len,
+            });
         }
         let mut address = [0u8; 6];
         address.copy_from_slice(&bytes[2..8]);
@@ -143,7 +152,8 @@ impl AdvPdu {
 }
 
 /// LLID values of data-channel PDUs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Llid {
     /// Continuation fragment of an L2CAP message (or empty PDU).
     DataContinuation,
@@ -176,7 +186,8 @@ impl Llid {
 }
 
 /// A data-channel PDU.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DataPdu {
     /// Logical link ID.
     pub llid: Llid,
@@ -194,7 +205,13 @@ impl DataPdu {
     /// An empty PDU (LLID = continuation, no payload) — what a device sends
     /// to keep the connection event alive.
     pub fn empty(nesn: bool, sn: bool) -> Self {
-        Self { llid: Llid::DataContinuation, nesn, sn, md: false, payload: Vec::new() }
+        Self {
+            llid: Llid::DataContinuation,
+            nesn,
+            sn,
+            md: false,
+            payload: Vec::new(),
+        }
     }
 
     /// Serializes header + payload.
@@ -216,12 +233,18 @@ impl DataPdu {
     /// Parses header + payload.
     pub fn decode(bytes: &[u8]) -> Result<Self, BleError> {
         if bytes.len() < 2 {
-            return Err(BleError::Truncated { expected: 2, actual: bytes.len() });
+            return Err(BleError::Truncated {
+                expected: 2,
+                actual: bytes.len(),
+            });
         }
         let llid = Llid::from_code(bytes[0])?;
         let len = bytes[1] as usize;
         if bytes.len() < 2 + len {
-            return Err(BleError::Truncated { expected: 2 + len, actual: bytes.len() });
+            return Err(BleError::Truncated {
+                expected: 2 + len,
+                actual: bytes.len(),
+            });
         }
         Ok(Self {
             llid,
@@ -235,7 +258,8 @@ impl DataPdu {
 
 /// The link data carried by a `CONNECT_IND` PDU: everything both sides (and
 /// BLoc's overhearing anchors) need to follow the connection.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ConnectInd {
     /// Access address of the new connection.
     pub access_address: AccessAddress,
@@ -284,7 +308,10 @@ impl ConnectInd {
     /// Parses an LLData block.
     pub fn decode(bytes: &[u8]) -> Result<Self, BleError> {
         if bytes.len() < Self::LL_DATA_LEN {
-            return Err(BleError::Truncated { expected: Self::LL_DATA_LEN, actual: bytes.len() });
+            return Err(BleError::Truncated {
+                expected: Self::LL_DATA_LEN,
+                actual: bytes.len(),
+            });
         }
         let access_address = AccessAddress::from_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
         let crc_init = crate::crc::crc_from_bytes([bytes[4], bytes[5], bytes[6]]);
@@ -364,16 +391,28 @@ mod tests {
         };
         let bytes = pdu.encode().unwrap();
         for cut in 0..bytes.len() {
-            assert!(AdvPdu::decode(&bytes[..cut]).is_err(), "cut at {cut} must fail");
+            assert!(
+                AdvPdu::decode(&bytes[..cut]).is_err(),
+                "cut at {cut} must fail"
+            );
         }
     }
 
     #[test]
     fn data_pdu_roundtrip_with_flags() {
-        for (nesn, sn, md) in
-            [(false, false, false), (true, false, true), (false, true, false), (true, true, true)]
-        {
-            let pdu = DataPdu { llid: Llid::DataStart, nesn, sn, md, payload: vec![0xFF; 10] };
+        for (nesn, sn, md) in [
+            (false, false, false),
+            (true, false, true),
+            (false, true, false),
+            (true, true, true),
+        ] {
+            let pdu = DataPdu {
+                llid: Llid::DataStart,
+                nesn,
+                sn,
+                md,
+                payload: vec![0xFF; 10],
+            };
             let bytes = pdu.encode().unwrap();
             assert_eq!(DataPdu::decode(&bytes).unwrap(), pdu);
         }
@@ -391,7 +430,13 @@ mod tests {
 
     #[test]
     fn oversized_payloads_rejected() {
-        let pdu = DataPdu { llid: Llid::DataStart, nesn: false, sn: false, md: false, payload: vec![0; 256] };
+        let pdu = DataPdu {
+            llid: Llid::DataStart,
+            nesn: false,
+            sn: false,
+            md: false,
+            payload: vec![0; 256],
+        };
         assert_eq!(pdu.encode(), Err(BleError::PayloadTooLong(256)));
     }
 

@@ -24,7 +24,9 @@ pub struct Whitener {
 impl Whitener {
     /// Seeds the whitener for a channel (seed = `channel_index | 0x40`).
     pub fn new(channel: Channel) -> Self {
-        Self { lfsr: channel.index() | 0x40 }
+        Self {
+            lfsr: channel.index() | 0x40,
+        }
     }
 
     /// Produces the next whitening bit.
@@ -112,7 +114,10 @@ mod tests {
     fn seed_is_never_degenerate() {
         // Bit 6 forced to 1 means channel 0 still scrambles.
         let s = whitening_stream(ch(0), 32);
-        assert!(s.iter().any(|&b| b), "channel-0 stream must not be all zero");
+        assert!(
+            s.iter().any(|&b| b),
+            "channel-0 stream must not be all zero"
+        );
     }
 
     #[test]

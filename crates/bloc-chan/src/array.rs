@@ -6,8 +6,6 @@
 //! λ/2 at mid-band), oriented along a given direction (for wall-mounted
 //! anchors, along the wall).
 
-use serde::{Deserialize, Serialize};
-
 use bloc_num::constants::wavelength;
 use bloc_num::P2;
 
@@ -18,7 +16,8 @@ pub fn half_wavelength_spacing() -> f64 {
 }
 
 /// A uniform linear antenna array (one BLoc anchor).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct AnchorArray {
     /// Anchor identifier (its index in the deployment).
     pub id: usize,
@@ -44,7 +43,13 @@ impl AnchorArray {
         assert!(axis.norm() > 0.0, "axis must be non-zero");
         let spacing = half_wavelength_spacing();
         let half_extent = spacing * (n_antennas - 1) as f64 / 2.0;
-        Self { id, origin: center - axis * half_extent, axis, spacing, n_antennas }
+        Self {
+            id,
+            origin: center - axis * half_extent,
+            axis,
+            spacing,
+            n_antennas,
+        }
     }
 
     /// Position of antenna `j`.
@@ -52,7 +57,11 @@ impl AnchorArray {
     /// # Panics
     /// Panics for `j ≥ n_antennas`.
     pub fn antenna(&self, j: usize) -> P2 {
-        assert!(j < self.n_antennas, "antenna {j} out of range {}", self.n_antennas);
+        assert!(
+            j < self.n_antennas,
+            "antenna {j} out of range {}",
+            self.n_antennas
+        );
         self.origin + self.axis * (self.spacing * j as f64)
     }
 
@@ -79,8 +88,15 @@ impl AnchorArray {
     /// # Panics
     /// Panics when `n` is zero or exceeds the current count.
     pub fn truncated(&self, n: usize) -> Self {
-        assert!(n > 0 && n <= self.n_antennas, "cannot truncate {} antennas to {n}", self.n_antennas);
-        Self { n_antennas: n, ..*self }
+        assert!(
+            n > 0 && n <= self.n_antennas,
+            "cannot truncate {} antennas to {n}",
+            self.n_antennas
+        );
+        Self {
+            n_antennas: n,
+            ..*self
+        }
     }
 }
 
@@ -91,7 +107,10 @@ mod tests {
     #[test]
     fn spacing_is_half_wavelength() {
         let l = half_wavelength_spacing();
-        assert!((l - 0.0614).abs() < 1e-3, "λ/2 at 2.44 GHz ≈ 6.14 cm, got {l}");
+        assert!(
+            (l - 0.0614).abs() < 1e-3,
+            "λ/2 at 2.44 GHz ≈ 6.14 cm, got {l}"
+        );
     }
 
     #[test]

@@ -9,8 +9,6 @@
 //! ([`crate::reflector`]) and LOS obstruction losses, and `d_p` is the
 //! geometric length. Everything is deterministic once built.
 
-use serde::{Deserialize, Serialize};
-
 use crate::geometry::{Room, Segment};
 use crate::materials::Material;
 use crate::reflector::Reflector;
@@ -18,7 +16,8 @@ use bloc_num::constants::SPEED_OF_LIGHT;
 use bloc_num::{C64, P2};
 
 /// A resolved propagation path between two points.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Path {
     /// Geometric length, metres.
     pub length: f64,
@@ -41,7 +40,8 @@ impl Path {
 /// paper's motivation for multipath rejection: "some of these reflections
 /// might actually be stronger than the line-of-sight path because of
 /// obstructions", §1).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Obstruction {
     /// The blocking segment.
     pub blocker: Segment,
@@ -50,7 +50,8 @@ pub struct Obstruction {
 }
 
 /// A static propagation environment.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Environment {
     /// Optional bounding room; its walls become reflectors when added via
     /// [`Environment::with_walls`].
@@ -63,7 +64,12 @@ pub struct Environment {
 impl Environment {
     /// Free space: a single unobstructed LOS path, no reflections.
     pub fn free_space() -> Self {
-        Self { room: None, reflectors: Vec::new(), obstructions: Vec::new(), second_order: false }
+        Self {
+            room: None,
+            reflectors: Vec::new(),
+            obstructions: Vec::new(),
+            second_order: false,
+        }
     }
 
     /// An empty environment bounded by `room` (walls not yet reflective).
@@ -127,11 +133,19 @@ impl Environment {
                 los_amp *= 10f64.powf(-o.loss_db / 20.0);
             }
         }
-        paths.push(Path { length: tx.dist(rx).max(1e-3), coeff: C64::real(los_amp), is_los: true });
+        paths.push(Path {
+            length: tx.dist(rx).max(1e-3),
+            coeff: C64::real(los_amp),
+            is_los: true,
+        });
 
         for r in &self.reflectors {
             for sp in r.sub_paths(tx, rx) {
-                paths.push(Path { length: sp.length, coeff: sp.coeff, is_los: false });
+                paths.push(Path {
+                    length: sp.length,
+                    coeff: sp.coeff,
+                    is_los: false,
+                });
             }
         }
 
@@ -169,7 +183,11 @@ impl Environment {
                     * (1.0 - rb.material.scatter_fraction)
                     * rb.material.amplitude_factor();
                 if amp > 1e-4 {
-                    paths.push(Path { length, coeff: C64::real(amp), is_los: false });
+                    paths.push(Path {
+                        length,
+                        coeff: C64::real(amp),
+                        is_los: false,
+                    });
                 }
             }
         }
@@ -208,7 +226,10 @@ mod tests {
         let tx = P2::new(0.0, 0.0);
         let rx = P2::new(2.0, 0.0);
         let freqs: Vec<f64> = (0..40).map(|k| 2.402e9 + k as f64 * 2e6).collect();
-        let phases: Vec<f64> = freqs.iter().map(|&f| env.channel(tx, rx, f).arg()).collect();
+        let phases: Vec<f64> = freqs
+            .iter()
+            .map(|&f| env.channel(tx, rx, f).arg())
+            .collect();
         let unwrapped = bloc_num::angle::unwrap(&phases);
         let (slope, _, r2) = bloc_num::linalg::linear_fit(&freqs, &unwrapped).unwrap();
         assert!(r2 > 0.999999);
@@ -233,9 +254,14 @@ mod tests {
     #[test]
     fn walls_create_multipath() {
         let mut rng = StdRng::seed_from_u64(5);
-        let env = Environment::in_room(Room::new(5.0, 6.0)).with_walls(Material::concrete(), &mut rng);
+        let env =
+            Environment::in_room(Room::new(5.0, 6.0)).with_walls(Material::concrete(), &mut rng);
         let paths = env.paths(P2::new(1.0, 1.0), P2::new(4.0, 5.0));
-        assert!(paths.len() > 10, "4 walls × (specular + scatter) ⇒ many paths, got {}", paths.len());
+        assert!(
+            paths.len() > 10,
+            "4 walls × (specular + scatter) ⇒ many paths, got {}",
+            paths.len()
+        );
         assert!(paths[0].is_los);
         assert!(paths[1..].iter().all(|p| !p.is_los));
         // LOS is the shortest.
@@ -251,11 +277,15 @@ mod tests {
         let env = Environment::in_room(Room::new(5.0, 6.0)).with_walls(Material::metal(), &mut rng);
         let tx = P2::new(1.2, 1.7);
         let rx = P2::new(3.9, 4.1);
-        let amps: Vec<f64> =
-            (0..40).map(|k| env.channel(tx, rx, 2.402e9 + k as f64 * 2e6).abs()).collect();
+        let amps: Vec<f64> = (0..40)
+            .map(|k| env.channel(tx, rx, 2.402e9 + k as f64 * 2e6).abs())
+            .collect();
         let max = amps.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         let min = amps.iter().cloned().fold(f64::INFINITY, f64::min);
-        assert!(max / min > 1.2, "expected fading, got flat response {min}..{max}");
+        assert!(
+            max / min > 1.2,
+            "expected fading, got flat response {min}..{max}"
+        );
     }
 
     #[test]
@@ -281,7 +311,10 @@ mod tests {
             .iter()
             .map(|p| (p.coeff / p.length).norm_sq())
             .fold(0.0f64, f64::max);
-        assert!(best_refl > los_power, "reflection must dominate blocked LOS");
+        assert!(
+            best_refl > los_power,
+            "reflection must dominate blocked LOS"
+        );
     }
 
     #[test]
@@ -319,10 +352,12 @@ mod tests {
     #[test]
     fn second_order_off_by_default() {
         let mut rng = StdRng::seed_from_u64(11);
-        let base = Environment::in_room(Room::new(5.0, 6.0)).with_walls(Material::metal(), &mut rng);
+        let base =
+            Environment::in_room(Room::new(5.0, 6.0)).with_walls(Material::metal(), &mut rng);
         let mut rng = StdRng::seed_from_u64(11);
-        let second =
-            Environment::in_room(Room::new(5.0, 6.0)).with_walls(Material::metal(), &mut rng).with_second_order(true);
+        let second = Environment::in_room(Room::new(5.0, 6.0))
+            .with_walls(Material::metal(), &mut rng)
+            .with_second_order(true);
         let tx = P2::new(1.0, 1.0);
         let rx = P2::new(4.0, 5.0);
         assert!(second.paths(tx, rx).len() > base.paths(tx, rx).len());
@@ -347,7 +382,10 @@ mod tests {
         ] {
             let fwd = env.channel(a, b, 2.44e9);
             let rev = env.channel(b, a, 2.44e9);
-            assert!((fwd - rev).abs() < 1e-12 * fwd.abs().max(1e-12), "{a} ↔ {b}");
+            assert!(
+                (fwd - rev).abs() < 1e-12 * fwd.abs().max(1e-12),
+                "{a} ↔ {b}"
+            );
         }
     }
 

@@ -1,12 +1,11 @@
 //! Planar geometry for the propagation model: segments, rooms, mirror
 //! images and crossing tests.
 
-use serde::{Deserialize, Serialize};
-
 use bloc_num::P2;
 
 /// A line segment (a wall face or reflector face).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Segment {
     /// One endpoint.
     pub a: P2,
@@ -86,7 +85,8 @@ impl Segment {
 
 /// An axis-aligned rectangular room with its lower-left corner at the
 /// origin (the paper's 5 m × 6 m VICON room is `Room::new(5.0, 6.0)`).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Room {
     /// Extent along x, metres.
     pub width: f64,
@@ -100,7 +100,10 @@ impl Room {
     /// # Panics
     /// Panics for non-positive dimensions.
     pub fn new(width: f64, height: f64) -> Self {
-        assert!(width > 0.0 && height > 0.0, "room dimensions must be positive");
+        assert!(
+            width > 0.0 && height > 0.0,
+            "room dimensions must be positive"
+        );
         Self { width, height }
     }
 
@@ -138,7 +141,10 @@ impl Room {
     pub fn interior(&self, margin: f64) -> (P2, P2) {
         (
             P2::new(margin, margin),
-            P2::new((self.width - 2.0 * margin).max(0.0), (self.height - 2.0 * margin).max(0.0)),
+            P2::new(
+                (self.width - 2.0 * margin).max(0.0),
+                (self.height - 2.0 * margin).max(0.0),
+            ),
         )
     }
 }
@@ -180,7 +186,9 @@ mod tests {
     fn specular_point_off_segment_is_none() {
         let wall = Segment::new(P2::new(0.0, 0.0), P2::new(1.0, 0.0));
         // Geometry demands a reflection point at x = 3: off this short wall.
-        assert!(wall.specular_point(P2::new(2.0, 1.0), P2::new(4.0, 1.0)).is_none());
+        assert!(wall
+            .specular_point(P2::new(2.0, 1.0), P2::new(4.0, 1.0))
+            .is_none());
     }
 
     #[test]

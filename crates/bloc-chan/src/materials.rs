@@ -6,10 +6,9 @@
 //! keeps, and (b) how that energy splits between a coherent specular
 //! component and spatially-spread scatter points.
 
-use serde::{Deserialize, Serialize};
-
 /// Reflection behaviour of a surface.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Material {
     /// Total reflection loss, dB (energy not returned at all).
     pub reflection_loss_db: f64,
@@ -32,28 +31,53 @@ impl Material {
     /// Large metal surfaces (the VICON room's "large metal cupboards",
     /// §7): strong, fairly specular reflections with noticeable scatter.
     pub fn metal() -> Self {
-        Self { reflection_loss_db: 0.5, scatter_fraction: 0.35, scatter_spread_m: 0.30, scatter_points: 5 }
+        Self {
+            reflection_loss_db: 0.5,
+            scatter_fraction: 0.35,
+            scatter_spread_m: 0.30,
+            scatter_points: 5,
+        }
     }
 
     /// Concrete / brick walls: lossier, more diffuse.
     pub fn concrete() -> Self {
-        Self { reflection_loss_db: 6.0, scatter_fraction: 0.6, scatter_spread_m: 0.35, scatter_points: 5 }
+        Self {
+            reflection_loss_db: 6.0,
+            scatter_fraction: 0.6,
+            scatter_spread_m: 0.35,
+            scatter_points: 5,
+        }
     }
 
     /// Interior drywall: weak reflector.
     pub fn drywall() -> Self {
-        Self { reflection_loss_db: 10.0, scatter_fraction: 0.6, scatter_spread_m: 0.4, scatter_points: 4 }
+        Self {
+            reflection_loss_db: 10.0,
+            scatter_fraction: 0.6,
+            scatter_spread_m: 0.4,
+            scatter_points: 4,
+        }
     }
 
     /// Glass: modest loss, mostly specular.
     pub fn glass() -> Self {
-        Self { reflection_loss_db: 4.0, scatter_fraction: 0.2, scatter_spread_m: 0.1, scatter_points: 3 }
+        Self {
+            reflection_loss_db: 4.0,
+            scatter_fraction: 0.2,
+            scatter_spread_m: 0.1,
+            scatter_points: 3,
+        }
     }
 
     /// An idealized mirror (no scatter) — used by the ablation that shows
     /// the entropy heuristic *needs* non-ideal reflectors (DESIGN.md §6).
     pub fn ideal_mirror() -> Self {
-        Self { reflection_loss_db: 0.5, scatter_fraction: 0.0, scatter_spread_m: 0.0, scatter_points: 0 }
+        Self {
+            reflection_loss_db: 0.5,
+            scatter_fraction: 0.0,
+            scatter_spread_m: 0.0,
+            scatter_points: 0,
+        }
     }
 }
 
@@ -63,9 +87,15 @@ mod tests {
 
     #[test]
     fn amplitude_factor_conversion() {
-        let m = Material { reflection_loss_db: 6.0, ..Material::metal() };
+        let m = Material {
+            reflection_loss_db: 6.0,
+            ..Material::metal()
+        };
         assert!((m.amplitude_factor() - 0.501).abs() < 1e-3);
-        let lossless = Material { reflection_loss_db: 0.0, ..Material::metal() };
+        let lossless = Material {
+            reflection_loss_db: 0.0,
+            ..Material::metal()
+        };
         assert_eq!(lossless.amplitude_factor(), 1.0);
     }
 
@@ -85,7 +115,12 @@ mod tests {
 
     #[test]
     fn scatter_fractions_in_range() {
-        for m in [Material::metal(), Material::concrete(), Material::drywall(), Material::glass()] {
+        for m in [
+            Material::metal(),
+            Material::concrete(),
+            Material::drywall(),
+            Material::glass(),
+        ] {
             assert!((0.0..=1.0).contains(&m.scatter_fraction));
             assert!(m.scatter_points > 0);
         }

@@ -12,10 +12,9 @@
 //! (tag or anchor) one offset per retune event, shared by all its antennas.
 
 use rand::Rng;
-use serde::{Deserialize, Serialize};
-
 /// A device identifier in the deployment: the tag or one of the anchors.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Device {
     /// The target BLE tag.
     Tag,
@@ -25,7 +24,8 @@ pub enum Device {
 
 /// The phase offsets of every device for one tuning epoch (one frequency
 /// hop). Regenerated on every retune.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TuningEpoch {
     tag_phase: f64,
     anchor_phases: Vec<f64>,
@@ -35,12 +35,18 @@ impl TuningEpoch {
     /// Draws fresh offsets for the tag and `n_anchors` anchors.
     pub fn draw<R: Rng + ?Sized>(n_anchors: usize, rng: &mut R) -> Self {
         let mut draw = || rng.gen::<f64>() * std::f64::consts::TAU;
-        Self { tag_phase: draw(), anchor_phases: (0..n_anchors).map(|_| draw()).collect() }
+        Self {
+            tag_phase: draw(),
+            anchor_phases: (0..n_anchors).map(|_| draw()).collect(),
+        }
     }
 
     /// An epoch with all offsets zero (ideal hardware, for testing).
     pub fn zero(n_anchors: usize) -> Self {
-        Self { tag_phase: 0.0, anchor_phases: vec![0.0; n_anchors] }
+        Self {
+            tag_phase: 0.0,
+            anchor_phases: vec![0.0; n_anchors],
+        }
     }
 
     /// The oscillator phase of a device in this epoch.

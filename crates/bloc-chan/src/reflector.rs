@@ -11,15 +11,14 @@
 //! per scatter point. Different receivers naturally illuminate the scatter
 //! set from different angles, spreading the apparent source.
 
-use rand::Rng;
-use serde::{Deserialize, Serialize};
-
 use crate::geometry::Segment;
 use crate::materials::Material;
 use bloc_num::{C64, P2};
+use rand::Rng;
 
 /// One propagation sub-path contributed by a reflector (or by LOS).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SubPath {
     /// Total geometric length, metres.
     pub length: f64,
@@ -30,7 +29,8 @@ pub struct SubPath {
 }
 
 /// A scattering reflector in the environment.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Reflector {
     /// The reflecting face.
     pub face: Segment,
@@ -39,7 +39,8 @@ pub struct Reflector {
     scatterers: Vec<Scatterer>,
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 struct Scatterer {
     /// Position on (or near) the face.
     pos: P2,
@@ -70,9 +71,16 @@ impl Reflector {
             let t = (t_regular + jitter).clamp(0.0, 1.0);
             let phase = rng.gen::<f64>() * std::f64::consts::TAU;
             let amp = amp_each * (0.5 + rng.gen::<f64>());
-            scatterers.push(Scatterer { pos: face.point_at(t), coeff: C64::from_polar(amp, phase) });
+            scatterers.push(Scatterer {
+                pos: face.point_at(t),
+                coeff: C64::from_polar(amp, phase),
+            });
         }
-        Self { face, material, scatterers }
+        Self {
+            face,
+            material,
+            scatterers,
+        }
     }
 
     /// Number of scatter points.
@@ -89,13 +97,19 @@ impl Reflector {
             let length = tx.dist(sp) + sp.dist(rx);
             let amp = (1.0 - self.material.scatter_fraction) * self.material.amplitude_factor();
             if amp > 0.0 {
-                out.push(SubPath { length, coeff: C64::real(amp) });
+                out.push(SubPath {
+                    length,
+                    coeff: C64::real(amp),
+                });
             }
         }
 
         for s in &self.scatterers {
             let length = tx.dist(s.pos) + s.pos.dist(rx);
-            out.push(SubPath { length, coeff: s.coeff });
+            out.push(SubPath {
+                length,
+                coeff: s.coeff,
+            });
         }
         out
     }
@@ -127,7 +141,10 @@ mod tests {
         assert_eq!(paths.len(), 1 + Material::metal().scatter_points);
         // Specular path is the shortest bounce.
         let min = paths.iter().map(|p| p.length).fold(f64::INFINITY, f64::min);
-        assert!((paths[0].length - min).abs() < 0.5, "specular should be near-minimal");
+        assert!(
+            (paths[0].length - min).abs() < 0.5,
+            "specular should be near-minimal"
+        );
     }
 
     #[test]
@@ -137,7 +154,11 @@ mod tests {
         let r = Reflector::new(short, Material::metal(), &mut rng);
         // Specular point would land at x = 3.0: off the face.
         let paths = r.sub_paths(P2::new(2.0, 1.0), P2::new(4.0, 1.0));
-        assert_eq!(paths.len(), Material::metal().scatter_points, "scatter only");
+        assert_eq!(
+            paths.len(),
+            Material::metal().scatter_points,
+            "scatter only"
+        );
     }
 
     #[test]
@@ -157,7 +178,10 @@ mod tests {
         let rx = P2::new(3.5, 2.5);
         let direct = tx.dist(rx);
         for p in r.sub_paths(tx, rx) {
-            assert!(p.length >= direct - 1e-9, "bounce cannot be shorter than LOS");
+            assert!(
+                p.length >= direct - 1e-9,
+                "bounce cannot be shorter than LOS"
+            );
         }
     }
 
@@ -172,7 +196,11 @@ mod tests {
         let lengths: Vec<f64> = r.sub_paths(tx, rx).iter().map(|p| p.length).collect();
         let min = lengths.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = lengths.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        assert!(max - min > 0.05, "scatter paths must differ in length (spread {})", max - min);
+        assert!(
+            max - min > 0.05,
+            "scatter paths must differ in length (spread {})",
+            max - min
+        );
     }
 
     #[test]

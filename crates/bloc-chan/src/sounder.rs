@@ -21,9 +21,6 @@
 //!   runs. Slow; used by microbenchmarks and the analytic-vs-phy parity
 //!   check.
 
-use rand::Rng;
-use serde::{Deserialize, Serialize};
-
 use crate::array::AnchorArray;
 use crate::environment::Environment;
 use crate::oscillator::{Device, TuningEpoch};
@@ -33,9 +30,11 @@ use bloc_ble::locpacket::LocalizationPacket;
 use bloc_num::{C64, P2};
 use bloc_phy::impairments;
 use bloc_phy::modulator::{GfskModulator, ModulatorConfig};
+use rand::Rng;
 
 /// How channels are measured.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Fidelity {
     /// Direct synthesis from the path model (fast).
     Analytic,
@@ -55,7 +54,8 @@ pub const TONE_OFFSET_HZ: f64 = 250e3;
 pub const TONE_INTERVAL_S: f64 = 16e-6;
 
 /// Sounder configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SounderConfig {
     /// Per-measurement CSI SNR, dB (noise relative to each link's own
     /// signal power). BLE tags are low-power transmitters; 10–15 dB
@@ -113,7 +113,8 @@ impl Default for SounderConfig {
 }
 
 /// All channel measurements for one frequency band (one hop).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct BandSounding {
     /// The BLE channel sounded.
     pub channel: Channel,
@@ -148,7 +149,8 @@ impl BandSounding {
 
 /// A complete multi-band sounding of one tag position: the input to the
 /// localization pipeline.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SoundingData {
     /// Per-band measurements, in sounding (hop) order.
     pub bands: Vec<BandSounding>,
@@ -165,7 +167,10 @@ impl SoundingData {
     /// Panics when `n` is zero or exceeds the available anchors.
     pub fn with_anchor_subset(&self, keep: &[usize]) -> SoundingData {
         assert!(!keep.is_empty(), "need at least one anchor");
-        assert!(keep.contains(&0), "anchor 0 (master) must be retained: Eq. 10 references ĥ00");
+        assert!(
+            keep.contains(&0),
+            "anchor 0 (master) must be retained: Eq. 10 references ĥ00"
+        );
         let bands = self
             .bands
             .iter()
@@ -173,7 +178,10 @@ impl SoundingData {
                 channel: b.channel,
                 freq_hz: b.freq_hz,
                 tag_to_anchor: keep.iter().map(|&i| b.tag_to_anchor[i].clone()).collect(),
-                tag_to_anchor_tones: keep.iter().map(|&i| b.tag_to_anchor_tones[i].clone()).collect(),
+                tag_to_anchor_tones: keep
+                    .iter()
+                    .map(|&i| b.tag_to_anchor_tones[i].clone())
+                    .collect(),
                 master_to_anchor: keep.iter().map(|&i| b.master_to_anchor[i]).collect(),
             })
             .collect();
@@ -190,7 +198,11 @@ impl SoundingData {
             .map(|b| BandSounding {
                 channel: b.channel,
                 freq_hz: b.freq_hz,
-                tag_to_anchor: b.tag_to_anchor.iter().map(|a| a[..n.min(a.len())].to_vec()).collect(),
+                tag_to_anchor: b
+                    .tag_to_anchor
+                    .iter()
+                    .map(|a| a[..n.min(a.len())].to_vec())
+                    .collect(),
                 tag_to_anchor_tones: b
                     .tag_to_anchor_tones
                     .iter()
@@ -199,7 +211,11 @@ impl SoundingData {
                 master_to_anchor: b.master_to_anchor.clone(),
             })
             .collect();
-        let anchors = self.anchors.iter().map(|a| a.truncated(n.min(a.n_antennas))).collect();
+        let anchors = self
+            .anchors
+            .iter()
+            .map(|a| a.truncated(n.min(a.n_antennas)))
+            .collect();
         SoundingData { bands, anchors }
     }
 
@@ -227,8 +243,15 @@ impl<'a> Sounder<'a> {
     /// # Panics
     /// Panics with no anchors (anchor 0 is the master).
     pub fn new(env: &'a Environment, anchors: &'a [AnchorArray], config: SounderConfig) -> Self {
-        assert!(!anchors.is_empty(), "deployment needs at least the master anchor");
-        Self { env, anchors, config }
+        assert!(
+            !anchors.is_empty(),
+            "deployment needs at least the master anchor"
+        );
+        Self {
+            env,
+            anchors,
+            config,
+        }
     }
 
     /// The configuration in force.
@@ -250,10 +273,19 @@ impl<'a> Sounder<'a> {
             .iter()
             .map(|&ch| {
                 let cfo_band = cfo + self.config.tag_cfo_jitter_hz * gaussian_sample(rng);
-                self.sound_band(tag, ch, &TuningEpoch::draw(self.anchors.len(), rng), cfo_band, rng)
+                self.sound_band(
+                    tag,
+                    ch,
+                    &TuningEpoch::draw(self.anchors.len(), rng),
+                    cfo_band,
+                    rng,
+                )
             })
             .collect();
-        SoundingData { bands, anchors: self.anchors.to_vec() }
+        SoundingData {
+            bands,
+            anchors: self.anchors.to_vec(),
+        }
     }
 
     /// Sounds with **zeroed** oscillator offsets and zero CFO — ideal
@@ -265,9 +297,14 @@ impl<'a> Sounder<'a> {
         rng: &mut R,
     ) -> SoundingData {
         let epoch = TuningEpoch::zero(self.anchors.len());
-        let bands =
-            channels.iter().map(|&ch| self.sound_band(tag, ch, &epoch, 0.0, rng)).collect();
-        SoundingData { bands, anchors: self.anchors.to_vec() }
+        let bands = channels
+            .iter()
+            .map(|&ch| self.sound_band(tag, ch, &epoch, 0.0, rng))
+            .collect();
+        SoundingData {
+            bands,
+            anchors: self.anchors.to_vec(),
+        }
     }
 
     /// Repeated soundings of a single channel within one tuning epoch
@@ -282,7 +319,9 @@ impl<'a> Sounder<'a> {
     ) -> Vec<BandSounding> {
         let cfo = (rng.gen::<f64>() * 2.0 - 1.0) * self.config.tag_cfo_max_hz;
         let epoch = TuningEpoch::draw(self.anchors.len(), rng);
-        (0..repeats).map(|_| self.sound_band(tag, channel, &epoch, cfo, rng)).collect()
+        (0..repeats)
+            .map(|_| self.sound_band(tag, channel, &epoch, cfo, rng))
+            .collect()
     }
 
     fn sound_band<R: Rng + ?Sized>(
@@ -323,13 +362,20 @@ impl<'a> Sounder<'a> {
             // Anchors are frequency-disciplined relative to each other far
             // better than the free-running tag: no CFO on this link.
             let cal = C64::cis(self.cal_error(i, 0));
-            let mut tones = self.measure_link(master0, anchor.antenna(0), channel, f, offset, 0.0, rng);
+            let mut tones =
+                self.measure_link(master0, anchor.antenna(0), channel, f, offset, 0.0, rng);
             tones[0] *= cal;
             tones[1] *= cal;
             master_to_anchor.push(combine_tones(tones));
         }
 
-        BandSounding { channel, freq_hz: f, tag_to_anchor, tag_to_anchor_tones, master_to_anchor }
+        BandSounding {
+            channel,
+            freq_hz: f,
+            tag_to_anchor,
+            tag_to_anchor_tones,
+            master_to_anchor,
+        }
     }
 
     /// The frozen calibration phase error of (anchor `i`, antenna `j`).
@@ -404,7 +450,10 @@ impl<'a> Sounder<'a> {
         sps: usize,
         rng: &mut R,
     ) -> [C64; 2] {
-        let modem = GfskModulator::new(ModulatorConfig { sps, ..ModulatorConfig::default() });
+        let modem = GfskModulator::new(ModulatorConfig {
+            sps,
+            ..ModulatorConfig::default()
+        });
         let fs = modem.config().sample_rate();
         let aa = AccessAddress::generate(rng);
         let packet = LocalizationPacket::build(
@@ -427,8 +476,8 @@ impl<'a> Sounder<'a> {
             .iter()
             .map(|p| {
                 let gain = p.channel_at(f_hz);
-                let delay =
-                    (((p.length - min_len) / bloc_num::constants::SPEED_OF_LIGHT) * fs).round() as usize;
+                let delay = (((p.length - min_len) / bloc_num::constants::SPEED_OF_LIGHT) * fs)
+                    .round() as usize;
                 (gain, delay)
             })
             .collect();
@@ -482,8 +531,9 @@ pub fn all_data_channels() -> Vec<Channel> {
 /// The channels of `n` consecutive connection events under a hop sequence —
 /// what a real BLoc deployment sounds, in the order it sounds them.
 pub fn hop_schedule(hop: bloc_ble::hopping::HopIncrement, n: usize) -> Vec<Channel> {
-    let mut seq = bloc_ble::hopping::HopSequence::new(hop, bloc_ble::channels::ChannelMap::all(), 0)
-        .expect("full map, channel 0");
+    let mut seq =
+        bloc_ble::hopping::HopSequence::new(hop, bloc_ble::channels::ChannelMap::all(), 0)
+            .expect("full map, channel 0");
     (0..n).map(|_| seq.next_channel()).collect()
 }
 
@@ -536,7 +586,11 @@ mod tests {
         let sounder = Sounder::new(
             &env,
             &anchors,
-            SounderConfig { csi_snr_db: 300.0, antenna_phase_err_std: 0.0, ..Default::default() },
+            SounderConfig {
+                csi_snr_db: 300.0,
+                antenna_phase_err_std: 0.0,
+                ..Default::default()
+            },
         );
         let mut rng = StdRng::seed_from_u64(2);
         let tag = P2::new(2.5, 3.0);
@@ -552,7 +606,10 @@ mod tests {
     fn offsets_garble_phase_but_not_amplitude() {
         let (_, anchors) = deployment();
         let env = Environment::free_space();
-        let cfg = SounderConfig { csi_snr_db: 300.0, ..Default::default() };
+        let cfg = SounderConfig {
+            csi_snr_db: 300.0,
+            ..Default::default()
+        };
         let sounder = Sounder::new(&env, &anchors, cfg);
         let mut rng = StdRng::seed_from_u64(3);
         let tag = P2::new(1.5, 2.0);
@@ -561,16 +618,25 @@ mod tests {
         for b in &garbled.bands {
             let truth = env.channel(tag, anchors[2].antenna(1), b.freq_hz);
             let meas = b.tag_to_anchor[2][1];
-            assert!((meas.abs() - truth.abs()).abs() < 1e-6, "offset must not change |h|");
+            assert!(
+                (meas.abs() - truth.abs()).abs() < 1e-6,
+                "offset must not change |h|"
+            );
         }
         // ...but phases across bands are not the physical ones: the
         // unwrapped phase is no longer near-linear in frequency.
-        let phases: Vec<f64> =
-            garbled.bands.iter().map(|b| b.tag_to_anchor[2][1].arg()).collect();
+        let phases: Vec<f64> = garbled
+            .bands
+            .iter()
+            .map(|b| b.tag_to_anchor[2][1].arg())
+            .collect();
         let freqs: Vec<f64> = garbled.bands.iter().map(|b| b.freq_hz).collect();
         let unwrapped = bloc_num::angle::unwrap(&phases);
         let (_, _, r2) = bloc_num::linalg::linear_fit(&freqs, &unwrapped).unwrap();
-        assert!(r2 < 0.9, "random per-hop offsets must destroy phase linearity, r² = {r2}");
+        assert!(
+            r2 < 0.9,
+            "random per-hop offsets must destroy phase linearity, r² = {r2}"
+        );
     }
 
     #[test]
@@ -579,7 +645,8 @@ mod tests {
         let (env, anchors) = deployment();
         let sounder = Sounder::new(&env, &anchors, SounderConfig::default());
         let mut rng = StdRng::seed_from_u64(4);
-        let reps = sounder.sound_repeated(P2::new(2.0, 2.0), Channel::data(6).unwrap(), 10, &mut rng);
+        let reps =
+            sounder.sound_repeated(P2::new(2.0, 2.0), Channel::data(6).unwrap(), 10, &mut rng);
         assert_eq!(reps.len(), 10);
         let phases: Vec<f64> = reps.iter().map(|b| b.tag_to_anchor[1][0].arg()).collect();
         let spread = bloc_num::angle::circular_variance(&phases);
@@ -589,14 +656,24 @@ mod tests {
     #[test]
     fn separate_soundings_draw_fresh_offsets() {
         let (env, anchors) = deployment();
-        let sounder = Sounder::new(&env, &anchors, SounderConfig { csi_snr_db: 300.0, ..Default::default() });
+        let sounder = Sounder::new(
+            &env,
+            &anchors,
+            SounderConfig {
+                csi_snr_db: 300.0,
+                ..Default::default()
+            },
+        );
         let mut rng = StdRng::seed_from_u64(5);
         let ch = [Channel::data(6).unwrap()];
         let a = sounder.sound(P2::new(2.0, 2.0), &ch, &mut rng);
         let b = sounder.sound(P2::new(2.0, 2.0), &ch, &mut rng);
         let pa = a.bands[0].tag_to_anchor[1][0].arg();
         let pb = b.bands[0].tag_to_anchor[1][0].arg();
-        assert!((pa - pb).abs() > 1e-3, "fresh epochs must give different offsets");
+        assert!(
+            (pa - pb).abs() > 1e-3,
+            "fresh epochs must give different offsets"
+        );
     }
 
     #[test]
@@ -608,7 +685,10 @@ mod tests {
         let sub = data.with_anchor_subset(&[0, 2, 3]);
         assert_eq!(sub.anchors.len(), 3);
         assert_eq!(sub.bands[0].tag_to_anchor.len(), 3);
-        assert_eq!(sub.bands[0].tag_to_anchor[1], data.bands[0].tag_to_anchor[2]);
+        assert_eq!(
+            sub.bands[0].tag_to_anchor[1],
+            data.bands[0].tag_to_anchor[2]
+        );
         assert_eq!(sub.anchors[0].id, 0);
     }
 
@@ -629,7 +709,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(8);
         let data = sounder.sound(P2::new(2.0, 3.0), &all_data_channels()[..3], &mut rng);
         let sub = data.with_antenna_subset(3);
-        assert!(sub.bands.iter().all(|b| b.tag_to_anchor.iter().all(|r| r.len() == 3)));
+        assert!(sub
+            .bands
+            .iter()
+            .all(|b| b.tag_to_anchor.iter().all(|r| r.len() == 3)));
         assert!(sub.anchors.iter().all(|a| a.n_antennas == 3));
     }
 
@@ -667,12 +750,20 @@ mod tests {
         let analytic = Sounder::new(
             &env,
             &anchors,
-            SounderConfig { csi_snr_db: 300.0, fidelity: Fidelity::Analytic, ..Default::default() },
+            SounderConfig {
+                csi_snr_db: 300.0,
+                fidelity: Fidelity::Analytic,
+                ..Default::default()
+            },
         );
         let phy = Sounder::new(
             &env,
             &anchors,
-            SounderConfig { csi_snr_db: 300.0, fidelity: Fidelity::Phy { sps: 8 }, ..Default::default() },
+            SounderConfig {
+                csi_snr_db: 300.0,
+                fidelity: Fidelity::Phy { sps: 8 },
+                ..Default::default()
+            },
         );
 
         let mut rng = StdRng::seed_from_u64(10);
@@ -683,7 +774,10 @@ mod tests {
                 let a = da.bands[0].tag_to_anchor[i][j];
                 let p = dp.bands[0].tag_to_anchor[i][j];
                 let rel = (a - p).abs() / a.abs();
-                assert!(rel < 0.01, "anchor {i} ant {j}: analytic {a:?} vs phy {p:?} (rel {rel})");
+                assert!(
+                    rel < 0.01,
+                    "anchor {i} ant {j}: analytic {a:?} vs phy {p:?} (rel {rel})"
+                );
             }
         }
     }

@@ -23,15 +23,14 @@
 //! paper's metres-scale error. [`PeakSelection::Strongest`] is available
 //! as the (stronger-than-paper) ablation.
 
-use serde::{Deserialize, Serialize};
-
 use bloc_chan::sounder::{SoundingData, TONE_OFFSET_HZ};
 use bloc_num::constants::SPEED_OF_LIGHT;
 use bloc_num::linalg::{intersect_bearings, Ray};
 use bloc_num::{C64, P2};
 
 /// How the baseline chooses the direct path among spectrum peaks.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum PeakSelection {
     /// Paper-faithful "least ToF": rank candidate peaks by the intra-band
     /// tone-pair pseudo-ToF.
@@ -42,7 +41,8 @@ pub enum PeakSelection {
 }
 
 /// Configuration of the AoA baseline.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct AoaConfig {
     /// Number of grid points across `sin θ ∈ [−1, 1]`.
     pub n_angles: usize,
@@ -54,12 +54,17 @@ pub struct AoaConfig {
 
 impl Default for AoaConfig {
     fn default() -> Self {
-        Self { n_angles: 181, selection: PeakSelection::LeastPseudoTof, min_rel_peak: 0.35 }
+        Self {
+            n_angles: 181,
+            selection: PeakSelection::LeastPseudoTof,
+            min_rel_peak: 0.35,
+        }
     }
 }
 
 /// One anchor's angle estimate.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Bearing {
     /// The anchor that produced it.
     pub anchor_id: usize,
@@ -109,9 +114,7 @@ fn spectrum_peaks(spectrum: &[f64], min_rel: f64) -> Vec<(usize, f64)> {
     (0..n)
         .filter(|&q| {
             let v = spectrum[q];
-            v >= floor
-                && (q == 0 || spectrum[q - 1] < v)
-                && (q == n - 1 || spectrum[q + 1] <= v)
+            v >= floor && (q == 0 || spectrum[q - 1] < v) && (q == n - 1 || spectrum[q + 1] <= v)
         })
         .map(|q| (q, spectrum[q]))
         .collect()
@@ -132,8 +135,9 @@ fn pseudo_range(data: &SoundingData, i: usize, sin_theta: f64) -> f64 {
         let lambda_inv = band.freq_hz / SPEED_OF_LIGHT;
         let mut y = [bloc_num::complex::ZERO; 2];
         for (j, tones) in band.tag_to_anchor_tones[i].iter().enumerate() {
-            let steer =
-                C64::cis(-std::f64::consts::TAU * j as f64 * anchor.spacing * sin_theta * lambda_inv);
+            let steer = C64::cis(
+                -std::f64::consts::TAU * j as f64 * anchor.spacing * sin_theta * lambda_inv,
+            );
             y[0] += tones[0] * steer;
             y[1] += tones[1] * steer;
         }
@@ -187,7 +191,12 @@ pub fn best_bearing(data: &SoundingData, i: usize, config: &AoaConfig) -> Option
     // Boresight points into the room for wall-mounted anchors, resolving
     // the linear array's front-back ambiguity.
     let direction = (anchor.boresight() * cos_theta + anchor.axis * sin_theta).normalize();
-    Some(Bearing { anchor_id: anchor.id, sin_theta, direction, weight })
+    Some(Bearing {
+        anchor_id: anchor.id,
+        sin_theta,
+        direction,
+        weight,
+    })
 }
 
 /// Localizes by intersecting the per-anchor strongest bearings. Returns
@@ -196,7 +205,13 @@ pub fn localize(data: &SoundingData, config: &AoaConfig) -> Option<P2> {
     let rays: Vec<(Ray, f64)> = (0..data.anchors.len())
         .filter_map(|i| {
             best_bearing(data, i, config).map(|b| {
-                (Ray { origin: data.anchors[i].center(), dir: b.direction }, b.weight)
+                (
+                    Ray {
+                        origin: data.anchors[i].center(),
+                        dir: b.direction,
+                    },
+                    b.weight,
+                )
             })
         })
         .collect();
@@ -215,7 +230,10 @@ mod tests {
     /// Free-space correctness tests exercise the algebra, not hardware
     /// realism: zero calibration error.
     fn clean() -> SounderConfig {
-        SounderConfig { antenna_phase_err_std: 0.0, ..Default::default() }
+        SounderConfig {
+            antenna_phase_err_std: 0.0,
+            ..Default::default()
+        }
     }
 
     fn anchors(room: &Room) -> Vec<AnchorArray> {
@@ -241,7 +259,11 @@ mod tests {
             let b = best_bearing(&data, i, &AoaConfig::default()).unwrap();
             let truth = (tag - anchor.center()).normalize();
             let cos = b.direction.dot(truth);
-            assert!(cos > 0.995, "anchor {i}: bearing {:?} vs truth {truth:?}", b.direction);
+            assert!(
+                cos > 0.995,
+                "anchor {i}: bearing {:?} vs truth {truth:?}",
+                b.direction
+            );
         }
     }
 
@@ -257,7 +279,11 @@ mod tests {
         let est = localize(&data, &AoaConfig::default()).unwrap();
         // With 4 antennas, the angular grid and beamwidth limit precision
         // to a few tens of centimetres even in free space.
-        assert!(est.dist(tag) < 0.5, "AoA free-space error {}", est.dist(tag));
+        assert!(
+            est.dist(tag) < 0.5,
+            "AoA free-space error {}",
+            est.dist(tag)
+        );
     }
 
     #[test]
@@ -304,7 +330,10 @@ mod tests {
 
         let fs = err_in(&env_fs, 40);
         let mp = err_in(&env_mp, 41);
-        assert!(mp > fs, "multipath ({mp}) must be worse than free space ({fs})");
+        assert!(
+            mp > fs,
+            "multipath ({mp}) must be worse than free space ({fs})"
+        );
     }
 
     #[test]
@@ -327,7 +356,14 @@ mod tests {
         let sounder = Sounder::new(&env, &anchors, clean());
         let mut rng = StdRng::seed_from_u64(37);
         let data = sounder.sound(P2::new(2.0, 2.0), &all_data_channels()[..5], &mut rng);
-        let s = angle_spectrum(&data, 0, &AoaConfig { n_angles: 91, ..Default::default() });
+        let s = angle_spectrum(
+            &data,
+            0,
+            &AoaConfig {
+                n_angles: 91,
+                ..Default::default()
+            },
+        );
         assert_eq!(s.len(), 91);
         assert!(s.iter().all(|&v| v >= 0.0 && v.is_finite()));
     }

@@ -11,14 +11,13 @@
 //! the paper's Eq. 2 discussion — which is exactly what this baseline
 //! demonstrates.
 
-use serde::{Deserialize, Serialize};
-
 use bloc_chan::sounder::SoundingData;
 use bloc_num::linalg::trilaterate;
 use bloc_num::P2;
 
 /// Configuration of the RSSI baseline.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RssiConfig {
     /// Path-loss exponent `n` (2 = free space; 2.5–4 indoors).
     pub path_loss_exponent: f64,
@@ -29,7 +28,10 @@ pub struct RssiConfig {
 
 impl Default for RssiConfig {
     fn default() -> Self {
-        Self { path_loss_exponent: 2.0, ref_amplitude: 1.0 }
+        Self {
+            path_loss_exponent: 2.0,
+            ref_amplitude: 1.0,
+        }
     }
 }
 
@@ -59,7 +61,9 @@ pub fn localize(data: &SoundingData, config: &RssiConfig) -> Option<P2> {
     if anchors_ranges.len() < 2 {
         return None;
     }
-    let centroid = anchors_ranges.iter().fold(P2::ORIGIN, |acc, (p, _)| acc + *p)
+    let centroid = anchors_ranges
+        .iter()
+        .fold(P2::ORIGIN, |acc, (p, _)| acc + *p)
         / anchors_ranges.len() as f64;
     trilaterate(centroid, &anchors_ranges, 1e-6, 100)
 }
@@ -108,7 +112,11 @@ mod tests {
         let tag = P2::new(3.4, 2.1);
         let data = sounder.sound(tag, &all_data_channels(), &mut rng);
         let est = localize(&data, &RssiConfig::default()).unwrap();
-        assert!(est.dist(tag) < 0.3, "free-space RSSI error {}", est.dist(tag));
+        assert!(
+            est.dist(tag) < 0.3,
+            "free-space RSSI error {}",
+            est.dist(tag)
+        );
     }
 
     #[test]
@@ -129,13 +137,19 @@ mod tests {
             }
         }
         let med = bloc_num::stats::median(&errs);
-        assert!(med > 0.4, "RSSI in multipath should err ≫ free space, got {med}");
+        assert!(
+            med > 0.4,
+            "RSSI in multipath should err ≫ free space, got {med}"
+        );
     }
 
     #[test]
     fn degenerate_inputs() {
         let room = Room::new(5.0, 6.0);
-        let data = SoundingData { bands: Vec::new(), anchors: anchors(&room) };
+        let data = SoundingData {
+            bands: Vec::new(),
+            anchors: anchors(&room),
+        };
         assert!(estimate_range(&data, 0, &RssiConfig::default()).is_none());
         assert!(localize(&data, &RssiConfig::default()).is_none());
     }

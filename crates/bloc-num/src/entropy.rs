@@ -38,7 +38,10 @@ pub fn shannon(weights: &[f64]) -> f64 {
 /// of all mass on one cell. This is the `H` of paper Eq. 18 under our
 /// interpretation.
 pub fn negentropy(weights: &[f64]) -> f64 {
-    let n = weights.iter().filter(|w| w.is_finite() && **w > 0.0).count();
+    let n = weights
+        .iter()
+        .filter(|w| w.is_finite() && **w > 0.0)
+        .count();
     if n <= 1 {
         // A single positive cell is maximally peaky but ln(1) = 0; treat a
         // degenerate window as neutral rather than inventing sharpness.
@@ -64,14 +67,21 @@ mod tests {
         let mut w = vec![1e-6; 37];
         w[18] = 1.0;
         let h = negentropy(&w);
-        assert!(h > 3.0, "near-delta patch should approach ln 37 ≈ 3.61, got {h}");
+        assert!(
+            h > 3.0,
+            "near-delta patch should approach ln 37 ≈ 3.61, got {h}"
+        );
     }
 
     #[test]
     fn negentropy_ranks_sharpness() {
         // Direct path (peaky) must out-score a scattered reflection (spread).
-        let peaky: Vec<f64> = (0..37).map(|i| (-((i as f64 - 18.0).powi(2)) / 2.0).exp()).collect();
-        let spread: Vec<f64> = (0..37).map(|i| (-((i as f64 - 18.0).powi(2)) / 200.0).exp()).collect();
+        let peaky: Vec<f64> = (0..37)
+            .map(|i| (-((i as f64 - 18.0).powi(2)) / 2.0).exp())
+            .collect();
+        let spread: Vec<f64> = (0..37)
+            .map(|i| (-((i as f64 - 18.0).powi(2)) / 200.0).exp())
+            .collect();
         assert!(negentropy(&peaky) > negentropy(&spread));
     }
 

@@ -55,7 +55,10 @@ pub fn power_spectrum(x: &[C64], min_len: usize) -> Vec<f64> {
 
 fn transform(x: &mut [C64], inverse: bool) {
     let n = x.len();
-    assert!(n.is_power_of_two(), "FFT length must be a power of two, got {n}");
+    assert!(
+        n.is_power_of_two(),
+        "FFT length must be a power of two, got {n}"
+    );
     if n <= 1 {
         return;
     }
@@ -110,7 +113,9 @@ mod tests {
     fn single_tone_lands_in_one_bin() {
         let n = 64;
         let k = 5;
-        let x: Vec<C64> = (0..n).map(|i| C64::cis(2.0 * PI * k as f64 * i as f64 / n as f64)).collect();
+        let x: Vec<C64> = (0..n)
+            .map(|i| C64::cis(2.0 * PI * k as f64 * i as f64 / n as f64))
+            .collect();
         let spec = fft(&x);
         for (i, z) in spec.iter().enumerate() {
             if i == k {
@@ -123,7 +128,9 @@ mod tests {
 
     #[test]
     fn parseval_holds() {
-        let x: Vec<C64> = (0..32).map(|i| C64::new((i as f64).sin(), (i as f64 * 0.3).cos())).collect();
+        let x: Vec<C64> = (0..32)
+            .map(|i| C64::new((i as f64).sin(), (i as f64 * 0.3).cos()))
+            .collect();
         let spec = fft(&x);
         let t: f64 = x.iter().map(|z| z.norm_sq()).sum();
         let f: f64 = spec.iter().map(|z| z.norm_sq()).sum::<f64>() / 32.0;

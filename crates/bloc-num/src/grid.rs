@@ -6,12 +6,11 @@
 //! coordinates", §5.3). Grids are row-major, indexed `(ix, iy)` with cell
 //! centres at `origin + (ix + 0.5, iy + 0.5) · resolution`.
 
-use serde::{Deserialize, Serialize};
-
 use crate::point::P2;
 
 /// The geometry of a grid: where it sits in space and how fine it is.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct GridSpec {
     /// Lower-left corner of the covered region, metres.
     pub origin: P2,
@@ -31,7 +30,10 @@ impl GridSpec {
     /// Panics if the resolution or extents are not strictly positive.
     pub fn covering(origin: P2, extent: P2, resolution: f64) -> Self {
         assert!(resolution > 0.0, "grid resolution must be positive");
-        assert!(extent.x > 0.0 && extent.y > 0.0, "grid extent must be positive");
+        assert!(
+            extent.x > 0.0 && extent.y > 0.0,
+            "grid extent must be positive"
+        );
         Self {
             origin,
             resolution,
@@ -82,7 +84,8 @@ impl GridSpec {
 }
 
 /// A dense real-valued grid with [`GridSpec`] geometry.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Grid2D {
     spec: GridSpec,
     data: Vec<f64>,
@@ -91,7 +94,10 @@ pub struct Grid2D {
 impl Grid2D {
     /// A zero-filled grid.
     pub fn zeros(spec: GridSpec) -> Self {
-        Self { spec, data: vec![0.0; spec.len()] }
+        Self {
+            spec,
+            data: vec![0.0; spec.len()],
+        }
     }
 
     /// Builds a grid by evaluating `f` at every cell centre.
@@ -226,7 +232,12 @@ impl Grid2D {
         let v10 = self.get(x1, y0);
         let v01 = self.get(x0, y1);
         let v11 = self.get(x1, y1);
-        Some(v00 * (1.0 - tx) * (1.0 - ty) + v10 * tx * (1.0 - ty) + v01 * (1.0 - tx) * ty + v11 * tx * ty)
+        Some(
+            v00 * (1.0 - tx) * (1.0 - ty)
+                + v10 * tx * (1.0 - ty)
+                + v01 * (1.0 - tx) * ty
+                + v11 * tx * ty,
+        )
     }
 
     /// Extracts the values in a circular window of half-width `radius`
@@ -262,7 +273,12 @@ mod tests {
     use proptest::prelude::*;
 
     fn spec_3x2() -> GridSpec {
-        GridSpec { origin: P2::new(-1.0, -1.0), resolution: 0.5, nx: 3, ny: 2 }
+        GridSpec {
+            origin: P2::new(-1.0, -1.0),
+            resolution: 0.5,
+            nx: 3,
+            ny: 2,
+        }
     }
 
     #[test]
@@ -322,14 +338,24 @@ mod tests {
     #[test]
     fn circular_window_size_interior() {
         // 7×7 circular window (radius 3): 29 cells pass the dx²+dy² ≤ 9 test.
-        let s = GridSpec { origin: P2::ORIGIN, resolution: 0.1, nx: 20, ny: 20 };
+        let s = GridSpec {
+            origin: P2::ORIGIN,
+            resolution: 0.1,
+            nx: 20,
+            ny: 20,
+        };
         let g = Grid2D::zeros(s);
         assert_eq!(g.circular_window(10, 10, 3).len(), 29);
     }
 
     #[test]
     fn circular_window_clips_at_edges() {
-        let s = GridSpec { origin: P2::ORIGIN, resolution: 0.1, nx: 20, ny: 20 };
+        let s = GridSpec {
+            origin: P2::ORIGIN,
+            resolution: 0.1,
+            nx: 20,
+            ny: 20,
+        };
         let g = Grid2D::zeros(s);
         assert!(g.circular_window(0, 0, 3).len() < 29);
         assert!(!g.circular_window(0, 0, 3).is_empty());
@@ -337,7 +363,12 @@ mod tests {
 
     #[test]
     fn bilinear_matches_cells_and_interpolates() {
-        let s = GridSpec { origin: P2::ORIGIN, resolution: 1.0, nx: 3, ny: 3 };
+        let s = GridSpec {
+            origin: P2::ORIGIN,
+            resolution: 1.0,
+            nx: 3,
+            ny: 3,
+        };
         let g = Grid2D::from_fn(s, |p| p.x + 10.0 * p.y);
         // At a cell centre, bilinear equals the cell value.
         let c = s.cell_center(1, 1);

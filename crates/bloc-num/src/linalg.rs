@@ -18,7 +18,10 @@ pub fn solve2(a: f64, b: f64, c: f64, d: f64, rhs: P2) -> Option<P2> {
     if det.abs() < 1e-12 * scale * scale {
         return None;
     }
-    Some(P2::new((rhs.x * d - rhs.y * b) / det, (a * rhs.y - c * rhs.x) / det))
+    Some(P2::new(
+        (rhs.x * d - rhs.y * b) / det,
+        (a * rhs.y - c * rhs.x) / det,
+    ))
 }
 
 /// A ray in the plane: origin plus unit direction.
@@ -33,7 +36,10 @@ pub struct Ray {
 impl Ray {
     /// Builds a ray from an origin and an angle from the +x axis.
     pub fn from_angle(origin: P2, theta: f64) -> Self {
-        Self { origin, dir: P2::from_angle(theta) }
+        Self {
+            origin,
+            dir: P2::from_angle(theta),
+        }
     }
 
     /// Squared perpendicular distance from `p` to the ray's supporting line.
@@ -101,7 +107,12 @@ pub fn trilaterate_step(p: P2, anchors_ranges: &[(P2, f64)]) -> Option<P2> {
 
 /// Full trilateration: iterates [`trilaterate_step`] from an initial guess
 /// until the update falls below `tol` metres or `max_iter` is reached.
-pub fn trilaterate(initial: P2, anchors_ranges: &[(P2, f64)], tol: f64, max_iter: usize) -> Option<P2> {
+pub fn trilaterate(
+    initial: P2,
+    anchors_ranges: &[(P2, f64)],
+    tol: f64,
+    max_iter: usize,
+) -> Option<P2> {
     if anchors_ranges.len() < 2 {
         return None;
     }
@@ -138,7 +149,11 @@ pub fn linear_fit(xs: &[f64], ys: &[f64]) -> Option<(f64, f64, f64)> {
     }
     let slope = sxy / sxx;
     let intercept = my - slope * mx;
-    let r2 = if syy < 1e-30 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    let r2 = if syy < 1e-30 {
+        1.0
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
     Some((slope, intercept, r2))
 }
 
@@ -190,7 +205,10 @@ mod tests {
         let good2 = Ray::from_angle(P2::new(5.0, 0.0), (target - P2::new(5.0, 0.0)).angle());
         let bad = Ray::from_angle(P2::new(0.0, 5.0), 0.0);
         let p = intersect_bearings(&[(good1, 1.0), (good2, 1.0), (bad, 1e-6)]).unwrap();
-        assert!(p.dist(target) < 1e-3, "estimate {p} should be near {target}");
+        assert!(
+            p.dist(target) < 1e-3,
+            "estimate {p} should be near {target}"
+        );
     }
 
     #[test]

@@ -5,13 +5,12 @@
 //! spatial likelihood and then picks the best-scoring one as the direct
 //! path. This module finds those peaks.
 
-use serde::{Deserialize, Serialize};
-
 use crate::grid::Grid2D;
 use crate::point::P2;
 
 /// A local maximum of a likelihood grid.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Peak {
     /// Cell x index.
     pub ix: usize,
@@ -24,7 +23,8 @@ pub struct Peak {
 }
 
 /// Options controlling peak extraction.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PeakOptions {
     /// Neighborhood radius (cells) within which a peak must dominate. 1 is
     /// the classic 8-neighbour local maximum; larger values suppress
@@ -41,7 +41,11 @@ pub struct PeakOptions {
 
 impl Default for PeakOptions {
     fn default() -> Self {
-        Self { dominance_radius: 2, min_rel_height: 0.35, max_peaks: 8 }
+        Self {
+            dominance_radius: 2,
+            min_rel_height: 0.35,
+            max_peaks: 8,
+        }
     }
 }
 
@@ -69,11 +73,20 @@ pub fn find_peaks(grid: &Grid2D, opts: &PeakOptions) -> Vec<Peak> {
                 continue;
             }
             if is_dominant(grid, ix, iy, r) {
-                peaks.push(Peak { ix, iy, position: spec.cell_center(ix, iy), value: v });
+                peaks.push(Peak {
+                    ix,
+                    iy,
+                    position: spec.cell_center(ix, iy),
+                    value: v,
+                });
             }
         }
     }
-    peaks.sort_by(|a, b| b.value.partial_cmp(&a.value).expect("likelihoods must be finite"));
+    peaks.sort_by(|a, b| {
+        b.value
+            .partial_cmp(&a.value)
+            .expect("likelihoods must be finite")
+    });
     peaks.truncate(opts.max_peaks);
     peaks
 }
@@ -112,7 +125,12 @@ mod tests {
     use proptest::prelude::*;
 
     fn spec() -> GridSpec {
-        GridSpec { origin: P2::ORIGIN, resolution: 0.1, nx: 40, ny: 40 }
+        GridSpec {
+            origin: P2::ORIGIN,
+            resolution: 0.1,
+            nx: 40,
+            ny: 40,
+        }
     }
 
     /// A Gaussian bump centred at `c` with amplitude `a` and width `s`.
@@ -146,14 +164,26 @@ mod tests {
         let c1 = P2::new(1.05, 1.05);
         let c2 = P2::new(3.05, 3.05);
         let g = Grid2D::from_fn(spec(), |p| bump(p, c1, 1.0, 0.25) + bump(p, c2, 0.05, 0.25));
-        let peaks = find_peaks(&g, &PeakOptions { min_rel_height: 0.2, ..Default::default() });
+        let peaks = find_peaks(
+            &g,
+            &PeakOptions {
+                min_rel_height: 0.2,
+                ..Default::default()
+            },
+        );
         assert_eq!(peaks.len(), 1);
     }
 
     #[test]
     fn plateau_yields_one_peak() {
         let g = Grid2D::from_fn(spec(), |_| 1.0);
-        let peaks = find_peaks(&g, &PeakOptions { max_peaks: usize::MAX, ..Default::default() });
+        let peaks = find_peaks(
+            &g,
+            &PeakOptions {
+                max_peaks: usize::MAX,
+                ..Default::default()
+            },
+        );
         assert_eq!(peaks.len(), 1, "a constant grid is one plateau, one peak");
     }
 
@@ -171,7 +201,11 @@ mod tests {
         }
         let peaks = find_peaks(
             &g,
-            &PeakOptions { dominance_radius: 1, min_rel_height: 0.0, max_peaks: 3 },
+            &PeakOptions {
+                dominance_radius: 1,
+                min_rel_height: 0.0,
+                max_peaks: 3,
+            },
         );
         assert_eq!(peaks.len(), 3);
     }

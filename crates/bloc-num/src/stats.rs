@@ -5,8 +5,6 @@
 //! (Fig. 10) and the per-location RMSE map (Fig. 13) — is computed with the
 //! functions in this module.
 
-use serde::{Deserialize, Serialize};
-
 /// Arithmetic mean; `NaN` for an empty slice.
 pub fn mean(xs: &[f64]) -> f64 {
     if xs.is_empty() {
@@ -66,7 +64,8 @@ pub fn median(xs: &[f64]) -> f64 {
 }
 
 /// One point of an empirical CDF.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CdfPoint {
     /// Sample value (for us: localization error, metres).
     pub value: f64,
@@ -77,7 +76,8 @@ pub struct CdfPoint {
 /// An empirical cumulative distribution function over a finite sample.
 ///
 /// This is the object each CDF figure in the paper (Figs. 9a–c, 12) plots.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Ecdf {
     sorted: Vec<f64>,
 }
@@ -135,7 +135,10 @@ impl Ecdf {
         self.sorted
             .iter()
             .enumerate()
-            .map(|(i, &v)| CdfPoint { value: v, probability: (i + 1) as f64 / n })
+            .map(|(i, &v)| CdfPoint {
+                value: v,
+                probability: (i + 1) as f64 / n,
+            })
             .collect()
     }
 
@@ -145,7 +148,10 @@ impl Ecdf {
         (0..bins)
             .map(|i| {
                 let x = lo + (hi - lo) * i as f64 / (bins.max(2) - 1) as f64;
-                CdfPoint { value: x, probability: self.eval(x) }
+                CdfPoint {
+                    value: x,
+                    probability: self.eval(x),
+                }
             })
             .collect()
     }
@@ -158,7 +164,8 @@ impl Ecdf {
 
 /// Online accumulator for mean/variance (Welford) — used by the parallel
 /// sweep runner to aggregate errors without storing every sample twice.
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Welford {
     n: u64,
     mean: f64,

@@ -1,0 +1,193 @@
+//! Per-worker-thread metric buffers.
+//!
+//! The testbed sweep fans hundreds of localizations across worker
+//! threads. Recording each one straight into the shared
+//! [`crate::Registry`] would bounce the metric cache lines between cores
+//! on every sample; [`LocalStats`] instead accumulates in plain (non-
+//! atomic) memory owned by one worker and merges into the registry once,
+//! at thread join, via the pre-aggregated histogram merge path.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use crate::metrics::{bucket_index, N_BUCKETS};
+use crate::registry::Registry;
+
+/// One worker's private histogram accumulator.
+#[derive(Debug, Clone)]
+struct LocalHistogram {
+    buckets: Box<[u64; N_BUCKETS]>,
+    count: u64,
+    sum: u64,
+}
+
+impl LocalHistogram {
+    fn new() -> Self {
+        Self {
+            buckets: Box::new([0; N_BUCKETS]),
+            count: 0,
+            sum: 0,
+        }
+    }
+
+    fn record(&mut self, v: u64) {
+        self.buckets[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum += v;
+    }
+}
+
+/// A single-threaded metrics buffer for tight parallel loops.
+///
+/// ```
+/// use bloc_obs::{local::LocalStats, Registry};
+///
+/// let reg = Registry::new();
+/// std::thread::scope(|scope| {
+///     for _ in 0..4 {
+///         let reg = &reg;
+///         scope.spawn(move || {
+///             let mut stats = LocalStats::new();
+///             for trial in 0..100u64 {
+///                 stats.inc("sweep.locations");
+///                 stats.record("sweep.err_mm", trial);
+///             }
+///             stats.merge_into(reg);
+///         });
+///     }
+/// });
+/// assert_eq!(reg.snapshot().counters["sweep.locations"], 400);
+/// ```
+#[derive(Debug, Default)]
+pub struct LocalStats {
+    counters: HashMap<&'static str, u64>,
+    histograms: HashMap<&'static str, LocalHistogram>,
+}
+
+impl LocalStats {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one to the named counter.
+    pub fn inc(&mut self, name: &'static str) {
+        self.add(name, 1);
+    }
+
+    /// Adds `n` to the named counter.
+    pub fn add(&mut self, name: &'static str, n: u64) {
+        *self.counters.entry(name).or_insert(0) += n;
+    }
+
+    /// Records one sample into the named histogram.
+    pub fn record(&mut self, name: &'static str, v: u64) {
+        self.histograms
+            .entry(name)
+            .or_insert_with(LocalHistogram::new)
+            .record(v);
+    }
+
+    /// Times `f` and records the elapsed µs into the named histogram.
+    /// The flat name is deliberate: worker timings do not participate in
+    /// the thread-local span hierarchy (each worker is its own root).
+    pub fn time<R>(&mut self, name: &'static str, f: impl FnOnce() -> R) -> R {
+        let start = Instant::now();
+        let out = f();
+        self.record(
+            name,
+            start.elapsed().as_micros().min(u64::MAX as u128) as u64,
+        );
+        out
+    }
+
+    /// Folds another buffer into this one (e.g. chunk-level buffers into
+    /// a worker-level one).
+    pub fn absorb(&mut self, other: LocalStats) {
+        for (name, n) in other.counters {
+            *self.counters.entry(name).or_insert(0) += n;
+        }
+        for (name, h) in other.histograms {
+            let mine = self
+                .histograms
+                .entry(name)
+                .or_insert_with(LocalHistogram::new);
+            for (slot, n) in mine.buckets.iter_mut().zip(h.buckets.iter()) {
+                *slot += n;
+            }
+            mine.count += h.count;
+            mine.sum += h.sum;
+        }
+    }
+
+    /// Flushes everything into `registry` and empties the buffer. One
+    /// atomic merge per metric, regardless of how many samples were
+    /// buffered.
+    pub fn merge_into(&mut self, registry: &Registry) {
+        for (name, n) in self.counters.drain() {
+            registry.counter(name).add(n);
+        }
+        for (name, h) in self.histograms.drain() {
+            registry.histogram(name).merge(&h.buckets, h.count, h.sum);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_matches_direct_recording() {
+        let direct = Registry::new();
+        let buffered = Registry::new();
+        let mut stats = LocalStats::new();
+        for v in [0u64, 1, 5, 100, 100, 4096] {
+            direct.counter("n").inc();
+            direct.histogram("v").record(v);
+            stats.inc("n");
+            stats.record("v", v);
+        }
+        stats.merge_into(&buffered);
+        assert_eq!(direct.snapshot(), buffered.snapshot());
+        // The buffer is empty afterwards: a second merge adds nothing.
+        stats.merge_into(&buffered);
+        assert_eq!(direct.snapshot(), buffered.snapshot());
+    }
+
+    #[test]
+    fn absorb_combines_buffers() {
+        let mut a = LocalStats::new();
+        let mut b = LocalStats::new();
+        a.add("c", 3);
+        a.record("h", 10);
+        b.add("c", 4);
+        b.record("h", 1000);
+        a.absorb(b);
+        let reg = Registry::new();
+        a.merge_into(&reg);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["c"], 7);
+        assert_eq!(snap.histograms["h"].count, 2);
+        assert_eq!(snap.histograms["h"].sum, 1010);
+    }
+
+    #[test]
+    fn time_records_plausible_durations() {
+        let mut stats = LocalStats::new();
+        let out = stats.time("work_us", || {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            42
+        });
+        assert_eq!(out, 42);
+        let reg = Registry::new();
+        stats.merge_into(&reg);
+        let h = &reg.snapshot().histograms["work_us"];
+        assert_eq!(h.count, 1);
+        assert!(
+            h.sum >= 2_000,
+            "2 ms of work should record ≥ 2000 µs, got {}",
+            h.sum
+        );
+    }
+}

@@ -1,0 +1,220 @@
+//! The metric registry: named counters, histograms, and event sinks.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+
+use crate::event::{Event, Sink};
+use crate::metrics::{Counter, Histogram};
+use crate::report::RunReport;
+use crate::span::SpanGuard;
+
+/// A collection of named metrics plus registered event sinks.
+///
+/// The pipeline records into [`Registry::global`]; tests and multi-tenant
+/// servers can instead instantiate private registries with
+/// [`Registry::new`] — the two behave identically.
+///
+/// Metric handles are `Arc`s: call sites resolve a name once (read-locked
+/// map lookup) and then increment lock-free. The common fast path —
+/// emitting with no sinks attached — is one relaxed atomic load.
+#[derive(Default)]
+pub struct Registry {
+    counters: RwLock<HashMap<String, Arc<Counter>>>,
+    histograms: RwLock<HashMap<String, Arc<Histogram>>>,
+    sinks: Mutex<Vec<Box<dyn Sink>>>,
+    /// Mirror of `sinks.len()` readable without the lock.
+    n_sinks: AtomicUsize,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The process-wide shared registry.
+    pub fn global() -> &'static Registry {
+        static GLOBAL: OnceLock<Registry> = OnceLock::new();
+        GLOBAL.get_or_init(Registry::new)
+    }
+
+    /// The counter registered under `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        if let Some(c) = self.counters.read().expect("counter map").get(name) {
+            return Arc::clone(c);
+        }
+        let mut map = self.counters.write().expect("counter map");
+        Arc::clone(map.entry(name.to_string()).or_default())
+    }
+
+    /// The histogram registered under `name`, created on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        if let Some(h) = self.histograms.read().expect("histogram map").get(name) {
+            return Arc::clone(h);
+        }
+        let mut map = self.histograms.write().expect("histogram map");
+        Arc::clone(map.entry(name.to_string()).or_default())
+    }
+
+    /// Opens a hierarchical timing span (see [`crate::span`]); the
+    /// duration is recorded into `span.<path>` when the guard drops.
+    pub fn span(&self, name: &'static str) -> SpanGuard<'_> {
+        SpanGuard::open(self, name)
+    }
+
+    /// Attaches an event sink; every subsequent [`Registry::emit`] call
+    /// reaches it.
+    pub fn add_sink(&self, sink: Box<dyn Sink>) {
+        let mut sinks = self.sinks.lock().expect("sink list");
+        sinks.push(sink);
+        self.n_sinks.store(sinks.len(), Ordering::Release);
+    }
+
+    /// Removes all sinks, flushing each first. Returns how many were
+    /// detached.
+    pub fn clear_sinks(&self) -> usize {
+        let mut sinks = self.sinks.lock().expect("sink list");
+        self.n_sinks.store(0, Ordering::Release);
+        for sink in sinks.iter() {
+            sink.flush();
+        }
+        let n = sinks.len();
+        sinks.clear();
+        n
+    }
+
+    /// True when at least one sink is attached. Event producers can use
+    /// this to skip building expensive payloads nobody will see.
+    pub fn has_sinks(&self) -> bool {
+        self.n_sinks.load(Ordering::Acquire) > 0
+    }
+
+    /// Delivers `event` to every attached sink (no-op without sinks).
+    pub fn emit(&self, event: Event) {
+        if !self.has_sinks() {
+            return;
+        }
+        let sinks = self.sinks.lock().expect("sink list");
+        for sink in sinks.iter() {
+            sink.record(&event);
+        }
+    }
+
+    /// Flushes every attached sink.
+    pub fn flush(&self) {
+        let sinks = self.sinks.lock().expect("sink list");
+        for sink in sinks.iter() {
+            sink.flush();
+        }
+    }
+
+    /// A point-in-time [`RunReport`] of every registered metric.
+    pub fn snapshot(&self) -> RunReport {
+        let counters = self
+            .counters
+            .read()
+            .expect("counter map")
+            .iter()
+            .map(|(name, c)| (name.clone(), c.get()))
+            .collect();
+        let histograms = self
+            .histograms
+            .read()
+            .expect("histogram map")
+            .iter()
+            .map(|(name, h)| (name.clone(), h.snapshot()))
+            .collect();
+        RunReport {
+            counters,
+            histograms,
+        }
+    }
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry")
+            .field(
+                "counters",
+                &self.counters.read().expect("counter map").len(),
+            )
+            .field(
+                "histograms",
+                &self.histograms.read().expect("histogram map").len(),
+            )
+            .field("sinks", &self.n_sinks.load(Ordering::Acquire))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn get_or_create_returns_the_same_metric() {
+        let reg = Registry::new();
+        reg.counter("a").inc();
+        reg.counter("a").add(2);
+        assert_eq!(reg.counter("a").get(), 3);
+        reg.histogram("h").record(5);
+        assert_eq!(reg.histogram("h").snapshot().count, 1);
+    }
+
+    #[test]
+    fn concurrent_get_or_create_is_consistent() {
+        let reg = Registry::new();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for i in 0..100u64 {
+                        reg.counter(&format!("c{}", i % 7)).inc();
+                    }
+                });
+            }
+        });
+        let total: u64 = (0..7).map(|i| reg.counter(&format!("c{i}")).get()).sum();
+        assert_eq!(total, 800);
+    }
+
+    struct CountingSink(AtomicU64);
+    impl Sink for CountingSink {
+        fn record(&self, _event: &Event) {
+            self.0.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn emit_reaches_sinks_and_clear_detaches() {
+        let reg = Registry::new();
+        assert!(!reg.has_sinks());
+        reg.emit(Event::new("test", "dropped")); // no sinks: silently dropped
+        let sink = Arc::new(CountingSink(AtomicU64::new(0)));
+        struct Fwd(Arc<CountingSink>);
+        impl Sink for Fwd {
+            fn record(&self, event: &Event) {
+                self.0.record(event);
+            }
+        }
+        reg.add_sink(Box::new(Fwd(Arc::clone(&sink))));
+        assert!(reg.has_sinks());
+        reg.emit(Event::new("test", "seen"));
+        reg.emit(Event::new("test", "seen"));
+        assert_eq!(sink.0.load(Ordering::Relaxed), 2);
+        assert_eq!(reg.clear_sinks(), 1);
+        reg.emit(Event::new("test", "dropped"));
+        assert_eq!(sink.0.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn snapshot_captures_all_metrics() {
+        let reg = Registry::new();
+        reg.counter("x").add(4);
+        reg.histogram("y").record(10);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["x"], 4);
+        assert_eq!(snap.histograms["y"].sum, 10);
+    }
+}

@@ -12,15 +12,14 @@
 //! single per-band value by "averaging the channel amplitude and channel
 //! phase separately" (paper §5 preamble).
 
-use serde::{Deserialize, Serialize};
-
 use crate::modulator::GfskModulator;
 use bloc_ble::locpacket::LocalizationPacket;
 use bloc_num::angle::circular_mean;
 use bloc_num::{complex, C64};
 
 /// The per-band CSI measured from one localization packet.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct BandCsi {
     /// Channel at the f₀ tone (0-bits).
     pub h0: C64,
@@ -148,7 +147,12 @@ mod tests {
             let mut rx = modem.modulate(&packet.air_bits());
             apply_channel_gain(&mut rx, h);
             awgn(&mut rx, 25.0, &mut rng);
-            phases.push(measure_band_csi(&packet, &rx, &modem, 2).unwrap().combined().arg());
+            phases.push(
+                measure_band_csi(&packet, &rx, &modem, 2)
+                    .unwrap()
+                    .combined()
+                    .arg(),
+            );
         }
         let spread = bloc_num::angle::circular_variance(&phases);
         assert!(spread < 1e-2, "phase spread across repeats: {spread}");
@@ -163,10 +167,16 @@ mod tests {
         let tx = modem.modulate(&packet.air_bits());
         let rx = apply_multipath(
             &tx,
-            &[(C64::from_polar(0.05, 0.0), 0), (C64::from_polar(0.04, 1.0), 40)],
+            &[
+                (C64::from_polar(0.05, 0.0), 0),
+                (C64::from_polar(0.04, 1.0), 40),
+            ],
         );
         let csi = measure_band_csi(&packet, &rx, &modem, 2).unwrap();
-        assert!((csi.h0 - csi.h1).abs() > 1e-6, "delayed multipath must split the tones");
+        assert!(
+            (csi.h0 - csi.h1).abs() > 1e-6,
+            "delayed multipath must split the tones"
+        );
         assert!(csi.combined().is_finite());
     }
 

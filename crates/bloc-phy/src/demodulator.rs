@@ -82,7 +82,11 @@ mod tests {
         let mut iq = m.modulate(&bits);
         apply_channel_gain(&mut iq, C64::from_polar(0.05, 2.1));
         let rx = demodulate(&iq, 8);
-        assert_eq!(bit_errors(&bits, &rx), 0, "discriminator must ignore complex gain");
+        assert_eq!(
+            bit_errors(&bits, &rx),
+            0,
+            "discriminator must ignore complex gain"
+        );
     }
 
     #[test]
@@ -94,7 +98,10 @@ mod tests {
         awgn(&mut iq, 15.0, &mut rng); // 15 dB SNR
         let rx = demodulate(&iq, 8);
         let errs = bit_errors(&bits, &rx);
-        assert!(errs <= 2, "15 dB SNR should be near error-free, got {errs} errors");
+        assert!(
+            errs <= 2,
+            "15 dB SNR should be near error-free, got {errs} errors"
+        );
     }
 
     #[test]

@@ -7,8 +7,6 @@
 //! that the stable windows advertised by the link layer really are stable
 //! at the PHY output.
 
-use serde::{Deserialize, Serialize};
-
 use bloc_num::C64;
 
 /// Per-sample instantaneous frequency (hertz) from the phase increments of
@@ -21,7 +19,8 @@ pub fn instantaneous_frequency(iq: &[C64], fs: f64) -> Vec<f64> {
 
 /// A maximal region of samples whose instantaneous frequency stays within
 /// `tolerance_hz` of a constant.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SettledRegion {
     /// First sample index of the region (into the IQ stream).
     pub start: usize,
@@ -49,7 +48,9 @@ pub fn settled_regions(
         let mut sum = 0.0;
         while j < inst.len() {
             let candidate_mean = (sum + inst[j]) / (j - i + 1) as f64;
-            let ok = inst[i..=j].iter().all(|&f| (f - candidate_mean).abs() <= tolerance_hz);
+            let ok = inst[i..=j]
+                .iter()
+                .all(|&f| (f - candidate_mean).abs() <= tolerance_hz);
             if ok {
                 sum += inst[j];
                 j += 1;
@@ -59,7 +60,11 @@ pub fn settled_regions(
         }
         let len = j - i;
         if len >= min_len {
-            regions.push(SettledRegion { start: i, len, freq_hz: sum / len as f64 });
+            regions.push(SettledRegion {
+                start: i,
+                len,
+                freq_hz: sum / len as f64,
+            });
             i = j;
         } else {
             i += 1;
@@ -118,8 +123,9 @@ mod tests {
     fn pure_tone_frequency_estimated() {
         let fs = 8e6;
         let f = 250e3;
-        let iq: Vec<C64> =
-            (0..100).map(|n| C64::cis(2.0 * std::f64::consts::PI * f * n as f64 / fs)).collect();
+        let iq: Vec<C64> = (0..100)
+            .map(|n| C64::cis(2.0 * std::f64::consts::PI * f * n as f64 / fs))
+            .collect();
         for est in instantaneous_frequency(&iq, fs) {
             assert!((est - f).abs() < 1.0);
         }
@@ -154,9 +160,11 @@ mod tests {
             "runs settled {settled_runs} vs random {settled_random}"
         );
         // Both tones observed:
-        let tones: Vec<Option<bool>> =
-            regions.iter().map(|r| classify_tone(r, 250e3)).collect();
-        assert!(tones.contains(&Some(true)) && tones.contains(&Some(false)), "{tones:?}");
+        let tones: Vec<Option<bool>> = regions.iter().map(|r| classify_tone(r, 250e3)).collect();
+        assert!(
+            tones.contains(&Some(true)) && tones.contains(&Some(false)),
+            "{tones:?}"
+        );
     }
 
     #[test]
@@ -167,7 +175,10 @@ mod tests {
         bits.extend(vec![true; 12]);
         let iq = m.modulate(&bits);
         let regions = settled_regions(&iq, fs, 2e3, 2 * 8);
-        assert!(regions.len() >= 2, "expected two tone regions, got {regions:?}");
+        assert!(
+            regions.len() >= 2,
+            "expected two tone regions, got {regions:?}"
+        );
         assert_eq!(classify_tone(&regions[0], 250e3), Some(false));
         assert_eq!(classify_tone(regions.last().unwrap(), 250e3), Some(true));
     }
@@ -210,7 +221,11 @@ mod tests {
 
     #[test]
     fn classify_rejects_mid_transition() {
-        let r = SettledRegion { start: 0, len: 10, freq_hz: 10e3 };
+        let r = SettledRegion {
+            start: 0,
+            len: 10,
+            freq_hz: 10e3,
+        };
         assert_eq!(classify_tone(&r, 250e3), None);
     }
 

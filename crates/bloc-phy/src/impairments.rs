@@ -128,8 +128,12 @@ mod tests {
         let clean = tone(20_000);
         let mut noisy = clean.clone();
         awgn(&mut noisy, 10.0, &mut rng);
-        let noise_p: f64 =
-            noisy.iter().zip(&clean).map(|(a, b)| (*a - *b).norm_sq()).sum::<f64>() / 20_000.0;
+        let noise_p: f64 = noisy
+            .iter()
+            .zip(&clean)
+            .map(|(a, b)| (*a - *b).norm_sq())
+            .sum::<f64>()
+            / 20_000.0;
         let signal_p: f64 = clean.iter().map(|z| z.norm_sq()).sum::<f64>() / 20_000.0;
         let snr_db = 10.0 * (signal_p / noise_p).log10();
         assert!((snr_db - 10.0).abs() < 0.3, "measured SNR {snr_db} dB");
@@ -158,11 +162,13 @@ mod tests {
         apply_phase_offset(&mut iq, 1.234);
         for (z, orig) in iq.iter().zip(tone(50)) {
             assert!((z.abs() - orig.abs()).abs() < 1e-12);
-            assert!(((z.arg() - orig.arg() - 1.234 + std::f64::consts::PI)
-                .rem_euclid(2.0 * std::f64::consts::PI)
-                - std::f64::consts::PI)
-                .abs()
-                < 1e-9);
+            assert!(
+                ((z.arg() - orig.arg() - 1.234 + std::f64::consts::PI)
+                    .rem_euclid(2.0 * std::f64::consts::PI)
+                    - std::f64::consts::PI)
+                    .abs()
+                    < 1e-9
+            );
         }
     }
 
@@ -171,7 +177,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let samples: Vec<f64> = (0..50_000).map(|_| gaussian(&mut rng)).collect();
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / samples.len() as f64;
+        let var =
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / samples.len() as f64;
         assert!(mean.abs() < 0.02, "mean {mean}");
         assert!((var - 1.0).abs() < 0.03, "var {var}");
     }
@@ -180,12 +187,16 @@ mod tests {
     fn random_phase_covers_circle() {
         let mut rng = StdRng::seed_from_u64(4);
         let phases: Vec<f64> = (0..1000).map(|_| random_phase(&mut rng)).collect();
-        assert!(phases.iter().all(|&p| (0.0..2.0 * std::f64::consts::PI).contains(&p)));
+        assert!(phases
+            .iter()
+            .all(|&p| (0.0..2.0 * std::f64::consts::PI).contains(&p)));
         // All four quadrants occupied:
         for q in 0..4 {
             let lo = q as f64 * std::f64::consts::FRAC_PI_2;
             assert!(
-                phases.iter().any(|&p| p >= lo && p < lo + std::f64::consts::FRAC_PI_2),
+                phases
+                    .iter()
+                    .any(|&p| p >= lo && p < lo + std::f64::consts::FRAC_PI_2),
                 "quadrant {q} empty"
             );
         }

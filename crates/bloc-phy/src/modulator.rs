@@ -6,14 +6,13 @@
 //! i.e. +250 kHz during settled 1-runs and −250 kHz during settled 0-runs
 //! (the f₁/f₀ tones of paper Fig. 1b).
 
-use serde::{Deserialize, Serialize};
-
 use crate::pulse::{ble_pulse, GaussianPulse};
 use bloc_num::constants::{BLE_GFSK_DEVIATION_HZ, BLE_SYMBOL_RATE};
 use bloc_num::C64;
 
 /// Modulator parameters.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ModulatorConfig {
     /// Samples per symbol.
     pub sps: usize,
@@ -25,7 +24,11 @@ pub struct ModulatorConfig {
 
 impl Default for ModulatorConfig {
     fn default() -> Self {
-        Self { sps: 8, symbol_rate: BLE_SYMBOL_RATE, deviation_hz: BLE_GFSK_DEVIATION_HZ }
+        Self {
+            sps: 8,
+            symbol_rate: BLE_SYMBOL_RATE,
+            deviation_hz: BLE_GFSK_DEVIATION_HZ,
+        }
     }
 }
 
@@ -104,7 +107,10 @@ mod tests {
         let m = modulator();
         let bits: Vec<bool> = (0..40).map(|i| i % 3 == 0).collect();
         for z in m.modulate(&bits) {
-            assert!((z.abs() - 1.0).abs() < 1e-12, "GFSK must be constant-envelope");
+            assert!(
+                (z.abs() - 1.0).abs() < 1e-12,
+                "GFSK must be constant-envelope"
+            );
         }
     }
 
@@ -163,7 +169,10 @@ mod tests {
         let max_step = 2.0 * std::f64::consts::PI * 250e3 / m.config().sample_rate();
         for pair in iq.windows(2) {
             let dphi = (pair[1] * pair[0].conj()).arg().abs();
-            assert!(dphi <= max_step + 1e-9, "phase step {dphi} exceeds deviation bound");
+            assert!(
+                dphi <= max_step + 1e-9,
+                "phase step {dphi} exceeds deviation bound"
+            );
         }
     }
 
@@ -175,7 +184,10 @@ mod tests {
         let b = m.modulate_from(&bits, 1.0);
         for (x, y) in a.iter().zip(&b) {
             let rel = (*y * x.conj()).arg();
-            assert!((rel - 1.0).abs() < 1e-9, "constant phase offset must persist");
+            assert!(
+                (rel - 1.0).abs() < 1e-9,
+                "constant phase offset must persist"
+            );
         }
     }
 
@@ -197,7 +209,12 @@ mod tests {
                 .iter()
                 .enumerate()
                 .filter(|(k, _)| {
-                    let f = if *k <= n / 2 { *k as f64 } else { *k as f64 - n as f64 } * fs / n as f64;
+                    let f = if *k <= n / 2 {
+                        *k as f64
+                    } else {
+                        *k as f64 - n as f64
+                    } * fs
+                        / n as f64;
                     f.abs() <= 1.0e6
                 })
                 .map(|(_, p)| p)
@@ -206,7 +223,10 @@ mod tests {
         };
 
         let gfsk = GfskModulator::new(cfg.clone());
-        let fsk = GfskModulator::with_pulse(cfg.clone(), crate::pulse::GaussianPulse::new(8.0, cfg.sps, 2));
+        let fsk = GfskModulator::with_pulse(
+            cfg.clone(),
+            crate::pulse::GaussianPulse::new(8.0, cfg.sps, 2),
+        );
         assert!(
             in_band_fraction(&gfsk) > in_band_fraction(&fsk),
             "Gaussian shaping must concentrate in-band energy"

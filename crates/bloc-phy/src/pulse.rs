@@ -15,10 +15,9 @@
 //! normalized to unit area (so a long run of +1 bits drives the shaped
 //! waveform to exactly +1).
 
-use serde::{Deserialize, Serialize};
-
 /// A sampled Gaussian frequency pulse.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct GaussianPulse {
     taps: Vec<f64>,
     sps: usize,
@@ -137,7 +136,8 @@ impl GaussianPulse {
         // landing at sample k·sps + sps/2 (the bit centre).
         for (n, sample) in out.iter_mut().enumerate() {
             let centre_sample = n as isize + half as isize - (self.sps / 2) as isize;
-            let k_min = (centre_sample - self.taps.len() as isize + 1).div_euclid(self.sps as isize);
+            let k_min =
+                (centre_sample - self.taps.len() as isize + 1).div_euclid(self.sps as isize);
             let k_max = centre_sample.div_euclid(self.sps as isize);
             let mut acc = 0.0;
             for k in k_min..=k_max {
@@ -172,7 +172,10 @@ mod tests {
         }
         assert!(taps.iter().all(|&t| t >= 0.0));
         let centre = taps[taps.len() / 2];
-        assert!(taps.iter().all(|&t| t <= centre + 1e-12), "centre tap must be max");
+        assert!(
+            taps.iter().all(|&t| t <= centre + 1e-12),
+            "centre tap must be max"
+        );
     }
 
     #[test]
@@ -202,7 +205,10 @@ mod tests {
         let w = p.shape(&bits);
         let interior = &w[4 * 8..16 * 8];
         let max = interior.iter().cloned().fold(0.0f64, |m, v| m.max(v.abs()));
-        assert!(max < 0.9, "alternating bits reached {max}, should stay below tone");
+        assert!(
+            max < 0.9,
+            "alternating bits reached {max}, should stay below tone"
+        );
     }
 
     #[test]
@@ -214,7 +220,11 @@ mod tests {
         bits.extend(vec![true; 8]);
         let w = p.shape(&bits);
         for pair in w.windows(2) {
-            assert!((pair[1] - pair[0]).abs() < 0.5, "jump {}", (pair[1] - pair[0]).abs());
+            assert!(
+                (pair[1] - pair[0]).abs() < 0.5,
+                "jump {}",
+                (pair[1] - pair[0]).abs()
+            );
         }
     }
 
@@ -249,7 +259,10 @@ mod tests {
             bits.extend(vec![true; 10]);
             let w = p.shape(&bits);
             // First sample after the transition point where w > 0.99:
-            w.iter().skip(10 * 8).position(|&v| v > 0.99).unwrap_or(usize::MAX)
+            w.iter()
+                .skip(10 * 8)
+                .position(|&v| v > 0.99)
+                .unwrap_or(usize::MAX)
         };
         assert!(settle_samples(0.3) > settle_samples(1.0));
     }

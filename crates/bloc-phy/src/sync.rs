@@ -171,8 +171,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let aa = AccessAddress::generate(&mut rng);
         for offset in [0usize, 137, 500] {
-            let stream =
-                stream_with_packet(&mut rng, aa, offset, C64::from_polar(0.03, 1.2), 15.0);
+            let stream = stream_with_packet(&mut rng, aa, offset, C64::from_polar(0.03, 1.2), 15.0);
             let det = detect_packet(&stream, aa, &modem(), 0.6).expect("packet present");
             assert_eq!(det.offset, offset, "wrong sync position");
             assert!(det.quality > 0.8, "quality {}", det.quality);

@@ -4,13 +4,22 @@ use bloc_testbed::runner::{sweep, Method, SweepSpec};
 use bloc_testbed::scenario::Scenario;
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(100);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100);
     let scenario = Scenario::paper_testbed(2018);
     let positions = sample_positions(&scenario.room, n, 2018 ^ 0x9A);
     let spec = SweepSpec::standard(
         &scenario,
         &positions,
-        vec![Method::Bloc, Method::BlocShortestDistance, Method::BlocArgmax, Method::AoaBaseline, Method::RssiBaseline],
+        vec![
+            Method::Bloc,
+            Method::BlocShortestDistance,
+            Method::BlocArgmax,
+            Method::AoaBaseline,
+            Method::RssiBaseline,
+        ],
         2018,
     );
     let t0 = std::time::Instant::now();
@@ -18,7 +27,11 @@ fn main() {
     for o in &out {
         println!(
             "{:28} median {:5.2} m  p90 {:5.2} m  mean {:5.2}  fail {}",
-            o.method.name(), o.stats.median, o.stats.p90, o.stats.mean, o.failures
+            o.method.name(),
+            o.stats.median,
+            o.stats.p90,
+            o.stats.mean,
+            o.failures
         );
     }
     println!("elapsed {:?} for {} locations", t0.elapsed(), n);

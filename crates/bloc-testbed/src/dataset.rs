@@ -74,8 +74,14 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let room = Room::new(5.0, 6.0);
-        assert_eq!(sample_positions(&room, 50, 9), sample_positions(&room, 50, 9));
-        assert_ne!(sample_positions(&room, 50, 9), sample_positions(&room, 50, 10));
+        assert_eq!(
+            sample_positions(&room, 50, 9),
+            sample_positions(&room, 50, 9)
+        );
+        assert_ne!(
+            sample_positions(&room, 50, 9),
+            sample_positions(&room, 50, 10)
+        );
     }
 
     #[test]

@@ -44,7 +44,9 @@ pub fn run(size: &ExperimentSize) -> ExtFusionResult {
 
     for (idx, &truth) in positions.iter().enumerate() {
         let mut rng = StdRng::seed_from_u64(size.seed ^ (idx as u64).wrapping_mul(0xF00D));
-        let bursts: Vec<_> = (0..4).map(|_| sounder.sound(truth, &channels, &mut rng)).collect();
+        let bursts: Vec<_> = (0..4)
+            .map(|_| sounder.sound(truth, &channels, &mut rng))
+            .collect();
         for (k, &n) in burst_counts.iter().enumerate() {
             if let Some(est) = localizer.localize_fused(&bursts[..n]) {
                 errors[k].push(est.position.dist(truth));
@@ -56,7 +58,10 @@ pub fn run(size: &ExperimentSize) -> ExtFusionResult {
         points: burst_counts
             .iter()
             .zip(errors)
-            .map(|(&bursts, errs)| FusionStats { bursts, stats: ErrorStats::from_errors(errs) })
+            .map(|(&bursts, errs)| FusionStats {
+                bursts,
+                stats: ErrorStats::from_errors(errs),
+            })
             .collect(),
     }
 }
@@ -64,8 +69,9 @@ pub fn run(size: &ExperimentSize) -> ExtFusionResult {
 impl ExtFusionResult {
     /// Renders the series.
     pub fn render(&self) -> String {
-        let mut out =
-            String::from("Extension — multi-burst fusion (beyond the paper; §6's spare hop cycles)\n");
+        let mut out = String::from(
+            "Extension — multi-burst fusion (beyond the paper; §6's spare hop cycles)\n",
+        );
         out.push_str("  bursts | median (m) | p90 (m)\n");
         for p in &self.points {
             out.push_str(&format!(
@@ -83,7 +89,10 @@ mod tests {
 
     #[test]
     fn fusion_does_not_hurt() {
-        let r = run(&ExperimentSize { locations: 16, seed: 2018 });
+        let r = run(&ExperimentSize {
+            locations: 16,
+            seed: 2018,
+        });
         assert_eq!(r.points.len(), 3);
         let single = r.points[0].stats.median;
         let fused = r.points[2].stats.median;

@@ -58,7 +58,11 @@ pub fn run(size: &ExperimentSize) -> Fig10Result {
                 .iter()
                 .filter(|c| (c.freq_hz() - band_center).abs() <= half)
                 .count();
-            BandwidthStats { bandwidth_mhz: bw_mhz, n_channels, stats: out[0].stats.clone() }
+            BandwidthStats {
+                bandwidth_mhz: bw_mhz,
+                n_channels,
+                stats: out[0].stats.clone(),
+            }
         })
         .collect();
 
@@ -87,7 +91,10 @@ mod tests {
 
     #[test]
     fn more_bandwidth_less_error() {
-        let r = run(&ExperimentSize { locations: 24, seed: 2018 });
+        let r = run(&ExperimentSize {
+            locations: 24,
+            seed: 2018,
+        });
         assert_eq!(r.points.len(), 4);
         let med: Vec<f64> = r.points.iter().map(|p| p.stats.median).collect();
         // End-to-end monotonic trend: 2 MHz clearly worse than 80 MHz.

@@ -54,7 +54,11 @@ pub fn run(size: &ExperimentSize) -> Fig11Result {
                 .iter()
                 .filter(|c| c.freq_index() % stride == 0)
                 .count();
-            SubsampleStats { stride, n_channels, stats: out[0].stats.clone() }
+            SubsampleStats {
+                stride,
+                n_channels,
+                stats: out[0].stats.clone(),
+            }
         })
         .collect();
 
@@ -64,7 +68,9 @@ pub fn run(size: &ExperimentSize) -> Fig11Result {
 impl Fig11Result {
     /// Renders the paper-style series.
     pub fn render(&self) -> String {
-        let mut out = String::from("Fig. 11 — interference avoidance: channel subsampling over the full 80 MHz span\n");
+        let mut out = String::from(
+            "Fig. 11 — interference avoidance: channel subsampling over the full 80 MHz span\n",
+        );
         out.push_str("  stride | subbands | median (m) | std dev (m)\n");
         for p in &self.points {
             out.push_str(&format!(
@@ -83,7 +89,10 @@ mod tests {
 
     #[test]
     fn subsampling_is_nearly_free() {
-        let r = run(&ExperimentSize { locations: 24, seed: 2018 });
+        let r = run(&ExperimentSize {
+            locations: 24,
+            seed: 2018,
+        });
         let full = r.points[0].stats.median;
         for p in &r.points[1..] {
             assert!(

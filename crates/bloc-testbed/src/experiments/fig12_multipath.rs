@@ -32,7 +32,11 @@ pub fn run(size: &ExperimentSize) -> Fig12Result {
     let spec = SweepSpec::standard(
         &scenario,
         &positions,
-        vec![Method::Bloc, Method::BlocShortestDistance, Method::BlocArgmax],
+        vec![
+            Method::Bloc,
+            Method::BlocShortestDistance,
+            Method::BlocArgmax,
+        ],
         size.seed,
     );
     let out = sweep(&spec);
@@ -60,7 +64,10 @@ impl Fig12Result {
             "Likelihood-Argmax", self.argmax.median, self.argmax.p90
         ));
         out.push_str(&super::format_cdf("BLoc", &self.bloc.cdf_rows(5.0, 11)));
-        out.push_str(&super::format_cdf("Shortest-Distance", &self.shortest.cdf_rows(5.0, 11)));
+        out.push_str(&super::format_cdf(
+            "Shortest-Distance",
+            &self.shortest.cdf_rows(5.0, 11),
+        ));
         out
     }
 }

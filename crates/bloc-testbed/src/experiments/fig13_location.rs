@@ -47,17 +47,21 @@ pub fn run(size: &ExperimentSize) -> Fig13Result {
         P2::new(room.width, room.height),
         P2::new(0.0, room.height),
     ];
-    let corner_rmse =
-        map.mean_rmse_where(|p| corners.iter().any(|&c| p.dist(c) < 1.2));
+    let corner_rmse = map.mean_rmse_where(|p| corners.iter().any(|&c| p.dist(c) < 1.2));
     let center_rmse = map.mean_rmse_where(|p| p.dist(room.center()) < 1.5);
 
-    Fig13Result { rmse: map.rmse_grid(), corner_rmse, center_rmse }
+    Fig13Result {
+        rmse: map.rmse_grid(),
+        corner_rmse,
+        center_rmse,
+    }
 }
 
 impl Fig13Result {
     /// Renders the RMSE heat map.
     pub fn render(&self) -> String {
-        let mut out = String::from("Fig. 13 — RMSE by tag location (0.5 m cells; darker = larger error)\n");
+        let mut out =
+            String::from("Fig. 13 — RMSE by tag location (0.5 m cells; darker = larger error)\n");
         out.push_str(&ascii_heatmap(&self.rmse, 40));
         out.push_str(&format!(
             "  corner-region mean RMSE {:5.2} m | central mean RMSE {:5.2} m\n",
@@ -74,7 +78,10 @@ mod tests {
 
     #[test]
     fn map_is_populated() {
-        let r = run(&ExperimentSize { locations: 60, seed: 2018 });
+        let r = run(&ExperimentSize {
+            locations: 60,
+            seed: 2018,
+        });
         let visited = r.rmse.data().iter().filter(|v| v.is_finite()).count();
         assert!(visited > 20, "RMSE map too sparse: {visited} cells");
         assert!(r.center_rmse.is_finite());

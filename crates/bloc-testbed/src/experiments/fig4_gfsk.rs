@@ -29,7 +29,9 @@ pub fn run(_size: &ExperimentSize) -> Fig4Result {
     let fs = modem.config().sample_rate();
 
     // Fig. 4(a): pseudo-random payload bits.
-    let random_bits: Vec<bool> = (0u32..40).map(|i| (i.wrapping_mul(2654435761) >> 16) & 1 == 1).collect();
+    let random_bits: Vec<bool> = (0u32..40)
+        .map(|i| (i.wrapping_mul(2654435761) >> 16) & 1 == 1)
+        .collect();
     // Fig. 4(b): 5-bit runs, as illustrated in the paper.
     let mut run_bits = Vec::new();
     for _ in 0..4 {
@@ -39,8 +41,10 @@ pub fn run(_size: &ExperimentSize) -> Fig4Result {
 
     let settled_fraction = |bits: &[bool]| {
         let iq = modem.modulate(bits);
-        let settled: usize =
-            settled_regions(&iq, fs, 10e3, 8).iter().map(|r| r.len).sum();
+        let settled: usize = settled_regions(&iq, fs, 10e3, 8)
+            .iter()
+            .map(|r| r.len)
+            .sum();
         settled as f64 / iq.len() as f64
     };
 
@@ -55,7 +59,8 @@ pub fn run(_size: &ExperimentSize) -> Fig4Result {
 impl Fig4Result {
     /// Renders the paper-style summary.
     pub fn render(&self) -> String {
-        let mut out = String::from("Fig. 4 — GFSK settling (paper: runs settle, random data never does)\n");
+        let mut out =
+            String::from("Fig. 4 — GFSK settling (paper: runs settle, random data never does)\n");
         out.push_str(&format!(
             "  settled fraction: random bits {:5.1} %   0/1 runs {:5.1} %\n",
             100.0 * self.random_settled_fraction,
@@ -84,7 +89,11 @@ mod tests {
     #[test]
     fn runs_settle_random_does_not() {
         let r = run(&ExperimentSize::smoke());
-        assert!(r.runs_settled_fraction > 0.4, "runs: {}", r.runs_settled_fraction);
+        assert!(
+            r.runs_settled_fraction > 0.4,
+            "runs: {}",
+            r.runs_settled_fraction
+        );
         assert!(
             r.runs_settled_fraction > 3.0 * r.random_settled_fraction,
             "runs {} vs random {}",

@@ -60,7 +60,13 @@ pub fn run(size: &ExperimentSize) -> Fig6Result {
         high_region_extent(&joint_map, 0.9),
     ];
 
-    Fig6Result { truth, angle_map, distance_map, joint_map, extents }
+    Fig6Result {
+        truth,
+        angle_map,
+        distance_map,
+        joint_map,
+        extents,
+    }
 }
 
 /// Max pairwise distance among cells within `frac` of the map maximum.
@@ -94,7 +100,10 @@ impl Fig6Result {
         ));
         for (name, map) in [
             ("(a) Eq. 15 — angle only (one anchor)", &self.angle_map),
-            ("(b) Eq. 16 — relative distance only (one anchor)", &self.distance_map),
+            (
+                "(b) Eq. 16 — relative distance only (one anchor)",
+                &self.distance_map,
+            ),
             ("(c) Eq. 17 — joint, all anchors", &self.joint_map),
         ] {
             out.push_str(&format!("  {name}:\n"));
@@ -112,9 +121,18 @@ mod tests {
     fn wedge_hyperbola_spot_progression() {
         let r = run(&ExperimentSize::smoke());
         let [angle, dist, joint] = r.extents;
-        assert!(angle > 2.0, "angle map should be a metres-long wedge, got {angle}");
-        assert!(dist > 2.0, "distance map should be a metres-long hyperbola, got {dist}");
-        assert!(joint < 1.5, "joint map should be a compact spot, got {joint}");
+        assert!(
+            angle > 2.0,
+            "angle map should be a metres-long wedge, got {angle}"
+        );
+        assert!(
+            dist > 2.0,
+            "distance map should be a metres-long hyperbola, got {dist}"
+        );
+        assert!(
+            joint < 1.5,
+            "joint map should be a compact spot, got {joint}"
+        );
         // Every map's high region contains the truth.
         for g in [&r.angle_map, &r.distance_map, &r.joint_map] {
             let (_, _, max) = g.argmax().unwrap();

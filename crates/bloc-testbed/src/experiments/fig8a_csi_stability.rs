@@ -51,8 +51,10 @@ pub fn run(size: &ExperimentSize) -> Fig8aResult {
         .map(|&subband| {
             let channel = Channel::from_freq_index(subband).expect("subband in range");
             let soundings = sounder.sound_repeated(tag, channel, repeats, &mut rng);
-            let phases: Vec<f64> =
-                soundings.iter().map(|b| b.tag_to_anchor[1][0].arg()).collect();
+            let phases: Vec<f64> = soundings
+                .iter()
+                .map(|b| b.tag_to_anchor[1][0].arg())
+                .collect();
             SubbandSeries {
                 subband,
                 circular_variance: circular_variance(&phases),
@@ -69,7 +71,9 @@ impl Fig8aResult {
     pub fn render(&self) -> String {
         let mut out =
             String::from("Fig. 8a — CSI stability over consecutive measurements (phase °)\n");
-        out.push_str("  subband | measurements…                                        | circ.var\n");
+        out.push_str(
+            "  subband | measurements…                                        | circ.var\n",
+        );
         for s in &self.series {
             let vals: Vec<String> = s.phases_deg.iter().map(|p| format!("{p:7.1}")).collect();
             out.push_str(&format!(
@@ -110,6 +114,9 @@ mod tests {
         let first: Vec<f64> = r.series.iter().map(|s| s.phases_deg[0]).collect();
         let spread = first.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
             - first.iter().cloned().fold(f64::INFINITY, f64::min);
-        assert!(spread > 5.0, "subband phases suspiciously aligned: {first:?}");
+        assert!(
+            spread > 5.0,
+            "subband phases suspiciously aligned: {first:?}"
+        );
     }
 }

@@ -46,14 +46,28 @@ pub fn run(size: &ExperimentSize) -> Fig8bResult {
 
     // Sort bands by frequency for a clean x-axis.
     let mut order: Vec<usize> = (0..data.bands.len()).collect();
-    order.sort_by(|&a, &b| data.bands[a].freq_hz.partial_cmp(&data.bands[b].freq_hz).unwrap());
+    order.sort_by(|&a, &b| {
+        data.bands[a]
+            .freq_hz
+            .partial_cmp(&data.bands[b].freq_hz)
+            .unwrap()
+    });
 
     let corrected = correct(&data, true);
 
-    let subbands: Vec<usize> = order.iter().map(|&k| data.bands[k].channel.freq_index()).collect();
+    let subbands: Vec<usize> = order
+        .iter()
+        .map(|&k| data.bands[k].channel.freq_index())
+        .collect();
     let freqs: Vec<f64> = order.iter().map(|&k| data.bands[k].freq_hz).collect();
-    let raw: Vec<f64> = order.iter().map(|&k| data.bands[k].tag_to_anchor[1][0].arg()).collect();
-    let cor: Vec<f64> = order.iter().map(|&k| corrected.bands[k].alpha[1][0].arg()).collect();
+    let raw: Vec<f64> = order
+        .iter()
+        .map(|&k| data.bands[k].tag_to_anchor[1][0].arg())
+        .collect();
+    let cor: Vec<f64> = order
+        .iter()
+        .map(|&k| corrected.bands[k].alpha[1][0].arg())
+        .collect();
 
     let raw_unwrapped = unwrap(&raw);
     let cor_unwrapped = unwrap(&cor);

@@ -36,11 +36,13 @@ pub fn run(size: &ExperimentSize) -> Fig8cResult {
     // A location where clutter reflections compete with the (partially
     // obstructed) direct path: the profile shows several peaks and BLoc
     // must pick the right one.
-    let truth = P2::new(2.5, 4.5);
+    let truth = P2::new(2.5, 3.5);
     let data = sounder.sound(truth, &all_data_channels(), &mut rng);
 
     let localizer = BlocLocalizer::new(BlocConfig::for_room(&scenario.room));
-    let est = localizer.localize(&data).expect("profile location must localize");
+    let est = localizer
+        .localize(&data)
+        .expect("profile location must localize");
 
     Fig8cResult {
         truth,
@@ -80,7 +82,10 @@ mod tests {
     #[test]
     fn profile_has_multiple_peaks_and_good_estimate() {
         let r = run(&ExperimentSize::smoke());
-        assert!(r.peaks.len() >= 2, "multipath-rich profile should show several peaks");
+        assert!(
+            r.peaks.len() >= 2,
+            "multipath-rich profile should show several peaks"
+        );
         assert!(
             r.truth.dist(r.estimate) < 1.0,
             "estimate {} vs truth {}",

@@ -36,7 +36,11 @@ pub fn run(size: &ExperimentSize) -> Fig9aResult {
     let mut out = sweep(&spec);
     let aoa = out.pop().expect("two methods").stats;
     let bloc = out.pop().expect("two methods").stats;
-    Fig9aResult { bloc, aoa, locations: positions.len() }
+    Fig9aResult {
+        bloc,
+        aoa,
+        locations: positions.len(),
+    }
 }
 
 impl Fig9aResult {
@@ -52,7 +56,10 @@ impl Fig9aResult {
             "AoA-baseline", self.aoa.median, self.aoa.p90
         ));
         out.push_str(&super::format_cdf("BLoc", &self.bloc.cdf_rows(6.0, 13)));
-        out.push_str(&super::format_cdf("AoA-baseline", &self.aoa.cdf_rows(6.0, 13)));
+        out.push_str(&super::format_cdf(
+            "AoA-baseline",
+            &self.aoa.cdf_rows(6.0, 13),
+        ));
         out
     }
 }
@@ -64,8 +71,21 @@ mod tests {
     #[test]
     fn bloc_beats_aoa_baseline() {
         let r = run(&ExperimentSize::smoke());
-        assert!(r.bloc.median < r.aoa.median, "BLoc {} vs AoA {}", r.bloc.median, r.aoa.median);
-        assert!(r.bloc.median < 1.3, "BLoc median should be around/below 1 m: {}", r.bloc.median);
-        assert!(r.aoa.median > 1.0, "AoA in heavy multipath should err > 1 m: {}", r.aoa.median);
+        assert!(
+            r.bloc.median < r.aoa.median,
+            "BLoc {} vs AoA {}",
+            r.bloc.median,
+            r.aoa.median
+        );
+        assert!(
+            r.bloc.median < 1.3,
+            "BLoc median should be around/below 1 m: {}",
+            r.bloc.median
+        );
+        assert!(
+            r.aoa.median > 1.0,
+            "AoA in heavy multipath should err > 1 m: {}",
+            r.aoa.median
+        );
     }
 }

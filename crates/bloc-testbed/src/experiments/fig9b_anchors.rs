@@ -124,7 +124,10 @@ mod tests {
 
     #[test]
     fn fewer_anchors_do_not_improve_bloc() {
-        let r = run(&ExperimentSize { locations: 24, seed: 2018 });
+        let r = run(&ExperimentSize {
+            locations: 24,
+            seed: 2018,
+        });
         let med = |v: &[AnchorCountStats], n: usize| {
             v.iter().find(|s| s.n_anchors == n).unwrap().stats.median
         };

@@ -53,8 +53,14 @@ pub fn run(size: &ExperimentSize) -> Fig9cResult {
             )
         };
         let out = sweep(&spec);
-        bloc.push(AntennaCountStats { n_antennas: n, stats: out[0].stats.clone() });
-        aoa.push(AntennaCountStats { n_antennas: n, stats: out[1].stats.clone() });
+        bloc.push(AntennaCountStats {
+            n_antennas: n,
+            stats: out[0].stats.clone(),
+        });
+        aoa.push(AntennaCountStats {
+            n_antennas: n,
+            stats: out[1].stats.clone(),
+        });
     }
     Fig9cResult { bloc, aoa }
 }
@@ -70,7 +76,9 @@ impl Fig9cResult {
                 b.n_antennas, b.stats.median, b.stats.p90, a.stats.median, a.stats.p90
             ));
         }
-        out.push_str("  (paper: BLoc 0.90/1.71 with 3 ant, 0.86/1.70 with 4; AoA 2.41/3.20 and 2.42/3.40)\n");
+        out.push_str(
+            "  (paper: BLoc 0.90/1.71 with 3 ant, 0.86/1.70 with 4; AoA 2.41/3.20 and 2.42/3.40)\n",
+        );
         out
     }
 }
@@ -81,7 +89,10 @@ mod tests {
 
     #[test]
     fn antenna_reduction_is_gentle_for_bloc() {
-        let r = run(&ExperimentSize { locations: 24, seed: 2018 });
+        let r = run(&ExperimentSize {
+            locations: 24,
+            seed: 2018,
+        });
         let b3 = &r.bloc[0].stats;
         let b4 = &r.bloc[1].stats;
         // The paper's point: bandwidth compensates; 3-antenna BLoc stays

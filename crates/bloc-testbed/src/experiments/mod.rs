@@ -6,10 +6,10 @@
 
 use serde::{Deserialize, Serialize};
 
+pub mod ext_fusion;
 pub mod fig10_bandwidth;
 pub mod fig11_interference;
 pub mod fig12_multipath;
-pub mod ext_fusion;
 pub mod fig13_location;
 pub mod fig4_gfsk;
 pub mod fig6_likelihoods;
@@ -32,17 +32,26 @@ pub struct ExperimentSize {
 impl ExperimentSize {
     /// The paper's scale: 1700 locations.
     pub fn paper() -> Self {
-        Self { locations: crate::dataset::PAPER_DATASET_SIZE, seed: 2018 }
+        Self {
+            locations: crate::dataset::PAPER_DATASET_SIZE,
+            seed: 2018,
+        }
     }
 
     /// A fast smoke scale for tests.
     pub fn smoke() -> Self {
-        Self { locations: 48, seed: 2018 }
+        Self {
+            locations: 48,
+            seed: 2018,
+        }
     }
 
     /// A custom location count at the standard seed.
     pub fn locations(n: usize) -> Self {
-        Self { locations: n, seed: 2018 }
+        Self {
+            locations: n,
+            seed: 2018,
+        }
     }
 }
 

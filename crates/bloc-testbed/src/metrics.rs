@@ -61,7 +61,11 @@ impl RmseMap {
     /// A map over `room` with the given cell size.
     pub fn for_room(room: &Room, cell: f64) -> Self {
         let spec = GridSpec::covering(P2::ORIGIN, P2::new(room.width, room.height), cell);
-        Self { spec, sum_sq: vec![0.0; spec.len()], count: vec![0; spec.len()] }
+        Self {
+            spec,
+            sum_sq: vec![0.0; spec.len()],
+            count: vec![0; spec.len()],
+        }
     }
 
     /// Records one localization attempt: the true position and its error.
@@ -246,7 +250,9 @@ mod tests {
         let mut a = RmseMap::for_room(&room, 1.0);
         let mut b = RmseMap::for_room(&room, 1.0);
         let mut whole = RmseMap::for_room(&room, 1.0);
-        for (k, &(x, y, e)) in [(1.0, 1.0, 0.5), (1.2, 1.1, 1.5), (3.0, 4.0, 2.0)].iter().enumerate()
+        for (k, &(x, y, e)) in [(1.0, 1.0, 0.5), (1.2, 1.1, 1.5), (3.0, 4.0, 2.0)]
+            .iter()
+            .enumerate()
         {
             let p = P2::new(x, y);
             whole.record(p, e);
@@ -301,6 +307,9 @@ mod tests {
         m.record(P2::new(2.5, 3.0), 1.0);
         let art = ascii_heatmap(&m.rmse_grid(), 20);
         assert!(art.contains('\n'));
-        assert!(art.chars().any(|c| c != ' ' && c != '\n'), "visited cell must render");
+        assert!(
+            art.chars().any(|c| c != ' ' && c != '\n'),
+            "visited cell must render"
+        );
     }
 }

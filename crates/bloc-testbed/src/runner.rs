@@ -11,6 +11,7 @@
 
 use std::sync::Arc;
 
+use bloc_obs::local::LocalStats;
 use crossbeam::channel;
 use serde::{Deserialize, Serialize};
 
@@ -102,7 +103,12 @@ pub struct SweepSpec<'a> {
 impl<'a> SweepSpec<'a> {
     /// A spec with the standard 37-channel plan, default sounder and no
     /// transform.
-    pub fn standard(scenario: &'a Scenario, positions: &'a [P2], methods: Vec<Method>, seed: u64) -> Self {
+    pub fn standard(
+        scenario: &'a Scenario,
+        positions: &'a [P2],
+        methods: Vec<Method>,
+        seed: u64,
+    ) -> Self {
         Self {
             scenario,
             positions,
@@ -123,7 +129,13 @@ pub fn sweep(spec: &SweepSpec<'_>) -> Vec<SweepOutcome> {
     let n_methods = spec.methods.len();
     let localizer = BlocLocalizer::new(spec.scenario.bloc_config());
 
-    let n_threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4).min(n.max(1));
+    let _span = bloc_obs::span("sweep");
+    bloc_obs::counter("sweep.runs").inc();
+
+    let n_threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(n.max(1));
     let (tx, rx) = channel::unbounded::<(usize, Vec<Option<P2>>)>();
 
     std::thread::scope(|scope| {
@@ -132,6 +144,9 @@ pub fn sweep(spec: &SweepSpec<'_>) -> Vec<SweepOutcome> {
             let localizer = localizer.clone();
             let spec = spec.clone();
             scope.spawn(move || {
+                // Per-worker aggregation: samples accumulate in plain
+                // memory here and hit the shared registry once, at join.
+                let mut stats = LocalStats::new();
                 let sounder = spec.scenario.sounder(spec.sounder_config);
                 for idx in (t..n).step_by(n_threads) {
                     let truth = spec.positions[idx];
@@ -140,24 +155,38 @@ pub fn sweep(spec: &SweepSpec<'_>) -> Vec<SweepOutcome> {
                     let mut rng = StdRng::seed_from_u64(
                         spec.seed ^ (idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
                     );
-                    let mut data = sounder.sound(truth, &spec.channels, &mut rng);
+                    let mut data = stats.time("sweep.sound_us", || {
+                        sounder.sound(truth, &spec.channels, &mut rng)
+                    });
                     if let Some(transform) = &spec.transform {
                         data = transform(data);
                     }
-                    let estimates: Vec<Option<P2>> = spec
-                        .methods
-                        .iter()
-                        .map(|m| evaluate(*m, &localizer, &data))
-                        .collect();
-                    tx.send((idx, estimates)).expect("collector outlives workers");
+                    let estimates: Vec<Option<P2>> = stats.time("sweep.location_us", || {
+                        spec.methods
+                            .iter()
+                            .map(|m| evaluate(*m, &localizer, &data))
+                            .collect()
+                    });
+                    stats.inc("sweep.locations");
+                    stats.add(
+                        "sweep.estimate_failures",
+                        estimates.iter().filter(|e| e.is_none()).count() as u64,
+                    );
+                    tx.send((idx, estimates))
+                        .expect("collector outlives workers");
                 }
+                stats.merge_into(bloc_obs::Registry::global());
             });
         }
         drop(tx);
 
         let mut per_method: Vec<Vec<LocRecord>> = vec![
             vec![
-                LocRecord { truth: P2::ORIGIN, estimate: None, error: f64::NAN };
+                LocRecord {
+                    truth: P2::ORIGIN,
+                    estimate: None,
+                    error: f64::NAN
+                };
                 n
             ];
             n_methods
@@ -177,10 +206,18 @@ pub fn sweep(spec: &SweepSpec<'_>) -> Vec<SweepOutcome> {
             .into_iter()
             .zip(&spec.methods)
             .map(|(records, &method)| {
-                let errors: Vec<f64> =
-                    records.iter().filter(|r| r.estimate.is_some()).map(|r| r.error).collect();
+                let errors: Vec<f64> = records
+                    .iter()
+                    .filter(|r| r.estimate.is_some())
+                    .map(|r| r.error)
+                    .collect();
                 let failures = records.len() - errors.len();
-                SweepOutcome { method, stats: ErrorStats::from_errors(errors), records, failures }
+                SweepOutcome {
+                    method,
+                    stats: ErrorStats::from_errors(errors),
+                    records,
+                    failures,
+                }
             })
             .collect()
     })
@@ -189,9 +226,9 @@ pub fn sweep(spec: &SweepSpec<'_>) -> Vec<SweepOutcome> {
 fn evaluate(method: Method, localizer: &BlocLocalizer, data: &SoundingData) -> Option<P2> {
     let estimate = match method {
         Method::Bloc => localizer.localize(data).map(|e| e.position),
-        Method::BlocShortestDistance => {
-            localizer.localize_shortest_distance(data).map(|e| e.position)
-        }
+        Method::BlocShortestDistance => localizer
+            .localize_shortest_distance(data)
+            .map(|e| e.position),
         Method::BlocArgmax => localizer.localize_argmax(data).map(|e| e.position),
         Method::AoaBaseline => aoa::localize(data, &aoa::AoaConfig::default()),
         Method::RssiBaseline => rssi::localize(data, &rssi::RssiConfig::default()),
@@ -203,8 +240,14 @@ fn evaluate(method: Method, localizer: &BlocLocalizer, data: &SoundingData) -> O
     let spec = localizer.config().grid;
     estimate.map(|p| {
         P2::new(
-            p.x.clamp(spec.origin.x, spec.origin.x + spec.nx as f64 * spec.resolution),
-            p.y.clamp(spec.origin.y, spec.origin.y + spec.ny as f64 * spec.resolution),
+            p.x.clamp(
+                spec.origin.x,
+                spec.origin.x + spec.nx as f64 * spec.resolution,
+            ),
+            p.y.clamp(
+                spec.origin.y,
+                spec.origin.y + spec.ny as f64 * spec.resolution,
+            ),
         )
     })
 }
@@ -221,14 +264,22 @@ mod tests {
         let positions = sample_positions(&scenario.room, 6, 1);
         let spec = SweepSpec {
             channels: bloc_chan::sounder::all_data_channels()[..9].to_vec(),
-            ..SweepSpec::standard(&scenario, &positions, vec![Method::Bloc, Method::RssiBaseline], 3)
+            ..SweepSpec::standard(
+                &scenario,
+                &positions,
+                vec![Method::Bloc, Method::RssiBaseline],
+                3,
+            )
         };
         let a = sweep(&spec);
         let b = sweep(&spec);
         assert_eq!(a.len(), 2);
         assert_eq!(a[0].records.len(), 6);
         for (x, y) in a.iter().zip(&b) {
-            assert_eq!(x.records, y.records, "sweep must be thread-count independent");
+            assert_eq!(
+                x.records, y.records,
+                "sweep must be thread-count independent"
+            );
         }
     }
 
@@ -267,6 +318,46 @@ mod tests {
     }
 
     #[test]
+    fn sweep_populates_the_global_run_report() {
+        let scenario = Scenario::build(Clutter::None, 9);
+        let positions = sample_positions(&scenario.room, 5, 9);
+        let spec = SweepSpec {
+            channels: bloc_chan::sounder::all_data_channels()[..9].to_vec(),
+            ..SweepSpec::standard(&scenario, &positions, vec![Method::Bloc], 9)
+        };
+        let registry = bloc_obs::Registry::global();
+        let before = registry.snapshot();
+        sweep(&spec);
+        let run = registry.snapshot().diff(&before);
+
+        // ≥ rather than ==: other tests in this process share the global
+        // registry and may be running concurrently.
+        let counter = |name: &str| run.counters.get(name).copied().unwrap_or(0);
+        assert!(counter("sweep.runs") >= 1);
+        assert!(
+            counter("sweep.locations") >= 5,
+            "locations: {}",
+            counter("sweep.locations")
+        );
+        assert!(counter("localize.calls") >= 5);
+        assert!(counter("likelihood.grid_cells") > 0);
+        let span = &run.histograms["span.sweep"];
+        assert!(span.count >= 1);
+        let per_loc = &run.histograms["sweep.location_us"];
+        assert!(per_loc.count >= 5);
+        assert!(per_loc.sum > 0, "localizing cannot take zero time");
+
+        // The report the bench bins write must survive a JSONL round trip.
+        let dir = std::env::temp_dir().join("bloc-obs-sweep-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("run-{}.jsonl", std::process::id()));
+        run.write_jsonl(&path).unwrap();
+        let back = bloc_obs::RunReport::read_jsonl(&path).unwrap();
+        assert_eq!(run, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn methods_share_the_same_sounding() {
         // BlocArgmax and Bloc in clean conditions must give identical
         // estimates — they consume the same measurement.
@@ -277,7 +368,12 @@ mod tests {
                 antenna_phase_err_std: 0.0,
                 ..Default::default()
             },
-            ..SweepSpec::standard(&scenario, &positions, vec![Method::Bloc, Method::BlocArgmax], 6)
+            ..SweepSpec::standard(
+                &scenario,
+                &positions,
+                vec![Method::Bloc, Method::BlocArgmax],
+                6,
+            )
         };
         let out = sweep(&spec);
         for (a, b) in out[0].records.iter().zip(&out[1].records) {

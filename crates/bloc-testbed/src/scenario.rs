@@ -64,10 +64,11 @@ impl Scenario {
 
         let env = match clutter {
             Clutter::None => Environment::in_room(room),
-            Clutter::WallsOnly => Environment::in_room(room).with_walls(Material::concrete(), &mut rng),
+            Clutter::WallsOnly => {
+                Environment::in_room(room).with_walls(Material::concrete(), &mut rng)
+            }
             Clutter::MultipathRich => {
-                let mut env =
-                    Environment::in_room(room).with_walls(Material::concrete(), &mut rng);
+                let mut env = Environment::in_room(room).with_walls(Material::concrete(), &mut rng);
                 // Metallic clutter (cupboards, robots, screens). Each face
                 // both reflects strongly AND blocks LOS crossing it — that
                 // combination is what makes "reflections … stronger than
@@ -87,12 +88,18 @@ impl Scenario {
                 ];
                 for face in metal_faces {
                     env.add_reflector(Reflector::new(face, Material::metal(), &mut rng));
-                    env.add_obstruction(Obstruction { blocker: face, loss_db: 16.0 });
+                    env.add_obstruction(Obstruction {
+                        blocker: face,
+                        loss_db: 16.0,
+                    });
                 }
                 // A glass screen (reflects modestly, attenuates little).
                 let glass = Segment::new(P2::new(2.0, 0.4), P2::new(3.4, 0.4));
                 env.add_reflector(Reflector::new(glass, Material::glass(), &mut rng));
-                env.add_obstruction(Obstruction { blocker: glass, loss_db: 3.0 });
+                env.add_obstruction(Obstruction {
+                    blocker: glass,
+                    loss_db: 3.0,
+                });
                 // Softer clutter: desks and crates that attenuate without
                 // reflecting much.
                 env.add_obstruction(Obstruction {
@@ -108,7 +115,13 @@ impl Scenario {
         };
 
         let anchors = standard_anchors(&room);
-        Self { room, env, anchors, clutter, seed }
+        Self {
+            room,
+            env,
+            anchors,
+            clutter,
+            seed,
+        }
     }
 
     /// A sounder over this scenario.

@@ -21,8 +21,13 @@ use rand::{rngs::StdRng, SeedableRng};
 
 /// The cart's route: a loop around the middle of the floor.
 fn route(steps_per_leg: usize) -> Vec<P2> {
-    let corners =
-        [P2::new(1.0, 1.2), P2::new(4.0, 1.2), P2::new(4.0, 4.8), P2::new(1.0, 4.8), P2::new(1.0, 1.2)];
+    let corners = [
+        P2::new(1.0, 1.2),
+        P2::new(4.0, 1.2),
+        P2::new(4.0, 4.8),
+        P2::new(1.0, 4.8),
+        P2::new(1.0, 1.2),
+    ];
     let mut pts = Vec::new();
     for leg in corners.windows(2) {
         for s in 0..steps_per_leg {
@@ -45,7 +50,10 @@ fn main() {
     let mut raw_errors = Vec::new();
     let mut smooth_errors = Vec::new();
     // The cart crosses one waypoint per second; fixes arrive at 1 Hz.
-    let mut tracker = Tracker::new(TrackerConfig { accel_noise: 0.3, fix_sigma_m: 0.9 });
+    let mut tracker = Tracker::new(TrackerConfig {
+        accel_noise: 0.3,
+        fix_sigma_m: 0.9,
+    });
     const DT: f64 = 1.0;
 
     for (k, &truth) in waypoints.iter().enumerate() {

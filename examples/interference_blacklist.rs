@@ -56,7 +56,9 @@ fn main() {
     // The hop schedule provably avoids the blacklisted channels.
     let mut avoided = true;
     for _ in 0..74 {
-        let ev = conn.advance_event(vec![], vec![]).expect("connection alive");
+        let ev = conn
+            .advance_event(vec![], vec![])
+            .expect("connection alive");
         avoided &= map.contains(ev.channel);
     }
     println!("74 connection events, all on clear channels: {avoided}\n");

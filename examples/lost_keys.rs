@@ -28,10 +28,26 @@ fn zones() -> Vec<Zone> {
     // Adjacent pieces of furniture ~1.2 m apart: telling them apart is
     // exactly the sub-meter requirement of the paper's §1 example.
     vec![
-        Zone { name: "cupboard shelf", center: P2::new(1.0, 1.0), radius: 0.35 },
-        Zone { name: "kitchen table", center: P2::new(2.2, 1.0), radius: 0.35 },
-        Zone { name: "kitchen counter", center: P2::new(1.0, 2.2), radius: 0.35 },
-        Zone { name: "side table", center: P2::new(2.2, 2.2), radius: 0.35 },
+        Zone {
+            name: "cupboard shelf",
+            center: P2::new(1.0, 1.0),
+            radius: 0.35,
+        },
+        Zone {
+            name: "kitchen table",
+            center: P2::new(2.2, 1.0),
+            radius: 0.35,
+        },
+        Zone {
+            name: "kitchen counter",
+            center: P2::new(1.0, 2.2),
+            radius: 0.35,
+        },
+        Zone {
+            name: "side table",
+            center: P2::new(2.2, 2.2),
+            radius: 0.35,
+        },
     ]
 }
 
@@ -58,14 +74,20 @@ fn main() {
     let mut bloc_errors = Vec::new();
     let mut rssi_errors = Vec::new();
 
-    println!("dropping the keys {DROPS_PER_ZONE} times into each of {} zones…\n", zs.len());
+    println!(
+        "dropping the keys {DROPS_PER_ZONE} times into each of {} zones…\n",
+        zs.len()
+    );
 
     for (zi, z) in zs.iter().enumerate() {
         let mut bloc_hits = 0;
         let mut rssi_hits = 0;
         for _ in 0..DROPS_PER_ZONE {
             // A uniform drop inside the zone circle.
-            let (r, t): (f64, f64) = (rng.gen::<f64>().sqrt() * z.radius, rng.gen::<f64>() * std::f64::consts::TAU);
+            let (r, t): (f64, f64) = (
+                rng.gen::<f64>().sqrt() * z.radius,
+                rng.gen::<f64>() * std::f64::consts::TAU,
+            );
             let truth = z.center + P2::from_angle(t) * r;
 
             let data = sounder.sound(truth, &all_data_channels(), &mut rng);

@@ -65,10 +65,7 @@ fn main() {
     for p in estimate.peaks.iter().take(4) {
         println!(
             "  {}  p={:4.2}  H={:4.2}  s={:6.4}",
-            p.peak.position,
-            p.peak.value,
-            p.entropy,
-            p.score
+            p.peak.position, p.peak.value, p.entropy, p.score
         );
     }
 }

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# The workspace gate: everything CI (and ROADMAP.md tier-1 verify) runs.
+#
+#   ./scripts/check.sh          # full gate
+#   ./scripts/check.sh quick    # skip the release build
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+if [[ "${1:-}" != "quick" ]]; then
+    run cargo build --release
+fi
+run cargo test -q
+run cargo fmt --check
+run cargo clippy -- -D warnings
+
+echo "all checks passed"

@@ -35,7 +35,11 @@ fn bloc_beats_every_baseline_in_the_paper_testbed() {
     );
     let out = sweep(&spec);
     let bloc = &out[0].stats;
-    assert!(bloc.median < 1.3, "BLoc median {} should be near the paper's 0.86 m", bloc.median);
+    assert!(
+        bloc.median < 1.3,
+        "BLoc median {} should be near the paper's 0.86 m",
+        bloc.median
+    );
     for o in &out[1..] {
         assert!(
             bloc.median < o.stats.median,
@@ -90,7 +94,10 @@ fn clean_environment_is_nearly_exact() {
     let scenario = Scenario::build(Clutter::None, 5);
     let positions = sample_positions(&scenario.room, 10, 11);
     let spec = SweepSpec {
-        sounder_config: SounderConfig { antenna_phase_err_std: 0.0, ..Default::default() },
+        sounder_config: SounderConfig {
+            antenna_phase_err_std: 0.0,
+            ..Default::default()
+        },
         ..SweepSpec::standard(&scenario, &positions, vec![Method::Bloc], 88)
     };
     let out = sweep(&spec);
@@ -114,7 +121,10 @@ fn walls_only_sits_between_clean_and_cluttered() {
     };
 
     let (e_clean, e_walls, e_rich) = (median_of(&clean), median_of(&walls), median_of(&rich));
-    assert!(e_clean <= e_walls + 0.1, "clean {e_clean} vs walls {e_walls}");
+    assert!(
+        e_clean <= e_walls + 0.1,
+        "clean {e_clean} vs walls {e_walls}"
+    );
     assert!(e_walls <= e_rich + 0.1, "walls {e_walls} vs rich {e_rich}");
 }
 
@@ -145,7 +155,11 @@ fn combining_modes_all_function() {
     let coherent = median_with(AntennaCombining::Coherent);
     let noncoherent = median_with(AntennaCombining::NoncoherentAntennas);
     let hybrid = median_with(AntennaCombining::Hybrid);
-    for (name, m) in [("coherent", coherent), ("noncoherent", noncoherent), ("hybrid", hybrid)] {
+    for (name, m) in [
+        ("coherent", coherent),
+        ("noncoherent", noncoherent),
+        ("hybrid", hybrid),
+    ] {
         assert!(m.is_finite() && m < 3.0, "{name} median {m}");
     }
     assert!(

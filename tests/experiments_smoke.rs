@@ -5,7 +5,10 @@
 use bloc_testbed::experiments::*;
 
 fn smoke() -> ExperimentSize {
-    ExperimentSize { locations: 36, seed: 2018 }
+    ExperimentSize {
+        locations: 36,
+        seed: 2018,
+    }
 }
 
 #[test]
@@ -19,7 +22,10 @@ fn fig4_runs_settle_random_does_not() {
 fn fig6_geometry_progression() {
     let r = fig6_likelihoods::run(&smoke());
     let [angle, dist, joint] = r.extents;
-    assert!(angle > joint && dist > joint, "wedge {angle} / hyperbola {dist} / spot {joint}");
+    assert!(
+        angle > joint && dist > joint,
+        "wedge {angle} / hyperbola {dist} / spot {joint}"
+    );
 }
 
 #[test]
@@ -40,7 +46,11 @@ fn fig8b_correction_restores_linear_phase() {
 fn fig8c_profile_shows_multipath_and_correct_pick() {
     let r = fig8c_profile::run(&smoke());
     assert!(r.peaks.len() >= 2);
-    assert!(r.truth.dist(r.estimate) < 1.0, "error {}", r.truth.dist(r.estimate));
+    assert!(
+        r.truth.dist(r.estimate) < 1.0,
+        "error {}",
+        r.truth.dist(r.estimate)
+    );
 }
 
 #[test]
@@ -56,17 +66,26 @@ fn fig9a_bloc_beats_aoa() {
 
 #[test]
 fn fig9b_two_anchors_degrade() {
-    let r = fig9b_anchors::run(&ExperimentSize { locations: 20, seed: 2018 });
+    let r = fig9b_anchors::run(&ExperimentSize {
+        locations: 20,
+        seed: 2018,
+    });
     let med = |v: &[fig9b_anchors::AnchorCountStats], n: usize| {
         v.iter().find(|s| s.n_anchors == n).unwrap().stats.median
     };
-    assert!(med(&r.bloc, 2) > med(&r.bloc, 4), "2-anchor BLoc must be worse than 4-anchor");
+    assert!(
+        med(&r.bloc, 2) > med(&r.bloc, 4),
+        "2-anchor BLoc must be worse than 4-anchor"
+    );
     assert!(!r.render().is_empty());
 }
 
 #[test]
 fn fig9c_antenna_loss_is_gentle_for_bloc() {
-    let r = fig9c_antennas::run(&ExperimentSize { locations: 20, seed: 2018 });
+    let r = fig9c_antennas::run(&ExperimentSize {
+        locations: 20,
+        seed: 2018,
+    });
     let b3 = r.bloc[0].stats.median;
     let b4 = r.bloc[1].stats.median;
     assert!(b3 - b4 < 0.6, "3-ant {} vs 4-ant {}", b3, b4);
@@ -74,7 +93,10 @@ fn fig9c_antenna_loss_is_gentle_for_bloc() {
 
 #[test]
 fn fig10_bandwidth_helps() {
-    let r = fig10_bandwidth::run(&ExperimentSize { locations: 32, seed: 2018 });
+    let r = fig10_bandwidth::run(&ExperimentSize {
+        locations: 32,
+        seed: 2018,
+    });
     let first = r.points.first().unwrap();
     let last = r.points.last().unwrap();
     assert_eq!(first.n_channels, 1, "2 MHz is one BLE channel");
@@ -89,7 +111,10 @@ fn fig10_bandwidth_helps() {
 
 #[test]
 fn fig11_subsampling_is_nearly_free() {
-    let r = fig11_interference::run(&ExperimentSize { locations: 24, seed: 2018 });
+    let r = fig11_interference::run(&ExperimentSize {
+        locations: 24,
+        seed: 2018,
+    });
     let full = r.points[0].stats.median;
     let sparsest = r.points.last().unwrap().stats.median;
     assert!(
@@ -111,13 +136,19 @@ fn fig12_multipath_rejection_pays() {
 
 #[test]
 fn ext_fusion_does_not_hurt() {
-    let r = ext_fusion::run(&ExperimentSize { locations: 12, seed: 2018 });
+    let r = ext_fusion::run(&ExperimentSize {
+        locations: 12,
+        seed: 2018,
+    });
     assert!(r.points[2].stats.median <= r.points[0].stats.median + 0.15);
 }
 
 #[test]
 fn fig13_rmse_map_populates() {
-    let r = fig13_location::run(&ExperimentSize { locations: 48, seed: 2018 });
+    let r = fig13_location::run(&ExperimentSize {
+        locations: 48,
+        seed: 2018,
+    });
     let visited = r.rmse.data().iter().filter(|v| v.is_finite()).count();
     assert!(visited > 15, "only {visited} cells visited");
     assert!(r.render().contains("RMSE"));

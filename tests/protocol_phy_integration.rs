@@ -99,9 +99,22 @@ fn phy_and_analytic_sounding_agree_under_multipath() {
         antenna_phase_err_std: 0.0,
         ..Default::default()
     };
-    let analytic = Sounder::new(&env, &anchors, SounderConfig { fidelity: Fidelity::Analytic, ..base });
-    let phy =
-        Sounder::new(&env, &anchors, SounderConfig { fidelity: Fidelity::Phy { sps: 8 }, ..base });
+    let analytic = Sounder::new(
+        &env,
+        &anchors,
+        SounderConfig {
+            fidelity: Fidelity::Analytic,
+            ..base
+        },
+    );
+    let phy = Sounder::new(
+        &env,
+        &anchors,
+        SounderConfig {
+            fidelity: Fidelity::Phy { sps: 8 },
+            ..base
+        },
+    );
 
     let mut rng_a = StdRng::seed_from_u64(4);
     let mut rng_p = StdRng::seed_from_u64(4);

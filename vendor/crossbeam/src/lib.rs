@@ -1,0 +1,93 @@
+//! Offline stand-in for `crossbeam` (the registry is unreachable in this
+//! build environment). Only the surface the workspace uses is provided:
+//! [`channel::unbounded`] with cloneable senders and an iterable
+//! receiver, implemented over `std::sync::mpsc`.
+
+/// Multi-producer channels, crossbeam-channel style.
+pub mod channel {
+    use std::sync::mpsc;
+
+    /// Sending half of an unbounded channel (cloneable).
+    #[derive(Debug, Clone)]
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    /// Receiving half of an unbounded channel. Iterating blocks until all
+    /// senders are dropped, as with the real crossbeam receiver.
+    #[derive(Debug)]
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    /// Error returned when every receiver has been dropped.
+    pub type SendError<T> = mpsc::SendError<T>;
+
+    /// Error returned by [`Receiver::recv`] once the channel is empty and
+    /// disconnected.
+    pub type RecvError = mpsc::RecvError;
+
+    impl<T> Sender<T> {
+        /// Sends a message; fails only when the receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value)
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks for the next message.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv()
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, mpsc::TryRecvError> {
+            self.0.try_recv()
+        }
+
+        /// A blocking iterator over incoming messages.
+        pub fn iter(&self) -> mpsc::Iter<'_, T> {
+            self.0.iter()
+        }
+    }
+
+    impl<T> IntoIterator for Receiver<T> {
+        type Item = T;
+        type IntoIter = mpsc::IntoIter<T>;
+
+        fn into_iter(self) -> Self::IntoIter {
+            self.0.into_iter()
+        }
+    }
+
+    impl<'a, T> IntoIterator for &'a Receiver<T> {
+        type Item = T;
+        type IntoIter = mpsc::Iter<'a, T>;
+
+        fn into_iter(self) -> Self::IntoIter {
+            self.0.iter()
+        }
+    }
+
+    /// Creates an unbounded MPSC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(rx))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn fan_in_from_scoped_threads() {
+            let (tx, rx) = unbounded::<usize>();
+            std::thread::scope(|scope| {
+                for t in 0..4 {
+                    let tx = tx.clone();
+                    scope.spawn(move || tx.send(t).unwrap());
+                }
+                drop(tx);
+                let mut got: Vec<usize> = (&rx).into_iter().take(4).collect();
+                got.sort_unstable();
+                assert_eq!(got, vec![0, 1, 2, 3]);
+            });
+        }
+    }
+}

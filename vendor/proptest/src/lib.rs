@@ -1,0 +1,365 @@
+//! Offline stand-in for `proptest` (the registry is unreachable in this
+//! build environment).
+//!
+//! Implements the subset the workspace's property tests use:
+//!
+//! * the [`proptest!`] macro (with optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` header),
+//! * range strategies (`0u8..40`, `-5.0..5.0f64`, `1u8..=255`),
+//! * [`collection::vec`] with a range or constant size,
+//! * [`arbitrary::any`] for primitives,
+//! * tuples of strategies,
+//! * `prop_assert!` / `prop_assert_eq!`.
+//!
+//! Inputs are drawn from a deterministic seeded generator; there is **no
+//! shrinking** — a failing case panics with the drawn values left to the
+//! assertion message. That trades minimal counterexamples for zero
+//! dependencies, which is the right trade in a network-restricted CI.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Runtime configuration for a [`proptest!`] block.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of random cases run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real default is 256; 64 keeps the full workspace test run
+        // fast while still exercising the properties broadly.
+        Self { cases: 64 }
+    }
+}
+
+/// A source of random inputs for strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Deterministic per-test generator (`seed` is derived from the test
+    /// name so distinct tests see distinct streams).
+    pub fn deterministic(seed: u64) -> Self {
+        Self(StdRng::seed_from_u64(seed ^ 0x5EED_CAFE_F00D_D00D))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+
+    fn unit_f64(&mut self) -> f64 {
+        self.0.gen::<f64>()
+    }
+}
+
+/// A generator of values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {
+        $(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let lo = self.start as i128;
+                    let hi = self.end as i128;
+                    assert!(lo < hi, "empty integer range strategy");
+                    let span = (hi - lo) as u128;
+                    (lo + (rng.next_u64() as u128 % span) as i128) as $t
+                }
+            }
+
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let lo = *self.start() as i128;
+                    let hi = *self.end() as i128;
+                    assert!(lo <= hi, "empty integer range strategy");
+                    let span = (hi - lo) as u128 + 1;
+                    (lo + (rng.next_u64() as u128 % span) as i128) as $t
+                }
+            }
+        )*
+    };
+}
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {
+        $(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    self.start + rng.unit_f64() as $t * (self.end - self.start)
+                }
+            }
+
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    self.start() + rng.unit_f64() as $t * (self.end() - self.start())
+                }
+            }
+        )*
+    };
+}
+float_range_strategy!(f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))*) => {
+        $(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        )*
+    };
+}
+tuple_strategy! { (A) (A, B) (A, B, C) (A, B, C, D) (A, B, C, D, E) (A, B, C, D, E, F) }
+
+/// Strategies over collections.
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Admissible size arguments for [`vec`].
+    pub trait IntoSizeRange {
+        /// Lower (inclusive) and upper (exclusive) length bounds.
+        fn bounds(&self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(&self) -> (usize, usize) {
+            (*self, *self + 1)
+        }
+    }
+
+    impl IntoSizeRange for std::ops::Range<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (self.start, self.end)
+        }
+    }
+
+    impl IntoSizeRange for std::ops::RangeInclusive<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (*self.start(), *self.end() + 1)
+        }
+    }
+
+    /// A `Vec` strategy: `len` elements drawn from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.max_exclusive - self.min).max(1);
+            let len = self.min + (rng.next_u64() as usize) % span;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// `proptest::collection::vec(element, size)`.
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (min, max_exclusive) = size.bounds();
+        assert!(min < max_exclusive, "empty vec size range");
+        VecStrategy {
+            element,
+            min,
+            max_exclusive,
+        }
+    }
+}
+
+/// `any::<T>()` strategies for primitives.
+pub mod arbitrary {
+    use super::{Strategy, TestRng};
+    use std::marker::PhantomData;
+
+    /// Marker strategy produced by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    /// The full-domain strategy for `T`.
+    pub fn any<T>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    macro_rules! any_int {
+        ($($t:ty),*) => {
+            $(impl Strategy for Any<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            })*
+        };
+    }
+    any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Any<bool> {
+        type Value = bool;
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Strategy for Any<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            // Finite, symmetric, heavy-tailed enough for property tests.
+            (rng.unit_f64() - 0.5) * 2e6
+        }
+    }
+
+    impl<T, const N: usize> Strategy for Any<[T; N]>
+    where
+        Any<T>: Strategy<Value = T>,
+    {
+        type Value = [T; N];
+        fn sample(&self, rng: &mut TestRng) -> [T; N] {
+            std::array::from_fn(|_| any::<T>().sample(rng))
+        }
+    }
+
+    impl Strategy for Any<f32> {
+        type Value = f32;
+        fn sample(&self, rng: &mut TestRng) -> f32 {
+            ((rng.unit_f64() - 0.5) * 2e6) as f32
+        }
+    }
+}
+
+/// The import surface the real crate exposes as `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+    pub use crate::{ProptestConfig, Strategy, TestRng};
+}
+
+/// FNV-1a over the test name: a stable per-test seed.
+#[doc(hidden)]
+pub fn seed_of(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Property-test assertion (no shrinking in the shim: panics like
+/// `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($arg:tt)*) => { assert!($($arg)*) };
+}
+
+/// Skips the current case when its precondition does not hold. Inside the
+/// shim's per-case loop this is a plain `continue`; skipped cases count
+/// toward the case budget (no oversampling, unlike real proptest).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+/// Property-test equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($arg:tt)*) => { assert_eq!($($arg)*) };
+}
+
+/// Property-test inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($arg:tt)*) => { assert_ne!($($arg)*) };
+}
+
+/// Declares property tests: each `fn` runs its body for `cases` random
+/// draws of its `name in strategy` arguments.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $( $(#[$meta:meta])* fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng =
+                    $crate::TestRng::deterministic($crate::seed_of(stringify!($name)));
+                for _case in 0..config.cases {
+                    $( let $arg = $crate::Strategy::sample(&($strat), &mut rng); )+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in 0u8..40, y in -5.0..5.0f64, z in 1u8..=255) {
+            prop_assert!(x < 40);
+            prop_assert!((-5.0..5.0).contains(&y));
+            prop_assert!(z >= 1);
+        }
+
+        #[test]
+        fn vec_and_tuple_strategies(v in crate::collection::vec((0.0..1.0f64, any::<bool>()), 1..7)) {
+            prop_assert!(!v.is_empty() && v.len() < 7);
+            prop_assert!(v.iter().all(|(f, _)| (0.0..1.0).contains(f)));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+        #[test]
+        fn config_header_is_honored(_x in 0u8..2) {
+            // Runs five times; nothing to assert beyond not panicking.
+        }
+    }
+
+    #[test]
+    fn distinct_tests_get_distinct_seeds() {
+        assert_ne!(crate::seed_of("a"), crate::seed_of("b"));
+    }
+}

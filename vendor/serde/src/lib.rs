@@ -1,0 +1,77 @@
+//! Offline stand-in for the `serde` facade crate.
+//!
+//! The build environment of this workspace cannot reach a crates.io
+//! registry, so the real `serde` cannot be fetched. The workspace only
+//! ever uses `#[derive(Serialize, Deserialize)]` as forward-looking
+//! metadata — no serializer back-end (`serde_json`, `bincode`, …) is in
+//! the dependency tree, so no method of either trait is ever called.
+//! This shim therefore provides the two traits as markers and re-exports
+//! no-op derive macros; swapping the real serde back in is a one-line
+//! `[patch]` removal in the workspace `Cargo.toml`.
+
+/// A type that can be serialized.
+///
+/// Marker-only in this shim: the real trait's `serialize` method is
+/// deliberately absent so accidental use fails to compile rather than
+/// silently producing nothing.
+pub trait Serialize {}
+
+/// A type that can be deserialized from the format wire type.
+///
+/// Marker-only in this shim; see [`Serialize`].
+pub trait Deserialize<'de>: Sized {}
+
+/// A type that can be deserialized without borrowing from the input.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+/// Serialization half of the module layout the real crate exposes.
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+/// Deserialization half of the module layout the real crate exposes.
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+macro_rules! impl_markers {
+    ($($t:ty),* $(,)?) => {
+        $(
+            impl Serialize for $t {}
+            impl<'de> Deserialize<'de> for $t {}
+        )*
+    };
+}
+
+impl_markers!(
+    bool, char, f32, f64, i8, i16, i32, i64, i128, isize, u8, u16, u32, u64, u128, usize, String,
+    &str
+);
+
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
+impl<T: Serialize> Serialize for [T] {}
+impl<T: Serialize, const N: usize> Serialize for [T; N] {}
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {}
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {}
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>> Deserialize<'de> for (A, B) {}
+impl<K: Serialize, V: Serialize> Serialize for std::collections::HashMap<K, V> {}
+impl<'de, K, V> Deserialize<'de> for std::collections::HashMap<K, V>
+where
+    K: Deserialize<'de>,
+    V: Deserialize<'de>,
+{
+}
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {}
+impl<'de, K, V> Deserialize<'de> for std::collections::BTreeMap<K, V>
+where
+    K: Deserialize<'de>,
+    V: Deserialize<'de>,
+{
+}

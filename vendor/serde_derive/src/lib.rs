@@ -1,0 +1,125 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The shim `serde` traits are marker-only, so the derives just need to
+//! emit `impl serde::Serialize for T {}` (and the `Deserialize`
+//! counterpart). That requires only the item's name and generics — parsed
+//! directly off the `TokenStream`, with no `syn`/`quote` dependency (the
+//! registry is unreachable in this build environment).
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// The name and generic parameter list of a struct/enum/union definition.
+struct ItemHeader {
+    name: String,
+    /// Generic parameter *names* only (bounds and defaults stripped),
+    /// e.g. `'a, T`. Empty for non-generic items.
+    params: Vec<String>,
+}
+
+/// Extracts the item name and generic parameters from a derive input.
+fn parse_header(input: TokenStream) -> ItemHeader {
+    let mut tokens = input.into_iter().peekable();
+    // Skip attributes (`#[...]`), visibility and other leading tokens
+    // until the `struct`/`enum`/`union` keyword.
+    loop {
+        match tokens.next() {
+            Some(TokenTree::Ident(id))
+                if id.to_string() == "struct"
+                    || id.to_string() == "enum"
+                    || id.to_string() == "union" =>
+            {
+                break;
+            }
+            Some(_) => continue,
+            None => panic!("serde shim derive: no struct/enum/union keyword found"),
+        }
+    }
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected item name, got {other:?}"),
+    };
+
+    let mut params = Vec::new();
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            tokens.next();
+            let mut depth = 1usize;
+            // Each parameter is the first token run after `<` or a
+            // depth-1 comma, up to the next `:`/`=`/`,`/closing `>`.
+            let mut current = String::new();
+            let mut skipping = false; // inside bounds/defaults of the current param
+            for tt in tokens.by_ref() {
+                match &tt {
+                    TokenTree::Punct(p) => match p.as_char() {
+                        '<' => depth += 1,
+                        '>' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                if !current.is_empty() {
+                                    params.push(current.clone());
+                                }
+                                break;
+                            }
+                        }
+                        ',' if depth == 1 => {
+                            if !current.is_empty() {
+                                params.push(current.clone());
+                            }
+                            current.clear();
+                            skipping = false;
+                        }
+                        ':' | '=' if depth == 1 => skipping = true,
+                        '\'' if !skipping && depth == 1 => current.push('\''),
+                        _ => {}
+                    },
+                    TokenTree::Ident(id)
+                        if !skipping && depth == 1 && (current.is_empty() || current == "'") =>
+                    {
+                        current.push_str(&id.to_string());
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    ItemHeader { name, params }
+}
+
+fn empty_impl(input: TokenStream, trait_path: &str, extra_lifetime: Option<&str>) -> TokenStream {
+    let header = parse_header(input);
+    let mut impl_params: Vec<String> = Vec::new();
+    if let Some(lt) = extra_lifetime {
+        impl_params.push(lt.to_string());
+    }
+    impl_params.extend(header.params.iter().cloned());
+    let impl_generics = if impl_params.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", impl_params.join(", "))
+    };
+    let ty_generics = if header.params.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", header.params.join(", "))
+    };
+    // Marker traits carry no bounds in the shim, so generic params need
+    // no `where` clause.
+    format!(
+        "#[automatically_derived] impl{impl_generics} {trait_path} for {name}{ty_generics} {{}}",
+        name = header.name
+    )
+    .parse()
+    .expect("serde shim derive: generated impl must parse")
+}
+
+/// No-op `Serialize` derive: emits an empty marker impl.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    empty_impl(input, "::serde::Serialize", None)
+}
+
+/// No-op `Deserialize` derive: emits an empty marker impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    empty_impl(input, "::serde::Deserialize<'de>", Some("'de"))
+}
