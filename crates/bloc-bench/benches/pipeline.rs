@@ -22,7 +22,7 @@ fn bench_pipeline(c: &mut Criterion) {
     let tag = P2::new(2.1, 3.2);
     let data = sounder.sound(tag, &all_data_channels(), &mut rng);
     let localizer = BlocLocalizer::new(scenario.bloc_config());
-    let corrected = correct(&data, true);
+    let corrected = correct(&data, true).expect("bench sounding is clean");
     let grid_spec = scenario.bloc_config().grid;
     let grid = joint_likelihood(&corrected, grid_spec, AntennaCombining::Hybrid);
     let anchor_refs: Vec<P2> = scenario.anchors.iter().map(|a| a.center()).collect();

@@ -68,7 +68,10 @@ fn main() {
                             .skip(t)
                             .step_by(n_threads)
                             .filter_map(|(truth, data)| {
-                                localizer.localize(data).map(|e| e.position.dist(*truth))
+                                localizer
+                                    .localize(data)
+                                    .ok()
+                                    .map(|e| e.position.dist(*truth))
                             })
                             .collect::<Vec<f64>>()
                     })
@@ -186,7 +189,7 @@ fn main() {
                                 .skip(t)
                                 .step_by(n_threads)
                                 .filter_map(|(truth, d)| {
-                                    localizer.localize(d).map(|e| e.position.dist(*truth))
+                                    localizer.localize(d).ok().map(|e| e.position.dist(*truth))
                                 })
                                 .collect::<Vec<f64>>()
                         })

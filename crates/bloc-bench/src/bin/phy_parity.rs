@@ -49,7 +49,10 @@ fn main() {
             .filter_map(|(idx, &truth)| {
                 let mut rng = StdRng::seed_from_u64(size.seed ^ (idx as u64) << 4);
                 let data = sounder.sound(truth, &channels, &mut rng);
-                localizer.localize(&data).map(|e| e.position.dist(truth))
+                localizer
+                    .localize(&data)
+                    .ok()
+                    .map(|e| e.position.dist(truth))
             })
             .collect();
         println!(

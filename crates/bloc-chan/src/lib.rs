@@ -21,12 +21,16 @@
 //!   produces ĥ (tag→anchor per antenna), Ĥ_i0 (master→anchor) and ĥ₀₀
 //!   (tag→master), either analytically or through the full `bloc-phy` IQ
 //!   chain.
+//! * [`faults`] — deterministic fault injection composed into the sounder:
+//!   lost packets, anchor dropouts, dead antennas, frontend clipping and
+//!   interference bursts, with an exactly replayable census.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod array;
 pub mod environment;
+pub mod faults;
 pub mod geometry;
 pub mod materials;
 pub mod oscillator;
@@ -35,4 +39,5 @@ pub mod sounder;
 
 pub use array::AnchorArray;
 pub use environment::{Environment, Path};
+pub use faults::{AnchorDropout, FaultCensus, FaultPlan, InterferenceBurst};
 pub use sounder::{BandSounding, Fidelity, Sounder, SounderConfig, SoundingData};

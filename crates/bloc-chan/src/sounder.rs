@@ -229,12 +229,14 @@ impl SoundingData {
     }
 }
 
-/// The sounder: environment + anchors + configuration.
+/// The sounder: environment + anchors + configuration, with an optional
+/// fault plan injected into everything [`Sounder::sound`] produces.
 #[derive(Debug, Clone)]
 pub struct Sounder<'a> {
     env: &'a Environment,
     anchors: &'a [AnchorArray],
     config: SounderConfig,
+    faults: Option<crate::faults::FaultPlan>,
 }
 
 impl<'a> Sounder<'a> {
@@ -251,6 +253,7 @@ impl<'a> Sounder<'a> {
             env,
             anchors,
             config,
+            faults: None,
         }
     }
 
@@ -259,9 +262,25 @@ impl<'a> Sounder<'a> {
         &self.config
     }
 
+    /// Composes a fault plan into the sounder: every sounding produced by
+    /// [`Sounder::sound`] passes through the plan's injection pass, and
+    /// the injected faults are counted on the global `bloc-obs` registry
+    /// under `fault.injected.*`. The ideal/repeated sounding paths stay
+    /// clean — they exist to isolate the algebra, not the link layer.
+    pub fn with_faults(mut self, plan: crate::faults::FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// The fault plan in force, if any.
+    pub fn fault_plan(&self) -> Option<&crate::faults::FaultPlan> {
+        self.faults.as_ref()
+    }
+
     /// Sounds every channel in `channels` for a tag at `tag`, drawing fresh
     /// oscillator offsets per hop (that is the whole problem!) and one tag
-    /// CFO for the whole sounding.
+    /// CFO for the whole sounding. When a fault plan is composed in, its
+    /// faults are injected per band and censused.
     pub fn sound<R: Rng + ?Sized>(
         &self,
         tag: P2,
@@ -269,7 +288,7 @@ impl<'a> Sounder<'a> {
         rng: &mut R,
     ) -> SoundingData {
         let cfo = (rng.gen::<f64>() * 2.0 - 1.0) * self.config.tag_cfo_max_hz;
-        let bands = channels
+        let mut bands: Vec<BandSounding> = channels
             .iter()
             .map(|&ch| {
                 let cfo_band = cfo + self.config.tag_cfo_jitter_hz * gaussian_sample(rng);
@@ -282,6 +301,13 @@ impl<'a> Sounder<'a> {
                 )
             })
             .collect();
+        if let Some(plan) = &self.faults {
+            let mut census = crate::faults::FaultCensus::default();
+            for (slot, band) in bands.iter_mut().enumerate() {
+                census.absorb(&plan.apply_to_band(slot, band));
+            }
+            crate::faults::FaultPlan::record(&census);
+        }
         SoundingData {
             bands,
             anchors: self.anchors.to_vec(),

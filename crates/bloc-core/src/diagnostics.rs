@@ -6,6 +6,14 @@
 //! should be caught *before* the likelihood grid is computed. This module
 //! checks structural validity and measures quality indicators, returning a
 //! report the caller can gate on.
+//!
+//! The report is not just a verdict: it carries a [`RepairPlan`] that maps
+//! each repairable issue to the concrete masking action that neutralizes
+//! it — zero out a poisoned measurement (the exact-zero hole convention
+//! that [`crate::correction::correct`] masks on) or drop a malformed band.
+//! [`RepairPlan::apply`] turns an unusable capture into one the
+//! degradation-aware pipeline can localize from, instead of discarding the
+//! whole sounding because one NaN slipped through a frontend.
 
 use bloc_chan::sounder::SoundingData;
 use bloc_num::constants::BLE_TOTAL_SPAN_HZ;
@@ -93,12 +101,112 @@ impl SoundingIssue {
     }
 }
 
+/// One concrete repair the gate prescribes for a damaged sounding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum RepairAction {
+    /// Zero one tag→anchor measurement (and its guard tones), turning a
+    /// poisoned value into the hole convention the correction stage masks.
+    MaskMeasurement {
+        /// Band index.
+        band: usize,
+        /// Anchor index.
+        anchor: usize,
+        /// Antenna index.
+        antenna: usize,
+    },
+    /// Zero one master→anchor measurement.
+    MaskMasterLink {
+        /// Band index.
+        band: usize,
+        /// Anchor index.
+        anchor: usize,
+    },
+    /// Remove a band whose shape no masking can salvage.
+    DropBand {
+        /// Band index (into the *original* sounding).
+        band: usize,
+    },
+}
+
+/// The masking/drop schedule that neutralizes a sounding's repairable
+/// issues. Produced by [`inspect`] alongside the verdict; consumed by
+/// [`RepairPlan::apply`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct RepairPlan {
+    /// Actions in scan order.
+    pub actions: Vec<RepairAction>,
+}
+
+impl RepairPlan {
+    /// True when nothing needs repair.
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+
+    /// Applies the plan to a sounding, returning the repaired copy:
+    /// poisoned measurements become exact-zero holes (which
+    /// [`crate::correction::correct`] masks and reports) and unsalvageable
+    /// bands are removed. Idempotent.
+    pub fn apply(&self, data: &SoundingData) -> SoundingData {
+        let mut repaired = data.clone();
+        let mut dropped: Vec<usize> = Vec::new();
+        for action in &self.actions {
+            match *action {
+                RepairAction::MaskMeasurement {
+                    band,
+                    anchor,
+                    antenna,
+                } => {
+                    if let Some(h) = repaired
+                        .bands
+                        .get_mut(band)
+                        .and_then(|b| b.tag_to_anchor.get_mut(anchor))
+                        .and_then(|r| r.get_mut(antenna))
+                    {
+                        *h = bloc_num::complex::ZERO;
+                    }
+                    if let Some(t) = repaired
+                        .bands
+                        .get_mut(band)
+                        .and_then(|b| b.tag_to_anchor_tones.get_mut(anchor))
+                        .and_then(|r| r.get_mut(antenna))
+                    {
+                        *t = [bloc_num::complex::ZERO; 2];
+                    }
+                }
+                RepairAction::MaskMasterLink { band, anchor } => {
+                    if let Some(h) = repaired
+                        .bands
+                        .get_mut(band)
+                        .and_then(|b| b.master_to_anchor.get_mut(anchor))
+                    {
+                        *h = bloc_num::complex::ZERO;
+                    }
+                }
+                RepairAction::DropBand { band } => dropped.push(band),
+            }
+        }
+        dropped.sort_unstable();
+        dropped.dedup();
+        for &band in dropped.iter().rev() {
+            if band < repaired.bands.len() {
+                repaired.bands.remove(band);
+            }
+        }
+        repaired
+    }
+}
+
 /// The diagnostic report for one sounding.
 #[derive(Debug, Clone, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SoundingReport {
     /// Problems found, roughly ordered by severity.
     pub issues: Vec<SoundingIssue>,
+    /// The masking/drop schedule that neutralizes the repairable issues.
+    pub repair: RepairPlan,
     /// Number of bands present.
     pub bands: usize,
     /// Frequency span covered, Hz.
@@ -118,6 +226,19 @@ impl SoundingReport {
                     | SoundingIssue::ShapeMismatch { .. }
                     | SoundingIssue::NonFinite { .. }
                     | SoundingIssue::TooFewAnchors { .. }
+            )
+        })
+    }
+
+    /// True when applying [`SoundingReport::repair`] yields a usable
+    /// sounding: every fatal issue is one the plan can neutralize.
+    /// `Empty` and `TooFewAnchors` are beyond repair — no masking invents
+    /// missing hardware.
+    pub fn is_repairable(&self) -> bool {
+        !self.issues.iter().any(|i| {
+            matches!(
+                i,
+                SoundingIssue::Empty | SoundingIssue::TooFewAnchors { .. }
             )
         })
     }
@@ -147,9 +268,11 @@ pub fn inspect_with(data: &SoundingData, registry: &Registry) -> SoundingReport 
     report
 }
 
-/// The pure scan behind [`inspect`]: finds issues without recording them.
+/// The pure scan behind [`inspect`]: finds issues (and their repairs)
+/// without recording them.
 fn scan(data: &SoundingData) -> SoundingReport {
     let mut issues = Vec::new();
+    let mut repair = RepairPlan::default();
 
     if data.anchors.len() < 2 {
         issues.push(SoundingIssue::TooFewAnchors {
@@ -160,6 +283,7 @@ fn scan(data: &SoundingData) -> SoundingReport {
         issues.push(SoundingIssue::Empty);
         return SoundingReport {
             issues,
+            repair,
             bands: 0,
             span_hz: 0.0,
             mean_amplitude: f64::NAN,
@@ -188,6 +312,7 @@ fn scan(data: &SoundingData) -> SoundingReport {
                 .any(|(row, a)| row.len() != a.n_antennas)
         {
             issues.push(SoundingIssue::ShapeMismatch { band: b });
+            repair.actions.push(RepairAction::DropBand { band: b });
             continue;
         }
         let mut nonfinite = false;
@@ -195,7 +320,15 @@ fn scan(data: &SoundingData) -> SoundingReport {
             for (j, h) in row.iter().enumerate() {
                 if !h.is_finite() {
                     nonfinite = true;
+                    repair.actions.push(RepairAction::MaskMeasurement {
+                        band: b,
+                        anchor: i,
+                        antenna: j,
+                    });
                 } else if h.norm_sq() == 0.0 {
+                    // A hole, not damage: the correction stage masks it
+                    // and reports it in the estimate's DegradationReport,
+                    // so it needs no repair action here.
                     issues.push(SoundingIssue::DeadMeasurement {
                         band: b,
                         anchor: i,
@@ -207,7 +340,15 @@ fn scan(data: &SoundingData) -> SoundingReport {
                 }
             }
         }
-        if nonfinite || band.master_to_anchor.iter().any(|h| !h.is_finite()) {
+        for (i, h) in band.master_to_anchor.iter().enumerate() {
+            if !h.is_finite() {
+                nonfinite = true;
+                repair
+                    .actions
+                    .push(RepairAction::MaskMasterLink { band: b, anchor: i });
+            }
+        }
+        if nonfinite {
             issues.push(SoundingIssue::NonFinite { band: b });
         }
     }
@@ -220,6 +361,7 @@ fn scan(data: &SoundingData) -> SoundingReport {
 
     SoundingReport {
         issues,
+        repair,
         bands: data.bands.len(),
         span_hz,
         mean_amplitude: if amp_n > 0 {
@@ -471,6 +613,86 @@ mod tests {
         let snap = registry.snapshot();
         assert_eq!(snap.counters["sounding.inspected"], 2);
         assert_eq!(snap.counters["sounding.unusable"], 1);
+    }
+
+    #[test]
+    fn healthy_sounding_needs_no_repair() {
+        let report = inspect(&healthy());
+        assert!(report.repair.is_empty());
+        assert!(report.is_repairable());
+    }
+
+    #[test]
+    fn nan_sounding_is_repairable_and_repair_restores_usability() {
+        let mut d = healthy();
+        d.bands[3].tag_to_anchor[1][2] = bloc_num::C64::new(f64::NAN, 0.0);
+        d.bands[8].master_to_anchor[2] = bloc_num::C64::new(0.0, f64::INFINITY);
+        let report = inspect(&d);
+        assert!(!report.is_usable());
+        assert!(report.is_repairable());
+        assert!(report
+            .repair
+            .actions
+            .contains(&RepairAction::MaskMeasurement {
+                band: 3,
+                anchor: 1,
+                antenna: 2
+            }));
+        assert!(report
+            .repair
+            .actions
+            .contains(&RepairAction::MaskMasterLink { band: 8, anchor: 2 }));
+
+        let repaired = report.repair.apply(&d);
+        let after = inspect(&repaired);
+        assert!(after.is_usable(), "{:?}", after.issues);
+        // The poison became holes the correction stage masks and reports.
+        let corrected = crate::correction::correct(&repaired, true).unwrap();
+        assert_eq!(corrected.masking.nonfinite_masked, 0);
+        assert_eq!(corrected.masking.holes_masked, 2);
+    }
+
+    #[test]
+    fn shape_mismatch_repair_drops_the_band() {
+        let mut d = healthy();
+        d.bands[0].tag_to_anchor[2].pop();
+        let report = inspect(&d);
+        assert!(report.is_repairable());
+        assert_eq!(
+            report.repair.actions,
+            vec![RepairAction::DropBand { band: 0 }]
+        );
+        let repaired = report.repair.apply(&d);
+        assert_eq!(repaired.bands.len(), d.bands.len() - 1);
+        assert!(inspect(&repaired).is_usable());
+    }
+
+    #[test]
+    fn repair_masking_is_idempotent() {
+        // Masking actions may be applied any number of times (a zero stays
+        // a zero). DropBand indices refer to the original sounding, so a
+        // plan should be applied to the sounding it was scanned from.
+        let mut d = healthy();
+        d.bands[3].tag_to_anchor[1][2] = bloc_num::C64::new(f64::NAN, 0.0);
+        d.bands[8].master_to_anchor[2] = bloc_num::C64::new(0.0, f64::INFINITY);
+        let report = inspect(&d);
+        let once = report.repair.apply(&d);
+        let twice = report.repair.apply(&once);
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn empty_and_missing_hardware_are_beyond_repair() {
+        let mut empty = healthy();
+        empty.bands.clear();
+        assert!(!inspect(&empty).is_repairable());
+
+        let d = healthy();
+        let solo = SoundingData {
+            bands: d.bands.clone(),
+            anchors: vec![d.anchors[0]],
+        };
+        assert!(!inspect(&solo).is_repairable());
     }
 
     #[test]

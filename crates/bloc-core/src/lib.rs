@@ -30,7 +30,10 @@
 //! (§2.2). Around the pipeline, [`tracker`] follows moving tags with a
 //! constant-velocity Kalman filter over successive fixes, and
 //! [`diagnostics`] validates incoming soundings before compute is spent
-//! on them.
+//! on them. The pipeline is degradation-aware: lost measurements are
+//! masked rather than propagated, failures are typed
+//! ([`error::LocalizeError`]), and every estimate carries an
+//! [`error::DegradationReport`] of what was discarded.
 //!
 //! ## Quickstart
 //!
@@ -72,9 +75,11 @@
 pub mod baselines;
 pub mod correction;
 pub mod diagnostics;
+pub mod error;
 pub mod likelihood;
 pub mod localizer;
 pub mod multipath;
 pub mod tracker;
 
+pub use error::{DegradationReport, LocalizeError};
 pub use localizer::{BlocConfig, BlocLocalizer, Estimate};

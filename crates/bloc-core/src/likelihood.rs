@@ -14,6 +14,8 @@
 //! (§5.3's final step); the hyperbolic high-likelihood contours of Fig. 6b
 //! emerge from the relative-distance geometry.
 
+#![deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use bloc_num::constants::SPEED_OF_LIGHT;
 use bloc_num::{Grid2D, GridSpec, C64};
 
@@ -141,15 +143,37 @@ pub fn distance_only_likelihood(corrected: &CorrectedChannels, i: usize, spec: G
 /// Each anchor's map is normalized to unit peak before summing so that an
 /// anchor with more antennas/bands (or simply stronger amplitudes, when
 /// correction ran unnormalized) cannot drown out the others.
+///
+/// Degradation-aware weighting: anchors whose measurements were masked
+/// away entirely (`surviving == 0`) are excluded — their map would be the
+/// all-zero grid, and normalizing it is meaningless — and each remaining
+/// anchor's map is weighted by its surviving-evidence fraction relative to
+/// the best-covered anchor. An anchor that kept 10% of its measurements
+/// still *has* a unit-peak map after normalization, but it is built from
+/// 10× less evidence and its sidelobes are commensurately less trustworthy;
+/// down-weighting it keeps a mostly-deaf anchor from steering the joint
+/// peak. With no masking every weight is 1 and this reduces exactly to the
+/// paper's plain sum.
 pub fn joint_likelihood(
     corrected: &CorrectedChannels,
     spec: GridSpec,
     combining: AntennaCombining,
 ) -> Grid2D {
     let mut joint = Grid2D::zeros(spec);
-    for i in 0..corrected.n_anchors() {
+    let fractions: Vec<f64> = (0..corrected.n_anchors())
+        .map(|i| corrected.surviving_fraction(i))
+        .collect();
+    let best = fractions.iter().fold(0.0f64, |a, &b| a.max(b));
+    if best <= 0.0 {
+        return joint;
+    }
+    for (i, &frac) in fractions.iter().enumerate() {
+        if frac <= 0.0 {
+            continue;
+        }
         let mut map = anchor_likelihood(corrected, i, spec, combining);
         map.normalize_peak();
+        map.scale(frac / best);
         joint.add_assign(&map);
     }
     joint
@@ -157,6 +181,7 @@ pub fn joint_likelihood(
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
     use super::*;
     use crate::correction::correct;
     use bloc_chan::geometry::Room;
@@ -196,7 +221,7 @@ mod tests {
             },
         );
         let mut rng = StdRng::seed_from_u64(seed);
-        correct(&sounder.sound(tag, &all_data_channels(), &mut rng), true)
+        correct(&sounder.sound(tag, &all_data_channels(), &mut rng), true).unwrap()
     }
 
     #[test]
@@ -317,6 +342,72 @@ mod tests {
         for &v in joint.data() {
             assert!(v.is_finite() && v >= 0.0);
         }
+    }
+
+    #[test]
+    fn dead_anchors_are_excluded_from_the_joint() {
+        // Kill anchor 2's evidence entirely: the joint must be the sum of
+        // the three survivors and still peak at the tag.
+        let room = Room::new(5.0, 6.0);
+        let tag = P2::new(2.1, 3.1);
+        let mut corrected = free_space_corrected(tag, 16);
+        for b in &mut corrected.bands {
+            for a in &mut b.alpha[2] {
+                *a = bloc_num::complex::ZERO;
+            }
+        }
+        corrected.surviving[2] = 0;
+        let spec = grid_spec(&room);
+        let joint = joint_likelihood(&corrected, spec, AntennaCombining::default());
+        let (_, _, max) = joint.argmax().unwrap();
+        assert!(
+            max <= 3.0 + 1e-9,
+            "3 surviving anchors ⇒ joint max ≤ 3, got {max}"
+        );
+        let (ix, iy, _) = joint.argmax().unwrap();
+        assert!(joint.spec().cell_center(ix, iy).dist(tag) < 0.3);
+    }
+
+    #[test]
+    fn starved_anchors_are_downweighted() {
+        // An anchor with a single surviving measurement contributes at most
+        // its evidence fraction to the joint, not a full unit-peak map.
+        let room = Room::new(5.0, 6.0);
+        let tag = P2::new(2.6, 2.9);
+        let mut corrected = free_space_corrected(tag, 17);
+        let n_bands = corrected.bands.len();
+        for (s, b) in corrected.bands.iter_mut().enumerate() {
+            for (j, a) in b.alpha[1].iter_mut().enumerate() {
+                if !(s == 0 && j == 0) {
+                    *a = bloc_num::complex::ZERO;
+                }
+            }
+        }
+        corrected.surviving[1] = 1;
+        let spec = grid_spec(&room);
+        let joint = joint_likelihood(&corrected, spec, AntennaCombining::default());
+        let (_, _, max) = joint.argmax().unwrap();
+        let w1 = 1.0 / (n_bands as f64 * 4.0);
+        assert!(
+            max <= 3.0 + w1 + 1e-9,
+            "starved anchor must carry weight ≤ {w1}, joint max {max}"
+        );
+    }
+
+    #[test]
+    fn all_dead_yields_the_zero_grid() {
+        let room = Room::new(5.0, 6.0);
+        let mut corrected = free_space_corrected(P2::new(1.0, 1.0), 18);
+        for b in &mut corrected.bands {
+            for row in &mut b.alpha {
+                for a in row {
+                    *a = bloc_num::complex::ZERO;
+                }
+            }
+        }
+        corrected.surviving = vec![0; 4];
+        let joint = joint_likelihood(&corrected, grid_spec(&room), AntennaCombining::default());
+        assert!(joint.data().iter().all(|&v| v == 0.0));
     }
 
     #[test]

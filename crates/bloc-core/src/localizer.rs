@@ -1,5 +1,15 @@
 //! The end-to-end BLoc localizer: sounding → correction → likelihood →
 //! multipath rejection → position.
+//!
+//! The pipeline is degradation-aware end to end: measurement holes are
+//! masked in [`crate::correction`], starved anchors are down-weighted or
+//! excluded in [`crate::likelihood`], and [`BlocLocalizer::localize`]
+//! returns a typed [`LocalizeError`] instead of panicking (or silently
+//! degrading) when a sounding cannot support a fix. Every successful
+//! [`Estimate`] carries a [`DegradationReport`] describing what was
+//! discarded on the way.
+
+#![deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 
 use bloc_chan::geometry::Room;
 use bloc_chan::sounder::SoundingData;
@@ -7,6 +17,7 @@ use bloc_num::peaks::PeakOptions;
 use bloc_num::{Grid2D, GridSpec, P2};
 
 use crate::correction::{correct, CorrectedChannels};
+use crate::error::{DegradationReport, LocalizeError};
 use crate::likelihood::{joint_likelihood, AntennaCombining};
 use crate::multipath::{score_peaks, ScoreConfig, ScoredPeak};
 
@@ -75,6 +86,9 @@ pub struct Estimate {
     pub peaks: Vec<ScoredPeak>,
     /// The joint spatial likelihood (Fig. 8c material).
     pub likelihood: Grid2D,
+    /// What the pipeline discarded to produce this fix. `is_clean()` on a
+    /// healthy sounding.
+    pub degradation: DegradationReport,
 }
 
 impl Estimate {
@@ -117,53 +131,131 @@ impl BlocLocalizer {
     }
 
     /// Runs offset correction only (exposed for microbenchmarks).
-    pub fn correct(&self, data: &SoundingData) -> CorrectedChannels {
+    ///
+    /// # Errors
+    ///
+    /// See [`crate::correction::correct`].
+    pub fn correct(&self, data: &SoundingData) -> Result<CorrectedChannels, LocalizeError> {
         let _span = bloc_obs::span("correct");
         correct(data, self.config.normalize_alpha)
     }
 
     /// Computes the joint likelihood map only.
-    pub fn likelihood(&self, data: &SoundingData) -> Grid2D {
-        let corrected = self.correct(data);
-        self.joint_likelihood_timed(&corrected, data)
+    ///
+    /// # Errors
+    ///
+    /// See [`crate::correction::correct`].
+    pub fn likelihood(&self, data: &SoundingData) -> Result<Grid2D, LocalizeError> {
+        let corrected = self.correct(data)?;
+        Ok(self.joint_likelihood_timed(&corrected))
     }
 
     /// The likelihood stage under its span, with its work counters.
-    fn joint_likelihood_timed(&self, corrected: &CorrectedChannels, data: &SoundingData) -> Grid2D {
+    fn joint_likelihood_timed(&self, corrected: &CorrectedChannels) -> Grid2D {
         let _span = bloc_obs::span("likelihood");
         bloc_obs::counter("likelihood.grid_cells")
             .add((self.config.grid.nx * self.config.grid.ny) as u64);
-        bloc_obs::counter("likelihood.bands").add(data.bands.len() as u64);
+        bloc_obs::counter("likelihood.bands").add(corrected.bands.len() as u64);
         joint_likelihood(corrected, self.config.grid, self.config.combining)
     }
 
-    /// Full localization. Returns `None` when the sounding is degenerate
-    /// (no bands, or a likelihood with no usable peak).
-    pub fn localize(&self, data: &SoundingData) -> Option<Estimate> {
+    /// Records what the masking pass absorbed on the global registry,
+    /// under `fault.recovered.*` — the mirror of `fault.injected.*` (which
+    /// `bloc_chan::FaultPlan` records at sounding time). Counted exactly
+    /// once per [`Self::localize`] call so one sounding → one localize
+    /// reconciles the two families exactly.
+    fn record_recovered(corrected: &CorrectedChannels) {
+        let m = &corrected.masking;
+        if m.holes_masked > 0 {
+            bloc_obs::counter("fault.recovered.holes").add(m.holes_masked as u64);
+        }
+        if m.nonfinite_masked > 0 {
+            bloc_obs::counter("fault.recovered.nonfinite").add(m.nonfinite_masked as u64);
+        }
+        if m.bands_dropped > 0 {
+            bloc_obs::counter("fault.recovered.bands_dropped").add(m.bands_dropped as u64);
+        }
+        let excluded = corrected.surviving.iter().filter(|&&s| s == 0).count();
+        if excluded > 0 {
+            bloc_obs::counter("fault.recovered.anchors_excluded").add(excluded as u64);
+        }
+    }
+
+    /// The degradation evidence carried by estimates built from
+    /// `corrected` (confidence is filled in once peaks are scored).
+    fn degradation_of(corrected: &CorrectedChannels) -> DegradationReport {
+        DegradationReport {
+            bands_total: corrected.masking.bands_total,
+            bands_dropped: corrected.masking.bands_dropped,
+            holes_masked: corrected.masking.holes_masked,
+            nonfinite_masked: corrected.masking.nonfinite_masked,
+            anchors_total: corrected.n_anchors(),
+            anchors_excluded: (0..corrected.n_anchors())
+                .filter(|&i| corrected.surviving[i] == 0)
+                .collect(),
+            effective_span_hz: corrected.masking.effective_span_hz,
+            confidence: 0.0,
+        }
+    }
+
+    /// Checks that `corrected` can support a fix at all.
+    fn check_usable(corrected: &CorrectedChannels) -> Result<(), LocalizeError> {
+        if corrected.bands.is_empty() {
+            return Err(LocalizeError::NoUsableBands {
+                total: corrected.masking.bands_total,
+                dropped: corrected.masking.bands_dropped,
+            });
+        }
+        let usable = corrected.usable_anchors().len();
+        if usable < 2 {
+            return Err(LocalizeError::TooFewUsableAnchors {
+                usable,
+                total: corrected.n_anchors(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Full localization.
+    ///
+    /// # Errors
+    ///
+    /// A [`LocalizeError`] describing exactly why no fix was possible:
+    /// structurally empty input, every band dropped by masking, fewer than
+    /// two surviving anchors, or a peakless likelihood.
+    pub fn localize(&self, data: &SoundingData) -> Result<Estimate, LocalizeError> {
         let start = std::time::Instant::now();
         let _span = bloc_obs::span("localize");
         bloc_obs::counter("localize.calls").inc();
-        if data.bands.is_empty() {
-            bloc_obs::counter("localize.no_fix").inc();
-            bloc_obs::emit(bloc_obs::Event::new("localize", "no_fix").field("reason", "empty"));
-            return None;
-        }
-        let corrected = self.correct(data);
-        let grid = self.joint_likelihood_timed(&corrected, data);
-        let anchor_refs: Vec<P2> = data.anchors.iter().map(|a| a.center()).collect();
-        let peaks = score_peaks(&grid, &anchor_refs, &self.config.score);
+        let result = self.localize_impl(data);
         bloc_obs::histogram("localize.latency_us")
             .record(start.elapsed().as_micros().min(u64::MAX as u128) as u64);
-        let Some(best) = peaks.first() else {
+        if let Err(e) = &result {
             bloc_obs::counter("localize.no_fix").inc();
-            bloc_obs::emit(bloc_obs::Event::new("localize", "no_fix").field("reason", "no_peak"));
-            return None;
-        };
-        Some(Estimate {
-            position: best.peak.position,
+            bloc_obs::emit(bloc_obs::Event::new("localize", "no_fix").field("reason", e.reason()));
+        }
+        result
+    }
+
+    fn localize_impl(&self, data: &SoundingData) -> Result<Estimate, LocalizeError> {
+        let corrected = self.correct(data)?;
+        Self::record_recovered(&corrected);
+        Self::check_usable(&corrected)?;
+        let degradation = Self::degradation_of(&corrected);
+        let grid = self.joint_likelihood_timed(&corrected);
+        let anchor_refs: Vec<P2> = data.anchors.iter().map(|a| a.center()).collect();
+        let peaks = score_peaks(&grid, &anchor_refs, &self.config.score);
+        if peaks.is_empty() {
+            return Err(LocalizeError::NoPeak);
+        }
+        let mut est = Estimate {
+            position: peaks[0].peak.position,
             peaks,
             likelihood: grid,
-        })
+            degradation,
+        };
+        est.degradation.confidence = est.confidence();
+        Ok(est)
     }
 
     /// Multi-burst localization: fuses several soundings of the *same*
@@ -171,51 +263,109 @@ impl BlocLocalizer {
     /// scoring. BLE completes a full hop cycle ~40×/s (paper §6), so a
     /// tracker can afford several bursts per fix; fusion averages out
     /// per-burst noise and per-epoch offset artifacts that survive
-    /// correction. Returns `None` when every sounding is degenerate.
-    pub fn localize_fused(&self, soundings: &[SoundingData]) -> Option<Estimate> {
+    /// correction. The returned [`DegradationReport`] aggregates across
+    /// bursts (an anchor counts as excluded only when it survived in *no*
+    /// burst).
+    ///
+    /// # Errors
+    ///
+    /// [`LocalizeError::EmptySounding`] when no burst was structurally
+    /// sound, otherwise the same failures as [`Self::localize`] evaluated
+    /// on the fused evidence.
+    pub fn localize_fused(&self, soundings: &[SoundingData]) -> Result<Estimate, LocalizeError> {
         let _span = bloc_obs::span("localize_fused");
         bloc_obs::counter("localize_fused.calls").inc();
+        let result = self.localize_fused_impl(soundings);
+        if let Err(e) = &result {
+            bloc_obs::counter("localize.no_fix").inc();
+            bloc_obs::emit(bloc_obs::Event::new("localize", "no_fix").field("reason", e.reason()));
+        }
+        result
+    }
+
+    fn localize_fused_impl(&self, soundings: &[SoundingData]) -> Result<Estimate, LocalizeError> {
         let mut combined: Option<Grid2D> = None;
         let mut anchor_refs: Vec<P2> = Vec::new();
-        for data in soundings.iter().filter(|d| !d.bands.is_empty()) {
+        let mut degradation = DegradationReport::default();
+        let mut surviving_total: Vec<usize> = Vec::new();
+        let mut structurally_sound = 0usize;
+        for data in soundings {
+            let Ok(corrected) = self.correct(data) else {
+                continue;
+            };
+            structurally_sound += 1;
             bloc_obs::counter("localize_fused.bursts").inc();
-            let corrected = self.correct(data);
-            let grid = self.joint_likelihood_timed(&corrected, data);
+            degradation.bands_total += corrected.masking.bands_total;
+            degradation.bands_dropped += corrected.masking.bands_dropped;
+            degradation.holes_masked += corrected.masking.holes_masked;
+            degradation.nonfinite_masked += corrected.masking.nonfinite_masked;
+            degradation.effective_span_hz = degradation
+                .effective_span_hz
+                .max(corrected.masking.effective_span_hz);
+            if surviving_total.len() < corrected.surviving.len() {
+                surviving_total.resize(corrected.surviving.len(), 0);
+            }
+            for (acc, &s) in surviving_total.iter_mut().zip(&corrected.surviving) {
+                *acc += s;
+            }
+            if corrected.bands.is_empty() {
+                continue;
+            }
+            let grid = self.joint_likelihood_timed(&corrected);
             match &mut combined {
                 Some(acc) => acc.add_assign(&grid),
                 None => {
                     anchor_refs = data.anchors.iter().map(|a| a.center()).collect();
+                    degradation.anchors_total = corrected.n_anchors();
                     combined = Some(grid);
                 }
             }
         }
+        if structurally_sound == 0 {
+            return Err(LocalizeError::EmptySounding);
+        }
         let Some(grid) = combined else {
-            bloc_obs::counter("localize.no_fix").inc();
-            bloc_obs::emit(
-                bloc_obs::Event::new("localize", "no_fix").field("reason", "all_bursts_empty"),
-            );
-            return None;
+            return Err(LocalizeError::NoUsableBands {
+                total: degradation.bands_total,
+                dropped: degradation.bands_dropped,
+            });
         };
+        degradation.anchors_excluded = surviving_total
+            .iter()
+            .enumerate()
+            .filter(|(_, &s)| s == 0)
+            .map(|(i, _)| i)
+            .collect();
+        let usable = surviving_total.len() - degradation.anchors_excluded.len();
+        if usable < 2 {
+            return Err(LocalizeError::TooFewUsableAnchors {
+                usable,
+                total: surviving_total.len(),
+            });
+        }
         let peaks = score_peaks(&grid, &anchor_refs, &self.config.score);
-        let Some(best) = peaks.first() else {
-            bloc_obs::counter("localize.no_fix").inc();
-            bloc_obs::emit(bloc_obs::Event::new("localize", "no_fix").field("reason", "no_peak"));
-            return None;
-        };
-        Some(Estimate {
-            position: best.peak.position,
+        if peaks.is_empty() {
+            return Err(LocalizeError::NoPeak);
+        }
+        let mut est = Estimate {
+            position: peaks[0].peak.position,
             peaks,
             likelihood: grid,
-        })
+            degradation,
+        };
+        est.degradation.confidence = est.confidence();
+        Ok(est)
     }
 
     /// Localization with multipath rejection replaced by the naive
-    /// shortest-distance peak pick — the paper's Fig. 12 baseline.
+    /// shortest-distance peak pick — the paper's Fig. 12 baseline. Kept on
+    /// the `Option` interface: it is an ablation, not a production path.
     pub fn localize_shortest_distance(&self, data: &SoundingData) -> Option<Estimate> {
-        if data.bands.is_empty() {
+        let corrected = self.correct(data).ok()?;
+        if corrected.bands.is_empty() {
             return None;
         }
-        let corrected = self.correct(data);
+        let degradation = Self::degradation_of(&corrected);
         let grid = joint_likelihood(&corrected, self.config.grid, self.config.combining);
         let anchor_refs: Vec<P2> = data.anchors.iter().map(|a| a.center()).collect();
         let pick = crate::multipath::shortest_distance_peak(
@@ -227,23 +377,29 @@ impl BlocLocalizer {
             position: pick.position,
             peaks: Vec::new(),
             likelihood: grid,
+            degradation,
         })
     }
 
     /// Localization by raw argmax of the joint likelihood (no peak
     /// analysis at all) — the "naive way" of §5.4, exposed for ablations.
     pub fn localize_argmax(&self, data: &SoundingData) -> Option<Estimate> {
-        if data.bands.is_empty() {
+        let corrected = self.correct(data).ok()?;
+        if corrected.bands.is_empty() {
             return None;
         }
-        let corrected = self.correct(data);
+        let degradation = Self::degradation_of(&corrected);
         let grid = joint_likelihood(&corrected, self.config.grid, self.config.combining);
-        let (ix, iy, _) = grid.argmax()?;
+        let (ix, iy, max) = grid.argmax()?;
+        if max <= 0.0 {
+            return None;
+        }
         let position = grid.spec().cell_center(ix, iy);
         Some(Estimate {
             position,
             peaks: Vec::new(),
             likelihood: grid,
+            degradation,
         })
     }
 
@@ -255,10 +411,11 @@ impl BlocLocalizer {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
     use super::*;
     use bloc_chan::materials::Material;
     use bloc_chan::sounder::{all_data_channels, Sounder, SounderConfig};
-    use bloc_chan::{AnchorArray, Environment};
+    use bloc_chan::{AnchorArray, AnchorDropout, Environment, FaultPlan};
     use rand::{rngs::StdRng, SeedableRng};
 
     fn anchors(room: &Room) -> Vec<AnchorArray> {
@@ -293,6 +450,7 @@ mod tests {
                 "free-space error {} at {tag}",
                 est.position.dist(tag)
             );
+            assert!(est.degradation.is_clean(), "{:?}", est.degradation);
         }
     }
 
@@ -322,14 +480,17 @@ mod tests {
     }
 
     #[test]
-    fn empty_sounding_is_none() {
+    fn empty_sounding_is_a_typed_error() {
         let room = Room::new(5.0, 6.0);
         let data = SoundingData {
             bands: Vec::new(),
             anchors: anchors(&room),
         };
         let localizer = BlocLocalizer::new(BlocConfig::for_room(&room));
-        assert!(localizer.localize(&data).is_none());
+        assert_eq!(
+            localizer.localize(&data).unwrap_err(),
+            LocalizeError::EmptySounding
+        );
         assert!(localizer.localize_shortest_distance(&data).is_none());
         assert!(localizer.localize_argmax(&data).is_none());
     }
@@ -354,6 +515,8 @@ mod tests {
         assert!(!est.peaks.is_empty());
         assert_eq!(est.position, est.peaks[0].peak.position);
         assert_eq!(est.likelihood.spec(), localizer.config().grid);
+        assert_eq!(est.degradation.confidence, est.confidence());
+        assert_eq!(est.degradation.anchors_total, 4);
     }
 
     #[test]
@@ -413,7 +576,7 @@ mod tests {
 
         let single_errs: Vec<f64> = bursts
             .iter()
-            .filter_map(|b| localizer.localize(b).map(|e| e.position.dist(tag)))
+            .filter_map(|b| localizer.localize(b).ok().map(|e| e.position.dist(tag)))
             .collect();
         let fused = localizer
             .localize_fused(&bursts)
@@ -431,12 +594,18 @@ mod tests {
     fn fusion_handles_empty_and_degenerate() {
         let room = Room::new(5.0, 6.0);
         let localizer = BlocLocalizer::new(BlocConfig::for_room(&room));
-        assert!(localizer.localize_fused(&[]).is_none());
+        assert_eq!(
+            localizer.localize_fused(&[]).unwrap_err(),
+            LocalizeError::EmptySounding
+        );
         let empty = SoundingData {
             bands: Vec::new(),
             anchors: anchors(&room),
         };
-        assert!(localizer.localize_fused(&[empty]).is_none());
+        assert_eq!(
+            localizer.localize_fused(&[empty]).unwrap_err(),
+            LocalizeError::EmptySounding
+        );
     }
 
     #[test]
@@ -464,5 +633,106 @@ mod tests {
         ] {
             assert!(est.position.dist(tag) < 0.25, "{:?}", est.position);
         }
+    }
+
+    #[test]
+    fn lossy_sounding_localizes_with_populated_report() {
+        // 30% hop loss + a dropped-out anchor: still a fix, and the report
+        // says exactly what was absorbed.
+        let room = Room::new(5.0, 6.0);
+        let env = Environment::free_space();
+        let anchors = anchors(&room);
+        let chans = all_data_channels();
+        let plan = FaultPlan {
+            seed: 99,
+            tag_loss: 0.3,
+            master_loss: 0.1,
+            dropouts: vec![AnchorDropout {
+                anchor: 2,
+                bands: 0..chans.len(),
+            }],
+            ..Default::default()
+        };
+        let sounder = Sounder::new(
+            &env,
+            &anchors,
+            SounderConfig {
+                antenna_phase_err_std: 0.0,
+                ..Default::default()
+            },
+        )
+        .with_faults(plan.clone());
+        let localizer = BlocLocalizer::new(BlocConfig::for_room(&room));
+        let mut rng = StdRng::seed_from_u64(40);
+        let tag = P2::new(2.8, 3.3);
+        let data = sounder.sound(tag, &chans, &mut rng);
+        let est = localizer.localize(&data).unwrap();
+
+        let census = plan.census(&chans, &anchors);
+        assert_eq!(est.degradation.holes_masked, census.holes());
+        assert_eq!(est.degradation.bands_dropped, census.master_tag_lost_bands);
+        assert_eq!(est.degradation.anchors_excluded, vec![2]);
+        assert!(!est.degradation.is_clean());
+        assert!(
+            est.position.dist(tag) < 0.6,
+            "degraded free-space error {}",
+            est.position.dist(tag)
+        );
+    }
+
+    #[test]
+    fn too_few_anchors_is_a_typed_error() {
+        // Drop every slave for the whole sweep: only the master survives.
+        let room = Room::new(5.0, 6.0);
+        let env = Environment::free_space();
+        let anchors = anchors(&room);
+        let chans = all_data_channels();
+        let plan = FaultPlan {
+            seed: 5,
+            dropouts: (1..4)
+                .map(|a| AnchorDropout {
+                    anchor: a,
+                    bands: 0..chans.len(),
+                })
+                .collect(),
+            ..Default::default()
+        };
+        let sounder = Sounder::new(&env, &anchors, SounderConfig::default()).with_faults(plan);
+        let localizer = BlocLocalizer::new(BlocConfig::for_room(&room));
+        let mut rng = StdRng::seed_from_u64(41);
+        let data = sounder.sound(P2::new(2.0, 3.0), &chans, &mut rng);
+        assert_eq!(
+            localizer.localize(&data).unwrap_err(),
+            LocalizeError::TooFewUsableAnchors {
+                usable: 1,
+                total: 4
+            }
+        );
+    }
+
+    #[test]
+    fn total_master_loss_is_a_typed_error() {
+        // tag_loss = 1 at the master kills ĥ00 on every band: nothing to
+        // correct against, ever.
+        let room = Room::new(5.0, 6.0);
+        let env = Environment::free_space();
+        let anchors = anchors(&room);
+        let plan = FaultPlan {
+            seed: 6,
+            tag_loss: 1.0,
+            ..Default::default()
+        };
+        let sounder = Sounder::new(&env, &anchors, SounderConfig::default()).with_faults(plan);
+        let localizer = BlocLocalizer::new(BlocConfig::for_room(&room));
+        let mut rng = StdRng::seed_from_u64(42);
+        let chans = all_data_channels();
+        let data = sounder.sound(P2::new(2.0, 3.0), &chans, &mut rng);
+        assert_eq!(
+            localizer.localize(&data).unwrap_err(),
+            LocalizeError::NoUsableBands {
+                total: chans.len(),
+                dropped: chans.len()
+            }
+        );
     }
 }

@@ -16,6 +16,8 @@
 //! `bloc_num::entropy` and DESIGN.md for the sign interpretation).
 //! The published weights are `a = 0.1`, `b = 0.05` (§7).
 
+#![deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use bloc_num::entropy::negentropy;
 use bloc_num::peaks::{find_peaks, Peak, PeakOptions};
 use bloc_num::{Grid2D, P2};
@@ -106,11 +108,11 @@ pub fn score_peaks(grid: &Grid2D, anchor_refs: &[P2], config: &ScoreConfig) -> V
             }
         })
         .collect();
-    scored.sort_by(|x, y| {
-        y.score
-            .partial_cmp(&x.score)
-            .expect("scores must be finite")
-    });
+    // total_cmp instead of a panicking partial_cmp: a NaN score (conceivable
+    // on pathological degraded input) sorts last instead of killing the
+    // pipeline mid-fix.
+    scored.sort_by(|x, y| y.score.total_cmp(&x.score));
+    scored.retain(|s| s.score.is_finite());
     bloc_obs::counter("multipath.peaks_scored").add(scored.len() as u64);
     // Everything behind the winner is a rejected multipath candidate.
     bloc_obs::counter("multipath.peaks_rejected").add(scored.len().saturating_sub(1) as u64);
@@ -128,12 +130,13 @@ pub fn shortest_distance_peak(
     find_peaks(grid, peaks).into_iter().min_by(|a, b| {
         let da: f64 = anchor_refs.iter().map(|&r| a.position.dist(r)).sum();
         let db: f64 = anchor_refs.iter().map(|&r| b.position.dist(r)).sum();
-        da.partial_cmp(&db).expect("distances are finite")
+        da.total_cmp(&db)
     })
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
     use super::*;
     use bloc_num::GridSpec;
 

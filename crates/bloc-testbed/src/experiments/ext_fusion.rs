@@ -48,7 +48,7 @@ pub fn run(size: &ExperimentSize) -> ExtFusionResult {
             .map(|_| sounder.sound(truth, &channels, &mut rng))
             .collect();
         for (k, &n) in burst_counts.iter().enumerate() {
-            if let Some(est) = localizer.localize_fused(&bursts[..n]) {
+            if let Ok(est) = localizer.localize_fused(&bursts[..n]) {
                 errors[k].push(est.position.dist(truth));
             }
         }

@@ -47,7 +47,7 @@ pub fn run(size: &ExperimentSize) -> Fig6Result {
     let mut rng = rand::rngs::StdRng::seed_from_u64(size.seed ^ 0x60);
     let truth = P2::new(3.2, 2.2);
     let data = sounder.sound(truth, &all_data_channels(), &mut rng);
-    let corrected = correct(&data, true);
+    let corrected = correct(&data, true).expect("clean LOS sounding");
 
     let spec = GridSpec::covering(P2::new(-0.5, -0.5), P2::new(6.0, 7.0), 0.08);
     let angle_map = angle_only_likelihood(&corrected, 1, spec);

@@ -53,7 +53,7 @@ pub fn run(size: &ExperimentSize) -> Fig8bResult {
             .unwrap()
     });
 
-    let corrected = correct(&data, true);
+    let corrected = correct(&data, true).expect("clean sounding");
 
     let subbands: Vec<usize> = order
         .iter()

@@ -58,7 +58,7 @@ fn main() {
 
     for (k, &truth) in waypoints.iter().enumerate() {
         let data = sounder.sound(truth, &all_data_channels(), &mut rng);
-        let Some(est) = localizer.localize(&data) else {
+        let Ok(est) = localizer.localize(&data) else {
             // Lost burst: the tracker coasts on its velocity estimate.
             tracker.coast(DT);
             println!("  {k:2} | {truth} |  (no fix — coasting)");

@@ -76,7 +76,7 @@ fn main() {
             let data = sounder
                 .sound(truth, &all_data_channels(), &mut rng)
                 .with_bands_where(|b| keep(b.channel));
-            if let Some(est) = localizer.localize(&data) {
+            if let Ok(est) = localizer.localize(&data) {
                 errors.push(est.position.dist(truth));
             }
         }

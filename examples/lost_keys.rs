@@ -92,7 +92,7 @@ fn main() {
 
             let data = sounder.sound(truth, &all_data_channels(), &mut rng);
             total += 1;
-            if let Some(est) = localizer.localize(&data) {
+            if let Ok(est) = localizer.localize(&data) {
                 bloc_errors.push(est.position.dist(truth));
                 if classify(&zs, est.position) == zi {
                     bloc_hits += 1;

@@ -13,6 +13,10 @@ run() {
 
 if [[ "${1:-}" != "quick" ]]; then
     run cargo build --release
+    # Deterministic fault-injection soak: seeded plan, 100 locations; fails
+    # on any panic, unpopulated DegradationReport, or injected/recovered
+    # ledger mismatch (see crates/bloc-bench/src/bin/fault_soak.rs).
+    run cargo run --release -q -p bloc-bench --bin fault_soak 100
 fi
 run cargo test -q
 run cargo fmt --check

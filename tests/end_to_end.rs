@@ -145,7 +145,7 @@ fn combining_modes_all_function() {
         for (idx, &truth) in positions.iter().enumerate() {
             let mut rng = rand::rngs::StdRng::seed_from_u64(17 + idx as u64);
             let data = sounder.sound(truth, &bloc_chan::sounder::all_data_channels(), &mut rng);
-            if let Some(est) = localizer.localize(&data) {
+            if let Ok(est) = localizer.localize(&data) {
                 errs.push(est.position.dist(truth));
             }
         }

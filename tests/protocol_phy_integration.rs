@@ -201,8 +201,8 @@ fn cfo_is_transparent_to_bloc_but_fatal_to_tone_ranging() {
         sounder.sound(tag, &channels, &mut rng)
     };
 
-    let no_cfo = bloc_core::correction::correct(&sound_with_cfo(0.0, 6), true);
-    let with_cfo = bloc_core::correction::correct(&sound_with_cfo(20e3, 6), true);
+    let no_cfo = bloc_core::correction::correct(&sound_with_cfo(0.0, 6), true).unwrap();
+    let with_cfo = bloc_core::correction::correct(&sound_with_cfo(20e3, 6), true).unwrap();
 
     // Corrected-channel phases agree band-by-band (CFO cancelled) up to
     // numerical noise. (Offsets differ per sounding; compare within-anchor
