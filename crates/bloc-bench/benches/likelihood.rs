@@ -1,0 +1,76 @@
+//! Criterion benches of the likelihood engine's kernel layers (ISSUE 3):
+//! the naive reference, the phasor-recurrence kernel cold (geometry built
+//! per call) and warm (geometry cached), multi-threaded row evaluation,
+//! and the bare parallel grid constructor.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bloc_chan::sounder::{all_data_channels, SounderConfig};
+use bloc_core::correction::correct;
+use bloc_core::engine::LikelihoodEngine;
+use bloc_core::likelihood::{joint_likelihood_reference, AntennaCombining};
+use bloc_num::{Grid2D, P2};
+use bloc_testbed::scenario::Scenario;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn bench_likelihood(c: &mut Criterion) {
+    let scenario = Scenario::paper_testbed(2018);
+    let sounder = scenario.sounder(SounderConfig::default());
+    let mut rng = StdRng::seed_from_u64(1);
+    let data = sounder.sound(P2::new(2.1, 3.2), &all_data_channels(), &mut rng);
+    let corrected = correct(&data, true).expect("bench sounding is clean");
+    let spec = scenario.bloc_config().grid;
+    let combining = AntennaCombining::Hybrid;
+
+    c.bench_function("joint_reference_naive", |b| {
+        b.iter(|| black_box(joint_likelihood_reference(&corrected, spec, combining)))
+    });
+
+    c.bench_function("joint_recurrence_cold", |b| {
+        b.iter(|| {
+            let engine = LikelihoodEngine::recurrence();
+            black_box(engine.joint_likelihood(&corrected, spec, combining))
+        })
+    });
+
+    let warm = LikelihoodEngine::recurrence();
+    let _ = warm.joint_likelihood(&corrected, spec, combining);
+    c.bench_function("joint_recurrence_warm", |b| {
+        b.iter(|| black_box(warm.joint_likelihood(&corrected, spec, combining)))
+    });
+
+    let warm4 = LikelihoodEngine::recurrence().with_threads(4);
+    let _ = warm4.joint_likelihood(&corrected, spec, combining);
+    c.bench_function("joint_recurrence_warm_4_threads", |b| {
+        b.iter(|| black_box(warm4.joint_likelihood(&corrected, spec, combining)))
+    });
+
+    c.bench_function("anchor_recurrence_warm", |b| {
+        b.iter(|| black_box(warm.anchor_likelihood(&corrected, 1, spec, combining)))
+    });
+
+    // The bare parallel constructor on a cis-heavy integrand, 1 vs 4
+    // threads — isolates executor overhead from kernel arithmetic.
+    c.bench_function("grid_from_fn_par_1_thread", |b| {
+        b.iter(|| {
+            black_box(Grid2D::from_fn_par(spec, 1, |p| {
+                (p.x * 41.7).sin() * (p.y * 33.1).cos()
+            }))
+        })
+    });
+    c.bench_function("grid_from_fn_par_4_threads", |b| {
+        b.iter(|| {
+            black_box(Grid2D::from_fn_par(spec, 4, |p| {
+                (p.x * 41.7).sin() * (p.y * 33.1).cos()
+            }))
+        })
+    });
+}
+
+criterion_group! {
+    name = likelihood;
+    config = Criterion::default().sample_size(15);
+    targets = bench_likelihood
+}
+criterion_main!(likelihood);

@@ -53,35 +53,19 @@ fn main() {
 
     let median_with = |config: bloc_core::BlocConfig| -> f64 {
         let localizer = BlocLocalizer::new(config);
-        // Fan localization out across all cores.
-        let n_threads = std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(4);
-        let errs: Vec<f64> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..n_threads)
-                .map(|t| {
-                    let localizer = localizer.clone();
-                    let soundings = &soundings;
-                    scope.spawn(move || {
-                        soundings
-                            .iter()
-                            .skip(t)
-                            .step_by(n_threads)
-                            .filter_map(|(truth, data)| {
-                                localizer
-                                    .localize(data)
-                                    .ok()
-                                    .map(|e| e.position.dist(*truth))
-                            })
-                            .collect::<Vec<f64>>()
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("worker"))
-                .collect()
-        });
+        // Fan localization out across all cores; clones share the
+        // localizer's steering-geometry cache.
+        let errs: Vec<f64> =
+            bloc_num::par::map(soundings.len(), bloc_num::par::max_threads(), |idx| {
+                let (truth, data) = &soundings[idx];
+                localizer
+                    .localize(data)
+                    .ok()
+                    .map(|e| e.position.dist(*truth))
+            })
+            .into_iter()
+            .flatten()
+            .collect();
         stats::median(&errs)
     };
     let base = scenario.bloc_config();
@@ -176,30 +160,17 @@ fn main() {
             .collect();
         for (name, b) in [("entropy on (b=0.05)", 0.05), ("entropy off (b=0)", 0.0)] {
             let localizer = BlocLocalizer::new(base.with_score_weights(0.1, b));
-            let n_threads = std::thread::available_parallelism()
-                .map(|p| p.get())
-                .unwrap_or(4);
-            let errs: Vec<f64> = std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..n_threads)
-                    .map(|t| {
-                        let localizer = localizer.clone();
-                        let ms = &mirror_soundings;
-                        scope.spawn(move || {
-                            ms.iter()
-                                .skip(t)
-                                .step_by(n_threads)
-                                .filter_map(|(truth, d)| {
-                                    localizer.localize(d).ok().map(|e| e.position.dist(*truth))
-                                })
-                                .collect::<Vec<f64>>()
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .flat_map(|h| h.join().expect("worker"))
-                    .collect()
-            });
+            let errs: Vec<f64> = bloc_num::par::map(
+                mirror_soundings.len(),
+                bloc_num::par::max_threads(),
+                |idx| {
+                    let (truth, d) = &mirror_soundings[idx];
+                    localizer.localize(d).ok().map(|e| e.position.dist(*truth))
+                },
+            )
+            .into_iter()
+            .flatten()
+            .collect();
             println!("  mirrors, {name:22} median {:.2} m", stats::median(&errs));
         }
         println!("  (with ideal mirrors the entropy term has nothing to detect — the\n   deltas above shrink relative to the scattering room)");

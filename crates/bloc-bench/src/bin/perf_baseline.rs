@@ -1,0 +1,203 @@
+//! The likelihood-engine performance baseline: verifies the fast engine
+//! against the naive reference, times every kernel configuration at the
+//! default testbed grid, and writes a machine-readable
+//! `BENCH_likelihood.json` so future PRs have a perf trajectory to move.
+//!
+//! ```text
+//! cargo run --release -p bloc-bench --bin perf_baseline [iters]
+//! ```
+//!
+//! Exit status is nonzero when a sanity floor fails: kernel/reference
+//! equivalence (always), nonzero throughput (always), and the ≥ 5×
+//! single-thread speedup of the warm recurrence engine over the reference
+//! (release builds only — debug timings are meaningless).
+
+use std::time::Instant;
+
+use bloc_chan::sounder::{all_data_channels, SounderConfig};
+use bloc_core::correction::correct;
+use bloc_core::engine::LikelihoodEngine;
+use bloc_core::likelihood::{joint_likelihood_reference, AntennaCombining};
+use bloc_num::P2;
+use bloc_testbed::scenario::Scenario;
+use rand::{rngs::StdRng, SeedableRng};
+
+/// Best-of-N wall time of one call, seconds.
+fn time_best(iters: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..iters.max(1) {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let iters: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5);
+    println!("=== Likelihood engine perf baseline (best of {iters}) ===");
+    let obs_before = bloc_obs::Registry::global().snapshot();
+
+    // The default testbed deployment: paper room, 4×4 anchors, 37 bands,
+    // 8 cm grid.
+    let scenario = Scenario::paper_testbed(2018);
+    let sounder = scenario.sounder(SounderConfig::default());
+    let mut rng = StdRng::seed_from_u64(3);
+    let tag = P2::new(2.1, 3.2);
+    let data = sounder.sound(tag, &all_data_channels(), &mut rng);
+    let corrected = correct(&data, true).expect("clean testbed sounding");
+    let spec = scenario.bloc_config().grid;
+    let combining = AntennaCombining::Hybrid;
+    let cells = spec.nx * spec.ny;
+    let n_anchors = corrected.n_anchors();
+    let n_bands = corrected.bands.len();
+    let cell_evals = (cells * n_anchors) as f64;
+    println!(
+        "grid {}x{} = {cells} cells · {n_anchors} anchors · {n_bands} bands",
+        spec.nx, spec.ny
+    );
+
+    // -- Equivalence gate: the fast engine must reproduce the naive
+    // reference before any of its timings mean anything.
+    let reference_grid = joint_likelihood_reference(&corrected, spec, combining);
+    let fast_grid = LikelihoodEngine::recurrence().joint_likelihood(&corrected, spec, combining);
+    let peak = reference_grid
+        .data()
+        .iter()
+        .fold(0.0f64, |m, &v| m.max(v.abs()))
+        .max(f64::MIN_POSITIVE);
+    let max_rel_err = reference_grid
+        .data()
+        .iter()
+        .zip(fast_grid.data())
+        .fold(0.0f64, |m, (&a, &b)| m.max((a - b).abs() / peak));
+    let tol = 1e-9;
+    let equivalent = max_rel_err <= tol;
+    println!(
+        "equivalence: max rel err {max_rel_err:.3e} (tol {tol:.0e}) → {}",
+        if equivalent { "PASS" } else { "FAIL" }
+    );
+
+    // -- Timings. Each stage under its own bloc-obs span so the run
+    // report carries the same breakdown as the JSON.
+    let t_reference = {
+        let _span = bloc_obs::span("perf.reference");
+        time_best(iters, || {
+            std::hint::black_box(joint_likelihood_reference(&corrected, spec, combining));
+        })
+    };
+    // Cold: a fresh engine per call pays SoA repack + steering-table
+    // build + kernel. This is the first-sounding-of-a-deployment cost.
+    let t_cold = {
+        let _span = bloc_obs::span("perf.recurrence_cold");
+        time_best(iters, || {
+            let engine = LikelihoodEngine::recurrence();
+            std::hint::black_box(engine.joint_likelihood(&corrected, spec, combining));
+        })
+    };
+    // Warm: one engine, geometry cached — the steady-state per-sounding
+    // cost every tracker/sweep call pays.
+    let warm_engine = LikelihoodEngine::recurrence();
+    let _ = warm_engine.joint_likelihood(&corrected, spec, combining);
+    let t_warm = {
+        let _span = bloc_obs::span("perf.recurrence_warm");
+        time_best(iters, || {
+            std::hint::black_box(warm_engine.joint_likelihood(&corrected, spec, combining));
+        })
+    };
+    let mut thread_rows = Vec::new();
+    for threads in [2usize, 4] {
+        let engine = LikelihoodEngine::recurrence().with_threads(threads);
+        let _ = engine.joint_likelihood(&corrected, spec, combining);
+        let t = {
+            let _span = bloc_obs::span("perf.recurrence_threads");
+            time_best(iters, || {
+                std::hint::black_box(engine.joint_likelihood(&corrected, spec, combining));
+            })
+        };
+        thread_rows.push((threads, t));
+    }
+
+    let throughput = |secs: f64| cell_evals / secs;
+    let speedup = t_reference / t_warm;
+    println!(
+        "reference         {:>9.1} ms  {:>12.0} cell-evals/s",
+        t_reference * 1e3,
+        throughput(t_reference)
+    );
+    println!(
+        "recurrence cold   {:>9.1} ms  {:>12.0} cell-evals/s",
+        t_cold * 1e3,
+        throughput(t_cold)
+    );
+    println!(
+        "recurrence warm   {:>9.1} ms  {:>12.0} cell-evals/s",
+        t_warm * 1e3,
+        throughput(t_warm)
+    );
+    for (threads, t) in &thread_rows {
+        println!(
+            "warm, {threads} threads   {:>9.1} ms  {:>12.0} cell-evals/s",
+            t * 1e3,
+            throughput(*t)
+        );
+    }
+    let host_threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    println!(
+        "single-thread speedup over reference: {speedup:.1}×  (host has {host_threads} core(s))"
+    );
+
+    // -- Machine-readable trajectory point.
+    let thread_json: Vec<String> = thread_rows
+        .iter()
+        .map(|(threads, t)| {
+            format!(
+                "{{\"threads\": {threads}, \"secs_per_call\": {t:.6}, \"cell_evals_per_sec\": {:.0}}}",
+                throughput(*t)
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"joint_likelihood\",\n  \"grid\": {{\"nx\": {}, \"ny\": {}, \"cells\": {cells}, \"resolution_m\": {}}},\n  \"anchors\": {n_anchors},\n  \"bands\": {n_bands},\n  \"iters\": {iters},\n  \"host_threads\": {host_threads},\n  \"equivalence\": {{\"max_rel_err\": {max_rel_err:.3e}, \"tol\": {tol:.0e}, \"pass\": {equivalent}}},\n  \"reference\": {{\"secs_per_call\": {t_reference:.6}, \"cell_evals_per_sec\": {:.0}}},\n  \"recurrence_cold\": {{\"secs_per_call\": {t_cold:.6}, \"cell_evals_per_sec\": {:.0}}},\n  \"recurrence_warm\": {{\"secs_per_call\": {t_warm:.6}, \"cell_evals_per_sec\": {:.0}}},\n  \"warm_threads\": [{}],\n  \"speedup_single_thread\": {speedup:.2}\n}}\n",
+        spec.nx,
+        spec.ny,
+        spec.resolution,
+        throughput(t_reference),
+        throughput(t_cold),
+        throughput(t_warm),
+        thread_json.join(", "),
+    );
+    let path = "BENCH_likelihood.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("warning: could not write {path}: {e}"),
+    }
+
+    bloc_bench::emit_run_report("perf_baseline", &obs_before);
+
+    // -- Sanity floors.
+    let mut failed = false;
+    if !equivalent {
+        eprintln!("FLOOR FAILED: recurrence engine diverges from reference ({max_rel_err:.3e} > {tol:.0e})");
+        failed = true;
+    }
+    if !(t_warm.is_finite() && t_warm > 0.0 && throughput(t_warm) > 0.0) {
+        eprintln!("FLOOR FAILED: warm throughput is not positive");
+        failed = true;
+    }
+    if cfg!(debug_assertions) {
+        println!("debug build: speedup floor not enforced (timings are unrepresentative)");
+    } else if speedup < 5.0 {
+        eprintln!("FLOOR FAILED: single-thread speedup {speedup:.2}× < 5× over reference");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("all floors passed");
+}

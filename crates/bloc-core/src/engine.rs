@@ -1,0 +1,758 @@
+//! The fast likelihood engine: phasor-recurrence kernels, SoA channel
+//! layout, geometry caching and parallel grid evaluation.
+//!
+//! Everything the localizer does reduces to evaluating Eq. 17,
+//! `P_i(x) = |Σ_j Σ_k α^{f_k}_ij · e^{ι2πf_k Δ_ij(x)/c}|`, over a dense
+//! 2-D grid. The naive evaluation (kept verbatim as [`ReferenceKernel`])
+//! pays one `sin`+`cos` per (cell × antenna × band). This module layers
+//! three optimizations on top, each independently verified against the
+//! reference (see `tests/kernel_equivalence.rs`):
+//!
+//! 1. **Phasor recurrence** ([`RecurrenceKernel`]): BLE's data channels
+//!    sit on a uniform 2 MHz comb, so `f_k = f_base + n_k·s` with integer
+//!    `n_k`, and
+//!    `e^{ι2πf_kΔ/c} = e^{ι2πf_baseΔ/c} · (e^{ι2πsΔ/c})^{n_k}` —
+//!    two `cis` calls per (cell, antenna) seed a complex-rotation
+//!    recurrence across all bands. The identity is *exact* (no small-angle
+//!    approximation); [`BandPlan`] detects the comb and falls back to
+//!    per-band `cis` when surviving bands don't sit on one.
+//! 2. **SoA layout + geometry cache**: [`SoaChannels`] re-packs the
+//!    per-band `alpha[i][j]` tensor into contiguous per-(anchor, antenna)
+//!    band slices, and [`SteeringCache`] memoizes the per-cell relative
+//!    distances `Δ_ij(x)` (Eq. 14) keyed by (grid, anchor geometry) — a
+//!    deployment sounds thousands of times against the same grid, and the
+//!    geometry never changes.
+//! 3. **Parallel rows**: both kernels evaluate grid rows through
+//!    [`bloc_num::par`], bit-identically for every thread count.
+
+#![deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use bloc_chan::AnchorArray;
+use bloc_num::constants::SPEED_OF_LIGHT;
+use bloc_num::{Grid2D, GridSpec, C64, P2};
+
+use crate::correction::CorrectedChannels;
+use crate::likelihood::AntennaCombining;
+
+/// The frequency walk a recurrence kernel takes across surviving bands.
+///
+/// Bands are visited in ascending frequency. When every band offset from
+/// the lowest frequency is an integer multiple of one comb spacing (BLE:
+/// 2 MHz), `gaps[k]` holds how many comb slots to advance from band
+/// `k−1` to band `k` (first entry 0) and the rotation recurrence is
+/// exact. Otherwise `step_hz` is 0 and kernels fall back to per-band
+/// `cis`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BandPlan {
+    /// Indices into `CorrectedChannels::bands`, ascending frequency.
+    pub order: Vec<usize>,
+    /// Frequencies in plan order, hertz.
+    pub freqs: Vec<f64>,
+    /// The lowest surviving frequency, hertz.
+    pub base_hz: f64,
+    /// Comb spacing, hertz; 0 when the bands are not on a uniform comb.
+    pub step_hz: f64,
+    /// Comb slots to advance per planned band; empty when `step_hz == 0`.
+    pub gaps: Vec<u32>,
+}
+
+/// How far (in hertz) a band may sit off the comb and still count as on
+/// it. BLE channel centres are exact multiples of 1 MHz, so any real
+/// deviation is a unit-test fabrication, not measurement noise.
+const COMB_TOLERANCE_HZ: f64 = 1.0;
+
+impl BandPlan {
+    /// Plans the walk for bands with the given centre frequencies (in
+    /// their stored order).
+    pub fn build(freqs_in_order: &[f64]) -> Self {
+        let mut order: Vec<usize> = (0..freqs_in_order.len()).collect();
+        order.sort_by(|&a, &b| freqs_in_order[a].total_cmp(&freqs_in_order[b]));
+        let freqs: Vec<f64> = order.iter().map(|&k| freqs_in_order[k]).collect();
+        let base_hz = freqs.first().copied().unwrap_or(0.0);
+
+        // Candidate comb spacing: the smallest positive adjacent gap.
+        let mut step_hz = f64::INFINITY;
+        for w in freqs.windows(2) {
+            let d = w[1] - w[0];
+            if d > 0.0 {
+                step_hz = step_hz.min(d);
+            }
+        }
+        if !step_hz.is_finite() {
+            // Zero or one distinct frequency: a degenerate (but valid)
+            // comb — every gap is zero slots.
+            return Self {
+                gaps: vec![0; freqs.len()],
+                order,
+                freqs,
+                base_hz,
+                step_hz: 0.0,
+            };
+        }
+
+        let mut gaps = Vec::with_capacity(freqs.len());
+        let mut prev_slot: i64 = 0;
+        for &f in &freqs {
+            let slots = (f - base_hz) / step_hz;
+            let rounded = slots.round();
+            if ((f - base_hz) - rounded * step_hz).abs() > COMB_TOLERANCE_HZ
+                || rounded < 0.0
+                || rounded > u32::MAX as f64
+            {
+                // Off-comb band: no exact recurrence exists.
+                return Self {
+                    order,
+                    freqs,
+                    base_hz,
+                    step_hz: 0.0,
+                    gaps: Vec::new(),
+                };
+            }
+            let slot = rounded as i64;
+            gaps.push((slot - prev_slot) as u32);
+            prev_slot = slot;
+        }
+        Self {
+            order,
+            freqs,
+            base_hz,
+            step_hz,
+            gaps,
+        }
+    }
+
+    /// True when the exact rotation recurrence applies.
+    pub fn is_uniform_comb(&self) -> bool {
+        self.step_hz > 0.0 && !self.gaps.is_empty()
+    }
+}
+
+/// Corrected channels re-packed structure-of-arrays: per anchor, one
+/// contiguous band-major tensor (`alpha[slot·n_ant + j]` in [`BandPlan`]
+/// order), so the per-cell inner loop walks memory linearly *and* all
+/// antennas of a band sit adjacent — the recurrence kernel advances every
+/// antenna's rotation chain in lockstep, giving the CPU independent
+/// dependency chains to pipeline instead of one serial chain per antenna.
+#[derive(Debug, Clone)]
+pub struct SoaChannels {
+    /// The band walk shared by every slice.
+    pub plan: BandPlan,
+    /// Antennas per anchor.
+    pub n_antennas: Vec<usize>,
+    /// `alpha[i][slot·n_antennas[i] + j]` — band-major per anchor.
+    alpha: Vec<Vec<C64>>,
+}
+
+impl SoaChannels {
+    /// Re-packs `corrected` (masked entries stay exact zeros, so they
+    /// still contribute nothing to the correlation sums).
+    pub fn build(corrected: &CorrectedChannels) -> Self {
+        let freqs: Vec<f64> = corrected.bands.iter().map(|b| b.freq_hz).collect();
+        let plan = BandPlan::build(&freqs);
+        let nb = corrected.bands.len();
+        let n_antennas: Vec<usize> = corrected.anchors.iter().map(|a| a.n_antennas).collect();
+        let alpha = (0..corrected.n_anchors())
+            .map(|i| {
+                let nj = n_antennas[i];
+                let mut v = vec![bloc_num::complex::ZERO; nj * nb];
+                for (slot, &b) in plan.order.iter().enumerate() {
+                    for j in 0..nj {
+                        v[slot * nj + j] = corrected.bands[b].alpha[i][j];
+                    }
+                }
+                v
+            })
+            .collect();
+        Self {
+            plan,
+            n_antennas,
+            alpha,
+        }
+    }
+
+    /// Number of planned bands.
+    pub fn n_bands(&self) -> usize {
+        self.plan.freqs.len()
+    }
+
+    /// The contiguous antenna slice of anchor `i` at planned band `slot`.
+    pub fn band_antennas(&self, i: usize, slot: usize) -> &[C64] {
+        let nj = self.n_antennas[i];
+        &self.alpha[i][slot * nj..(slot + 1) * nj]
+    }
+}
+
+/// Precomputed per-cell steering geometry for one (grid, deployment,
+/// band-comb) triple: the relative distances
+/// `Δ_ij(x) = d_ij(x) − d_00(x) − d^{i0}_{00}` of Eq. 14 for every cell
+/// and every (anchor, antenna), plus — when the surviving bands form a
+/// uniform comb — the two phasors the recurrence kernel seeds from them,
+/// `e^{ι2πf_baseΔ/c}` and `e^{ι2πsΔ/c}`. Hoisting the phasors into the
+/// cache removes every transcendental call from the steady-state
+/// per-sounding path: the warm kernel is pure complex multiply-adds.
+#[derive(Debug)]
+pub struct SteeringTables {
+    spec: GridSpec,
+    /// `delta[i][cell·n_antennas[i] + j]`, cell-major so the per-cell
+    /// antenna loop reads contiguously.
+    delta: Vec<Vec<f64>>,
+    /// `e^{ι2πf_baseΔ/c}`, same indexing as `delta`.
+    seed: Vec<Vec<C64>>,
+    /// `e^{ι2πsΔ/c}` (comb-step rotation), same indexing as `delta`.
+    step: Vec<Vec<C64>>,
+    n_antennas: Vec<usize>,
+}
+
+impl SteeringTables {
+    /// Computes the tables — the one place per deployment that pays the
+    /// per-cell distance arithmetic and phasor seeding. `base_hz` and
+    /// `step_hz` are the [`BandPlan`] comb parameters (0 disables the
+    /// phasor tables' usefulness but is still a valid build).
+    pub fn build(
+        spec: GridSpec,
+        anchors: &[AnchorArray],
+        master_anchor_dist: &[f64],
+        base_hz: f64,
+        step_hz: f64,
+    ) -> Self {
+        let n_cells = spec.len();
+        let n_antennas: Vec<usize> = anchors.iter().map(|a| a.n_antennas).collect();
+        let master0 = anchors
+            .first()
+            .map(|a| a.antenna(0))
+            .unwrap_or(P2::new(0.0, 0.0));
+        let tau_over_c = std::f64::consts::TAU / SPEED_OF_LIGHT;
+        let mut delta = Vec::with_capacity(anchors.len());
+        let mut seed = Vec::with_capacity(anchors.len());
+        let mut step = Vec::with_capacity(anchors.len());
+        for (i, anchor) in anchors.iter().enumerate() {
+            let positions = anchor.antennas();
+            let d_i0 = master_anchor_dist[i];
+            let nj = positions.len();
+            let mut d_table = vec![0.0; n_cells * nj];
+            let mut s_table = vec![bloc_num::complex::ZERO; n_cells * nj];
+            let mut r_table = vec![bloc_num::complex::ZERO; n_cells * nj];
+            for iy in 0..spec.ny {
+                for ix in 0..spec.nx {
+                    let x = spec.cell_center(ix, iy);
+                    let d_00 = x.dist(master0);
+                    let cell = spec.flat(ix, iy);
+                    for (j, &p) in positions.iter().enumerate() {
+                        let d = x.dist(p) - d_00 - d_i0;
+                        let w = tau_over_c * d;
+                        d_table[cell * nj + j] = d;
+                        s_table[cell * nj + j] = C64::cis(w * base_hz);
+                        r_table[cell * nj + j] = C64::cis(w * step_hz);
+                    }
+                }
+            }
+            delta.push(d_table);
+            seed.push(s_table);
+            step.push(r_table);
+        }
+        Self {
+            spec,
+            delta,
+            seed,
+            step,
+            n_antennas,
+        }
+    }
+
+    /// The grid the tables were built for.
+    pub fn spec(&self) -> GridSpec {
+        self.spec
+    }
+
+    /// The `Δ_ij` slice of one cell for anchor `i` (length = antennas of
+    /// `i`, indexed by `j`).
+    #[inline]
+    pub fn cell_deltas(&self, i: usize, cell: usize) -> &[f64] {
+        let nj = self.n_antennas[i];
+        &self.delta[i][cell * nj..(cell + 1) * nj]
+    }
+
+    /// The base-frequency phasor slice of one cell for anchor `i`.
+    #[inline]
+    pub fn cell_seeds(&self, i: usize, cell: usize) -> &[C64] {
+        let nj = self.n_antennas[i];
+        &self.seed[i][cell * nj..(cell + 1) * nj]
+    }
+
+    /// The comb-step rotation slice of one cell for anchor `i`.
+    #[inline]
+    pub fn cell_steps(&self, i: usize, cell: usize) -> &[C64] {
+        let nj = self.n_antennas[i];
+        &self.step[i][cell * nj..(cell + 1) * nj]
+    }
+}
+
+/// A concurrency-safe memo of [`SteeringTables`] keyed by (grid spec,
+/// anchor geometry, master-anchor distances). Clones share the underlying
+/// map, so a localizer cloned across sweep workers computes each
+/// deployment's geometry exactly once.
+#[derive(Debug, Clone, Default)]
+pub struct SteeringCache {
+    inner: Arc<Mutex<HashMap<Vec<u64>, Arc<SteeringTables>>>>,
+}
+
+fn push_f64(key: &mut Vec<u64>, v: f64) {
+    key.push(v.to_bits());
+}
+
+fn cache_key(
+    spec: GridSpec,
+    anchors: &[AnchorArray],
+    master_anchor_dist: &[f64],
+    base_hz: f64,
+    step_hz: f64,
+) -> Vec<u64> {
+    let mut key = Vec::with_capacity(8 + anchors.len() * 7 + master_anchor_dist.len());
+    push_f64(&mut key, base_hz);
+    push_f64(&mut key, step_hz);
+    push_f64(&mut key, spec.origin.x);
+    push_f64(&mut key, spec.origin.y);
+    push_f64(&mut key, spec.resolution);
+    key.push(spec.nx as u64);
+    key.push(spec.ny as u64);
+    for a in anchors {
+        push_f64(&mut key, a.origin.x);
+        push_f64(&mut key, a.origin.y);
+        push_f64(&mut key, a.axis.x);
+        push_f64(&mut key, a.axis.y);
+        push_f64(&mut key, a.spacing);
+        key.push(a.n_antennas as u64);
+    }
+    for &d in master_anchor_dist {
+        push_f64(&mut key, d);
+    }
+    key
+}
+
+impl SteeringCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The tables for this (grid, deployment, comb), computed on first
+    /// use. Concurrent callers for the same key block on the build rather
+    /// than duplicating it.
+    pub fn tables(
+        &self,
+        spec: GridSpec,
+        anchors: &[AnchorArray],
+        master_anchor_dist: &[f64],
+        base_hz: f64,
+        step_hz: f64,
+    ) -> Arc<SteeringTables> {
+        let key = cache_key(spec, anchors, master_anchor_dist, base_hz, step_hz);
+        let mut map = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(hit) = map.get(&key) {
+            bloc_obs::counter("likelihood.steering_cache_hits").inc();
+            return Arc::clone(hit);
+        }
+        bloc_obs::counter("likelihood.steering_cache_misses").inc();
+        let built = Arc::new(SteeringTables::build(
+            spec,
+            anchors,
+            master_anchor_dist,
+            base_hz,
+            step_hz,
+        ));
+        map.insert(key, Arc::clone(&built));
+        built
+    }
+
+    /// Number of cached deployments.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// True when nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Everything a kernel needs to evaluate one anchor map. The reference
+/// kernel reads `corrected` directly; the fast kernels read the SoA and
+/// steering layers.
+pub struct KernelInputs<'a> {
+    /// The corrected channels as produced by [`crate::correction`].
+    pub corrected: &'a CorrectedChannels,
+    /// The SoA re-pack of the same channels.
+    pub soa: &'a SoaChannels,
+    /// The per-cell steering geometry.
+    pub tables: &'a SteeringTables,
+}
+
+/// One interchangeable implementation of the Eq. 17 per-anchor map.
+pub trait LikelihoodKernel: Send + Sync + std::fmt::Debug {
+    /// A short name for reports and benchmarks.
+    fn name(&self) -> &'static str;
+
+    /// Evaluates anchor `i`'s likelihood map over `inputs.tables.spec()`,
+    /// splitting rows across `threads`.
+    fn anchor_map(
+        &self,
+        inputs: &KernelInputs<'_>,
+        i: usize,
+        combining: AntennaCombining,
+        threads: usize,
+    ) -> Grid2D;
+}
+
+/// The naive per-cell evaluation the workspace started with — one
+/// `cis` per (cell, antenna, band), distances recomputed per cell. Kept
+/// as ground truth for the equivalence suite and the perf baseline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReferenceKernel;
+
+impl LikelihoodKernel for ReferenceKernel {
+    fn name(&self) -> &'static str {
+        "reference"
+    }
+
+    fn anchor_map(
+        &self,
+        inputs: &KernelInputs<'_>,
+        i: usize,
+        combining: AntennaCombining,
+        threads: usize,
+    ) -> Grid2D {
+        let corrected = inputs.corrected;
+        let spec = inputs.tables.spec();
+        Grid2D::from_fn_par(spec, threads, |x| {
+            crate::likelihood::reference_cell_value(corrected, i, combining, x)
+        })
+    }
+}
+
+/// The phasor-recurrence kernel over the SoA layout and cached geometry:
+/// per (cell, antenna) it seeds `e^{ι2πf_baseΔ/c}` and the comb rotation
+/// `e^{ι2πsΔ/c}` with two `cis` calls, then advances across bands by
+/// complex multiplication (`gaps[k]` multiplies per band — one for
+/// adjacent comb slots). Off-comb band sets fall back to per-band `cis`
+/// over the same SoA slices.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RecurrenceKernel;
+
+impl LikelihoodKernel for RecurrenceKernel {
+    fn name(&self) -> &'static str {
+        "recurrence"
+    }
+
+    fn anchor_map(
+        &self,
+        inputs: &KernelInputs<'_>,
+        i: usize,
+        combining: AntennaCombining,
+        threads: usize,
+    ) -> Grid2D {
+        let soa = inputs.soa;
+        let tables = inputs.tables;
+        let spec = tables.spec();
+        let plan = &soa.plan;
+        let n_ant = soa.n_antennas[i];
+        let alpha_i: &[C64] = &soa.alpha[i];
+        let tau_over_c = std::f64::consts::TAU / SPEED_OF_LIGHT;
+        let uniform = plan.is_uniform_comb();
+
+        let mut out = Grid2D::zeros(spec);
+        let nx = spec.nx.max(1);
+        bloc_num::par::for_each_chunk_mut(out.data_mut(), nx, threads, |start, row| {
+            // Per-row scratch: one rotation chain per antenna, advanced in
+            // lockstep across bands so the chains stay independent in the
+            // pipeline (a single chain serializes on complex-multiply
+            // latency).
+            let mut rot = vec![bloc_num::complex::ZERO; n_ant];
+            let mut acc = vec![bloc_num::complex::ZERO; n_ant];
+            for (off, v) in row.iter_mut().enumerate() {
+                let cell = start + off;
+                if uniform {
+                    // The cached seed/step phasors make this branch free
+                    // of transcendentals: pure complex multiply-adds.
+                    let steps = tables.cell_steps(i, cell);
+                    rot[..n_ant].copy_from_slice(tables.cell_seeds(i, cell));
+                    for a in acc[..n_ant].iter_mut() {
+                        *a = bloc_num::complex::ZERO;
+                    }
+                    for (slot, &gap) in plan.gaps.iter().enumerate() {
+                        for _ in 0..gap {
+                            for (r, &s) in rot[..n_ant].iter_mut().zip(steps) {
+                                *r *= s;
+                            }
+                        }
+                        let a = &alpha_i[slot * n_ant..(slot + 1) * n_ant];
+                        for ((acc_j, &a_j), &r_j) in
+                            acc[..n_ant].iter_mut().zip(a).zip(&rot[..n_ant])
+                        {
+                            *acc_j += a_j * r_j;
+                        }
+                    }
+                } else {
+                    let deltas = tables.cell_deltas(i, cell);
+                    for a in acc[..n_ant].iter_mut() {
+                        *a = bloc_num::complex::ZERO;
+                    }
+                    for (slot, &f) in plan.freqs.iter().enumerate() {
+                        let a = &alpha_i[slot * n_ant..(slot + 1) * n_ant];
+                        for (j, &delta) in deltas.iter().enumerate().take(n_ant) {
+                            acc[j] += a[j] * C64::cis(tau_over_c * delta * f);
+                        }
+                    }
+                }
+                let mut coherent = bloc_num::complex::ZERO;
+                let mut noncoherent = 0.0;
+                for &per_antenna in acc.iter().take(n_ant) {
+                    coherent += per_antenna;
+                    noncoherent += per_antenna.abs();
+                }
+                *v = match combining {
+                    AntennaCombining::Coherent => coherent.abs(),
+                    AntennaCombining::NoncoherentAntennas => noncoherent,
+                    AntennaCombining::Hybrid => coherent.abs() + 0.5 * noncoherent,
+                };
+            }
+        });
+        out
+    }
+}
+
+/// The assembled engine: a kernel choice, a thread count, and a shared
+/// [`SteeringCache`]. Cloning shares the cache (and the kernel), so a
+/// localizer cloned per worker still computes each deployment's geometry
+/// once.
+#[derive(Debug, Clone)]
+pub struct LikelihoodEngine {
+    kernel: Arc<dyn LikelihoodKernel>,
+    threads: usize,
+    cache: SteeringCache,
+}
+
+impl Default for LikelihoodEngine {
+    /// Recurrence kernel, single-threaded: the fastest configuration that
+    /// composes safely with callers that already parallelize across
+    /// soundings (the sweep runner, the ablations).
+    fn default() -> Self {
+        Self::recurrence()
+    }
+}
+
+impl LikelihoodEngine {
+    /// A single-threaded engine on the phasor-recurrence kernel.
+    pub fn recurrence() -> Self {
+        Self {
+            kernel: Arc::new(RecurrenceKernel),
+            threads: 1,
+            cache: SteeringCache::new(),
+        }
+    }
+
+    /// A single-threaded engine on the naive reference kernel.
+    pub fn reference() -> Self {
+        Self {
+            kernel: Arc::new(ReferenceKernel),
+            threads: 1,
+            cache: SteeringCache::new(),
+        }
+    }
+
+    /// Replaces the kernel.
+    pub fn with_kernel(mut self, kernel: Arc<dyn LikelihoodKernel>) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// Sets how many threads grid rows are split across (clamped to ≥ 1).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The configured thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The active kernel's name.
+    pub fn kernel_name(&self) -> &'static str {
+        self.kernel.name()
+    }
+
+    /// The shared steering cache (exposed for inspection/tests).
+    pub fn cache(&self) -> &SteeringCache {
+        &self.cache
+    }
+
+    /// Per-anchor likelihood map (Eq. 17 for anchor `i`) through the
+    /// engine's kernel, cache and thread pool.
+    pub fn anchor_likelihood(
+        &self,
+        corrected: &CorrectedChannels,
+        i: usize,
+        spec: GridSpec,
+        combining: AntennaCombining,
+    ) -> Grid2D {
+        let soa = SoaChannels::build(corrected);
+        let tables = self.cache.tables(
+            spec,
+            &corrected.anchors,
+            &corrected.master_anchor_dist,
+            soa.plan.base_hz,
+            soa.plan.step_hz,
+        );
+        let inputs = KernelInputs {
+            corrected,
+            soa: &soa,
+            tables: &tables,
+        };
+        self.kernel.anchor_map(&inputs, i, combining, self.threads)
+    }
+
+    /// The joint likelihood (per-anchor maps normalized, degradation-
+    /// weighted, summed — see [`crate::likelihood::joint_likelihood`] for
+    /// the weighting contract) with the SoA build and geometry lookup
+    /// amortized across anchors.
+    pub fn joint_likelihood(
+        &self,
+        corrected: &CorrectedChannels,
+        spec: GridSpec,
+        combining: AntennaCombining,
+    ) -> Grid2D {
+        let soa = SoaChannels::build(corrected);
+        let tables = self.cache.tables(
+            spec,
+            &corrected.anchors,
+            &corrected.master_anchor_dist,
+            soa.plan.base_hz,
+            soa.plan.step_hz,
+        );
+        let inputs = KernelInputs {
+            corrected,
+            soa: &soa,
+            tables: &tables,
+        };
+        crate::likelihood::weighted_joint(corrected, spec, |i| {
+            self.kernel.anchor_map(&inputs, i, combining, self.threads)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+    use super::*;
+
+    #[test]
+    fn band_plan_detects_the_ble_comb() {
+        // 2402, 2404, …: ascending 2 MHz comb.
+        let freqs: Vec<f64> = (0..10).map(|k| 2.402e9 + 2e6 * k as f64).collect();
+        let plan = BandPlan::build(&freqs);
+        assert!(plan.is_uniform_comb());
+        assert_eq!(plan.base_hz, 2.402e9);
+        assert_eq!(plan.step_hz, 2e6);
+        assert_eq!(plan.gaps[0], 0);
+        assert!(plan.gaps[1..].iter().all(|&g| g == 1));
+    }
+
+    #[test]
+    fn band_plan_sorts_and_handles_gaps() {
+        // Shuffled order with a missing channel: gaps reflect the holes.
+        let freqs = [2.410e9, 2.402e9, 2.416e9];
+        let plan = BandPlan::build(&freqs);
+        assert_eq!(plan.order, vec![1, 0, 2]);
+        // Sorted gaps are 8 and 6 MHz: the candidate step is 6 MHz, which
+        // does not divide 8 MHz, so no exact recurrence exists from these
+        // gaps alone — BandPlan must fall back rather than mis-plan.
+        assert!(!plan.is_uniform_comb());
+        assert!(!BandPlan::build(&[2.402e9, 2.410e9, 2.416e9]).is_uniform_comb());
+    }
+
+    #[test]
+    fn band_plan_uniform_with_adjacent_pair_present() {
+        // As long as one adjacent pair exists, the 2 MHz step is found
+        // and wider holes become multi-slot gaps.
+        let freqs = [2.402e9, 2.404e9, 2.412e9];
+        let plan = BandPlan::build(&freqs);
+        assert!(plan.is_uniform_comb());
+        assert_eq!(plan.gaps, vec![0, 1, 4]);
+    }
+
+    #[test]
+    fn band_plan_degenerate_sizes() {
+        assert!(!BandPlan::build(&[]).is_uniform_comb());
+        let one = BandPlan::build(&[2.44e9]);
+        assert!(!one.is_uniform_comb());
+        assert_eq!(one.gaps, vec![0]);
+        assert_eq!(one.base_hz, 2.44e9);
+    }
+
+    #[test]
+    fn steering_cache_returns_the_same_tables() {
+        let spec = GridSpec::covering(P2::new(0.0, 0.0), P2::new(2.0, 2.0), 0.5);
+        let anchors = vec![
+            AnchorArray::centered(0, P2::new(1.0, 0.0), P2::new(1.0, 0.0), 4),
+            AnchorArray::centered(1, P2::new(0.0, 1.0), P2::new(0.0, 1.0), 4),
+        ];
+        let dists = vec![0.0, anchors[1].antenna(0).dist(anchors[0].antenna(0))];
+        let (base, step) = (2.402e9, 2.0e6);
+        let cache = SteeringCache::new();
+        let a = cache.tables(spec, &anchors, &dists, base, step);
+        let b = cache.tables(spec, &anchors, &dists, base, step);
+        assert!(Arc::ptr_eq(&a, &b), "second lookup must hit the cache");
+        assert_eq!(cache.len(), 1);
+
+        // A different grid is a different deployment entry.
+        let spec2 = GridSpec::covering(P2::new(0.0, 0.0), P2::new(2.0, 2.0), 0.25);
+        let c = cache.tables(spec2, &anchors, &dists, base, step);
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(cache.len(), 2);
+
+        // A different comb (phasor tables differ) is its own entry too.
+        let e = cache.tables(spec, &anchors, &dists, base + 2.0e6, step);
+        assert!(!Arc::ptr_eq(&a, &e));
+        assert_eq!(cache.len(), 3);
+
+        // Clones share the map.
+        let clone = cache.clone();
+        let d = clone.tables(spec, &anchors, &dists, base, step);
+        assert!(Arc::ptr_eq(&a, &d));
+    }
+
+    #[test]
+    fn steering_tables_match_direct_geometry() {
+        let spec = GridSpec::covering(P2::new(-0.5, -0.5), P2::new(3.0, 3.0), 0.7);
+        let anchors = vec![
+            AnchorArray::centered(0, P2::new(1.0, -0.4), P2::new(1.0, 0.0), 3),
+            AnchorArray::centered(1, P2::new(-0.4, 1.0), P2::new(0.0, 1.0), 4),
+        ];
+        let master0 = anchors[0].antenna(0);
+        let dists = vec![0.0, anchors[1].antenna(0).dist(master0)];
+        let (base, step) = (2.402e9, 2.0e6);
+        let tables = SteeringTables::build(spec, &anchors, &dists, base, step);
+        let tau_over_c = std::f64::consts::TAU / SPEED_OF_LIGHT;
+        for iy in 0..spec.ny {
+            for ix in 0..spec.nx {
+                let x = spec.cell_center(ix, iy);
+                let cell = spec.flat(ix, iy);
+                for (i, a) in anchors.iter().enumerate() {
+                    let ds = tables.cell_deltas(i, cell);
+                    let seeds = tables.cell_seeds(i, cell);
+                    let steps = tables.cell_steps(i, cell);
+                    assert_eq!(ds.len(), a.n_antennas);
+                    for (j, &d) in ds.iter().enumerate() {
+                        let manual = x.dist(a.antenna(j)) - x.dist(master0) - dists[i];
+                        assert_eq!(d, manual, "cell ({ix},{iy}) anchor {i} ant {j}");
+                        assert_eq!(seeds[j], C64::cis(tau_over_c * d * base));
+                        assert_eq!(steps[j], C64::cis(tau_over_c * d * step));
+                    }
+                }
+            }
+        }
+    }
+}

@@ -75,6 +75,7 @@
 pub mod baselines;
 pub mod correction;
 pub mod diagnostics;
+pub mod engine;
 pub mod error;
 pub mod likelihood;
 pub mod localizer;

@@ -41,38 +41,69 @@ pub enum AntennaCombining {
     Hybrid,
 }
 
+/// The Eq. 17 evaluation for one cell, written the naive way: exact
+/// per-antenna distances recomputed from scratch and one `C64::cis` per
+/// (antenna, band). This is the ground truth every fast kernel in
+/// [`crate::engine`] is verified against — change it only if the physics
+/// changes.
+pub fn reference_cell_value(
+    corrected: &CorrectedChannels,
+    i: usize,
+    combining: AntennaCombining,
+    x: bloc_num::P2,
+) -> f64 {
+    let anchor = &corrected.anchors[i];
+    let master0 = corrected.anchors[0].antenna(0);
+    let d_i0 = corrected.master_anchor_dist[i];
+    let n_ant = anchor.n_antennas;
+
+    let d_00 = x.dist(master0);
+    let mut coherent = bloc_num::complex::ZERO;
+    let mut noncoherent = 0.0;
+    for j in 0..n_ant {
+        let delta = x.dist(anchor.antenna(j)) - d_00 - d_i0;
+        let mut per_antenna = bloc_num::complex::ZERO;
+        for band in &corrected.bands {
+            let phase = std::f64::consts::TAU * band.freq_hz * delta / SPEED_OF_LIGHT;
+            per_antenna += band.alpha[i][j] * C64::cis(phase);
+        }
+        coherent += per_antenna;
+        noncoherent += per_antenna.abs();
+    }
+    match combining {
+        AntennaCombining::Coherent => coherent.abs(),
+        AntennaCombining::NoncoherentAntennas => noncoherent,
+        AntennaCombining::Hybrid => coherent.abs() + 0.5 * noncoherent,
+    }
+}
+
+/// The per-anchor likelihood map computed by the naive reference path —
+/// the original single-threaded implementation, kept verbatim as the
+/// equivalence baseline for [`crate::engine`].
+pub fn anchor_likelihood_reference(
+    corrected: &CorrectedChannels,
+    i: usize,
+    spec: GridSpec,
+    combining: AntennaCombining,
+) -> Grid2D {
+    Grid2D::from_fn(spec, |x| reference_cell_value(corrected, i, combining, x))
+}
+
 /// Computes the per-anchor likelihood map for anchor `i` over `spec`.
+///
+/// Delegates to the phasor-recurrence engine ([`crate::engine`]); the
+/// result matches [`anchor_likelihood_reference`] to well under 1e-9
+/// relative error (see `tests/kernel_equivalence.rs`). Callers issuing
+/// many soundings against one deployment should hold a
+/// [`crate::engine::LikelihoodEngine`] instead, which additionally caches
+/// the steering geometry across calls.
 pub fn anchor_likelihood(
     corrected: &CorrectedChannels,
     i: usize,
     spec: GridSpec,
     combining: AntennaCombining,
 ) -> Grid2D {
-    let anchor = &corrected.anchors[i];
-    let master0 = corrected.anchors[0].antenna(0);
-    let d_i0 = corrected.master_anchor_dist[i];
-    let n_ant = anchor.n_antennas;
-
-    Grid2D::from_fn(spec, |x| {
-        let d_00 = x.dist(master0);
-        let mut coherent = bloc_num::complex::ZERO;
-        let mut noncoherent = 0.0;
-        for j in 0..n_ant {
-            let delta = x.dist(anchor.antenna(j)) - d_00 - d_i0;
-            let mut per_antenna = bloc_num::complex::ZERO;
-            for band in &corrected.bands {
-                let phase = std::f64::consts::TAU * band.freq_hz * delta / SPEED_OF_LIGHT;
-                per_antenna += band.alpha[i][j] * C64::cis(phase);
-            }
-            coherent += per_antenna;
-            noncoherent += per_antenna.abs();
-        }
-        match combining {
-            AntennaCombining::Coherent => coherent.abs(),
-            AntennaCombining::NoncoherentAntennas => noncoherent,
-            AntennaCombining::Hybrid => coherent.abs() + 0.5 * noncoherent,
-        }
-    })
+    crate::engine::LikelihoodEngine::recurrence().anchor_likelihood(corrected, i, spec, combining)
 }
 
 /// The angle-only likelihood of anchor `i` (paper Eq. 15 / Fig. 6a),
@@ -83,6 +114,17 @@ pub fn angle_only_likelihood(corrected: &CorrectedChannels, i: usize, spec: Grid
     let anchor = &corrected.anchors[i];
     let center = anchor.center();
     let n_ant = anchor.n_antennas;
+    // Per band, the steering phase is linear in the antenna index j:
+    // phase_j = −j · (2π·l·f/c) · sinθ. Both the wavenumber factor
+    // (constant per map) and the per-antenna phasor (a constant rotation
+    // per cell) are loop-invariant, so hoist them: one `k_band` table per
+    // map, one `cis` per (cell, band) instead of one per (cell, band,
+    // antenna).
+    let k_band: Vec<f64> = corrected
+        .bands
+        .iter()
+        .map(|b| std::f64::consts::TAU * anchor.spacing * b.freq_hz / SPEED_OF_LIGHT)
+        .collect();
 
     Grid2D::from_fn(spec, |x| {
         let dir = x - center;
@@ -92,16 +134,17 @@ pub fn angle_only_likelihood(corrected: &CorrectedChannels, i: usize, spec: Grid
         }
         let sin_theta = anchor.axis.dot(dir) / r;
         let mut total = 0.0;
-        for band in &corrected.bands {
-            let lambda_inv = band.freq_hz / SPEED_OF_LIGHT;
+        for (band, &k) in corrected.bands.iter().zip(&k_band) {
+            // Antenna j is closer to a source at sinθ > 0 by j·l·sinθ
+            // (phase +2πjl·sinθ/λ in its channel); correlate with the
+            // conjugate steering phase, advanced across antennas by a
+            // constant complex rotation.
+            let step = C64::cis(-k * sin_theta);
+            let mut rot = bloc_num::complex::ONE;
             let mut acc = bloc_num::complex::ZERO;
-            for (j, &a) in band.alpha[i].iter().enumerate().take(n_ant) {
-                // Antenna j is closer to a source at sinθ > 0 by j·l·sinθ
-                // (phase +2πjl·sinθ/λ in its channel); correlate with the
-                // conjugate steering phase.
-                let phase =
-                    -std::f64::consts::TAU * j as f64 * anchor.spacing * sin_theta * lambda_inv;
-                acc += a * C64::cis(phase);
+            for &a in band.alpha[i].iter().take(n_ant) {
+                acc += a * rot;
+                rot *= step;
             }
             total += acc.abs();
         }
@@ -159,6 +202,33 @@ pub fn joint_likelihood(
     spec: GridSpec,
     combining: AntennaCombining,
 ) -> Grid2D {
+    crate::engine::LikelihoodEngine::recurrence().joint_likelihood(corrected, spec, combining)
+}
+
+/// The joint likelihood computed through the naive reference path —
+/// identical weighting contract to [`joint_likelihood`], per-anchor maps
+/// from [`anchor_likelihood_reference`]. The equivalence baseline.
+pub fn joint_likelihood_reference(
+    corrected: &CorrectedChannels,
+    spec: GridSpec,
+    combining: AntennaCombining,
+) -> Grid2D {
+    weighted_joint(corrected, spec, |i| {
+        anchor_likelihood_reference(corrected, i, spec, combining)
+    })
+}
+
+/// The degradation-aware weighting shared by every joint-likelihood
+/// implementation: `anchor_map(i)` produces anchor `i`'s raw map, this
+/// normalizes each to unit peak, weights it by its surviving-evidence
+/// fraction relative to the best-covered anchor, skips dead anchors, and
+/// sums. Keeping the weighting in one place is what makes the reference
+/// and engine joints differ only by kernel arithmetic.
+pub(crate) fn weighted_joint(
+    corrected: &CorrectedChannels,
+    spec: GridSpec,
+    mut anchor_map: impl FnMut(usize) -> Grid2D,
+) -> Grid2D {
     let mut joint = Grid2D::zeros(spec);
     let fractions: Vec<f64> = (0..corrected.n_anchors())
         .map(|i| corrected.surviving_fraction(i))
@@ -171,7 +241,7 @@ pub fn joint_likelihood(
         if frac <= 0.0 {
             continue;
         }
-        let mut map = anchor_likelihood(corrected, i, spec, combining);
+        let mut map = anchor_map(i);
         map.normalize_peak();
         map.scale(frac / best);
         joint.add_assign(&map);

@@ -17,8 +17,9 @@ use bloc_num::peaks::PeakOptions;
 use bloc_num::{Grid2D, GridSpec, P2};
 
 use crate::correction::{correct, CorrectedChannels};
+use crate::engine::LikelihoodEngine;
 use crate::error::{DegradationReport, LocalizeError};
-use crate::likelihood::{joint_likelihood, AntennaCombining};
+use crate::likelihood::AntennaCombining;
 use crate::multipath::{score_peaks, ScoreConfig, ScoredPeak};
 
 /// End-to-end pipeline configuration.
@@ -114,15 +115,35 @@ impl Estimate {
 }
 
 /// The BLoc localization pipeline.
+///
+/// Likelihood evaluation runs on a [`LikelihoodEngine`] (phasor-recurrence
+/// kernel + steering-geometry cache); cloning the localizer shares the
+/// cache, so per-worker clones in a sweep compute each deployment's
+/// geometry once.
 #[derive(Debug, Clone)]
 pub struct BlocLocalizer {
     config: BlocConfig,
+    engine: LikelihoodEngine,
 }
 
 impl BlocLocalizer {
-    /// Builds a localizer.
+    /// Builds a localizer on the default (recurrence) engine.
     pub fn new(config: BlocConfig) -> Self {
-        Self { config }
+        Self {
+            config,
+            engine: LikelihoodEngine::default(),
+        }
+    }
+
+    /// Replaces the likelihood engine (kernel choice, thread count).
+    pub fn with_engine(mut self, engine: LikelihoodEngine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// The likelihood engine in force.
+    pub fn engine(&self) -> &LikelihoodEngine {
+        &self.engine
     }
 
     /// The configuration in force.
@@ -156,7 +177,8 @@ impl BlocLocalizer {
         bloc_obs::counter("likelihood.grid_cells")
             .add((self.config.grid.nx * self.config.grid.ny) as u64);
         bloc_obs::counter("likelihood.bands").add(corrected.bands.len() as u64);
-        joint_likelihood(corrected, self.config.grid, self.config.combining)
+        self.engine
+            .joint_likelihood(corrected, self.config.grid, self.config.combining)
     }
 
     /// Records what the masking pass absorbed on the global registry,
@@ -366,7 +388,9 @@ impl BlocLocalizer {
             return None;
         }
         let degradation = Self::degradation_of(&corrected);
-        let grid = joint_likelihood(&corrected, self.config.grid, self.config.combining);
+        let grid =
+            self.engine
+                .joint_likelihood(&corrected, self.config.grid, self.config.combining);
         let anchor_refs: Vec<P2> = data.anchors.iter().map(|a| a.center()).collect();
         let pick = crate::multipath::shortest_distance_peak(
             &grid,
@@ -389,7 +413,9 @@ impl BlocLocalizer {
             return None;
         }
         let degradation = Self::degradation_of(&corrected);
-        let grid = joint_likelihood(&corrected, self.config.grid, self.config.combining);
+        let grid =
+            self.engine
+                .joint_likelihood(&corrected, self.config.grid, self.config.combining);
         let (ix, iy, max) = grid.argmax()?;
         if max <= 0.0 {
             return None;

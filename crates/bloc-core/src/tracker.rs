@@ -169,6 +169,62 @@ impl Tracker {
     }
 }
 
+/// A localizer and a tracker glued into one streaming consumer of
+/// soundings — the shape an application actually deploys. Each sounding
+/// is localized through the shared [`crate::engine::LikelihoodEngine`]
+/// (so per-deployment steering geometry is computed once for the whole
+/// track, not once per burst) and the resulting fix feeds the Kalman
+/// filter; soundings that cannot support a fix coast the filter instead
+/// of dropping the time step.
+#[derive(Debug, Clone)]
+pub struct TrackingPipeline {
+    localizer: crate::localizer::BlocLocalizer,
+    tracker: Tracker,
+}
+
+impl TrackingPipeline {
+    /// Builds a pipeline from its two halves.
+    pub fn new(localizer: crate::localizer::BlocLocalizer, config: TrackerConfig) -> Self {
+        Self {
+            localizer,
+            tracker: Tracker::new(config),
+        }
+    }
+
+    /// Consumes one sounding taken `dt` seconds after the previous call.
+    /// On a successful fix the filter updates and the new state is
+    /// returned; on a localization failure the filter coasts through the
+    /// gap and the typed error is returned (with the coasted state still
+    /// available via [`Self::state`]).
+    ///
+    /// # Errors
+    ///
+    /// The [`crate::error::LocalizeError`] of the failed fix.
+    pub fn push_sounding(
+        &mut self,
+        data: &bloc_chan::sounder::SoundingData,
+        dt: f64,
+    ) -> Result<TrackState, crate::error::LocalizeError> {
+        match self.localizer.localize(data) {
+            Ok(est) => Ok(self.tracker.push(est.position, dt)),
+            Err(e) => {
+                self.tracker.coast(dt);
+                Err(e)
+            }
+        }
+    }
+
+    /// The current track estimate, if any fix has arrived.
+    pub fn state(&self) -> Option<TrackState> {
+        self.tracker.state()
+    }
+
+    /// The localizer half (and through it the shared likelihood engine).
+    pub fn localizer(&self) -> &crate::localizer::BlocLocalizer {
+        &self.localizer
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -205,7 +261,7 @@ mod tests {
         for k in 0..200 {
             last = tracker.push(noisy(&mut rng, truth, 0.9), 0.1);
             if k >= 100 {
-                settled = settled + last.position;
+                settled += last.position;
                 settled_n += 1.0;
             }
         }
@@ -305,6 +361,80 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_dt_rejected() {
         Tracker::new(TrackerConfig::default()).push(P2::ORIGIN, 0.0);
+    }
+
+    #[test]
+    fn pipeline_tracks_a_moving_tag_and_reuses_geometry() {
+        use crate::localizer::{BlocConfig, BlocLocalizer};
+        use bloc_chan::geometry::Room;
+        use bloc_chan::sounder::{all_data_channels, Sounder, SounderConfig};
+        use bloc_chan::{AnchorArray, Environment};
+
+        let room = Room::new(5.0, 6.0);
+        let env = Environment::free_space();
+        let anchors: Vec<AnchorArray> = room
+            .wall_midpoints()
+            .iter()
+            .zip(room.walls().iter())
+            .enumerate()
+            .map(|(i, (&m, w))| AnchorArray::centered(i, m, w.direction(), 4))
+            .collect();
+        let sounder = Sounder::new(
+            &env,
+            &anchors,
+            SounderConfig {
+                antenna_phase_err_std: 0.0,
+                ..Default::default()
+            },
+        );
+        let localizer = BlocLocalizer::new(BlocConfig::for_room(&room));
+        let mut pipeline = TrackingPipeline::new(localizer, TrackerConfig::default());
+        assert!(pipeline.state().is_none());
+
+        let mut rng = StdRng::seed_from_u64(51);
+        let v = P2::new(0.3, 0.15);
+        let mut last = None;
+        for k in 0..12 {
+            let truth = P2::new(1.2, 1.5) + v * (k as f64 * 0.5);
+            let data = sounder.sound(truth, &all_data_channels(), &mut rng);
+            last = Some(pipeline.push_sounding(&data, 0.5).unwrap());
+        }
+        let truth_final = P2::new(1.2, 1.5) + v * (11.0 * 0.5);
+        assert!(
+            last.unwrap().position.dist(truth_final) < 0.6,
+            "track {:?} vs {truth_final}",
+            last
+        );
+        // One deployment, twelve soundings: the steering geometry was
+        // built exactly once and served from the cache after that.
+        assert_eq!(pipeline.localizer().engine().cache().len(), 1);
+    }
+
+    #[test]
+    fn pipeline_coasts_through_failed_fixes() {
+        use crate::localizer::{BlocConfig, BlocLocalizer};
+        use bloc_chan::geometry::Room;
+        use bloc_chan::sounder::SoundingData;
+
+        let room = Room::new(5.0, 6.0);
+        let localizer = BlocLocalizer::new(BlocConfig::for_room(&room));
+        let mut pipeline = TrackingPipeline::new(localizer, TrackerConfig::default());
+
+        // Failure before any fix: typed error, still uninitialized.
+        let empty = SoundingData {
+            bands: Vec::new(),
+            anchors: Vec::new(),
+        };
+        assert!(pipeline.push_sounding(&empty, 0.1).is_err());
+        assert!(pipeline.state().is_none());
+
+        // Initialize by hand through the tracker half, then fail again:
+        // the filter coasts (σ grows) instead of dropping the step.
+        pipeline.tracker.push(P2::new(1.0, 1.0), 0.1);
+        let before = pipeline.state().unwrap().position_sigma;
+        assert!(pipeline.push_sounding(&empty, 0.5).is_err());
+        let after = pipeline.state().unwrap().position_sigma;
+        assert!(after > before, "coast must inflate σ: {before} → {after}");
     }
 
     #[test]

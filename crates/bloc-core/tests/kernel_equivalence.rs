@@ -1,0 +1,321 @@
+//! Equivalence suite for the fast likelihood engine (ISSUE 3): every
+//! layer — phasor recurrence, SoA channel layout, cached steering
+//! geometry, parallel row evaluation — must reproduce the naive reference
+//! implementation to ≤ 1e-9 relative error on randomized soundings,
+//! including degraded ones, and thread count must never change a result.
+
+use std::sync::Arc;
+
+use bloc_chan::geometry::Room;
+use bloc_chan::materials::Material;
+use bloc_chan::sounder::{all_data_channels, Sounder, SounderConfig};
+use bloc_chan::{AnchorArray, AnchorDropout, Environment, FaultPlan};
+use bloc_core::correction::{correct, CorrectedChannels};
+use bloc_core::engine::{BandPlan, LikelihoodEngine, SoaChannels};
+use bloc_core::likelihood::{
+    anchor_likelihood_reference, joint_likelihood, joint_likelihood_reference, AntennaCombining,
+};
+use bloc_num::{Grid2D, GridSpec, P2};
+use rand::{rngs::StdRng, SeedableRng};
+
+fn anchors(room: &Room) -> Vec<AnchorArray> {
+    room.wall_midpoints()
+        .iter()
+        .zip(room.walls().iter())
+        .enumerate()
+        .map(|(i, (&m, w))| AnchorArray::centered(i, m, w.direction(), 4))
+        .collect()
+}
+
+/// A coarse grid keeps the whole battery fast while still covering
+/// thousands of cells.
+fn spec(room: &Room) -> GridSpec {
+    GridSpec::covering(
+        P2::new(-0.5, -0.5),
+        P2::new(room.width + 1.0, room.height + 1.0),
+        0.2,
+    )
+}
+
+fn corrected_for(
+    env: &Environment,
+    tag: P2,
+    seed: u64,
+    faults: Option<FaultPlan>,
+) -> CorrectedChannels {
+    let room = Room::new(5.0, 6.0);
+    let deployment = anchors(&room);
+    let mut sounder = Sounder::new(env, &deployment, SounderConfig::default());
+    if let Some(plan) = faults {
+        sounder = sounder.with_faults(plan);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    correct(&sounder.sound(tag, &all_data_channels(), &mut rng), true)
+        .expect("sounding must correct")
+}
+
+/// Asserts `a` and `b` agree per cell to ≤ `tol` relative to the larger
+/// grid's peak (the ISSUE's equivalence budget).
+fn assert_grids_close(a: &Grid2D, b: &Grid2D, tol: f64, what: &str) {
+    assert_eq!(a.spec(), b.spec());
+    let peak = a
+        .data()
+        .iter()
+        .chain(b.data())
+        .fold(0.0f64, |m, &v| m.max(v.abs()));
+    let scale = peak.max(f64::MIN_POSITIVE);
+    for (k, (&x, &y)) in a.data().iter().zip(b.data()).enumerate() {
+        let rel = (x - y).abs() / scale;
+        assert!(
+            rel <= tol,
+            "{what}: cell {k} differs by {rel:.3e} rel (lhs {x}, rhs {y}, peak {peak})"
+        );
+    }
+}
+
+fn environments(seed: u64) -> Vec<(&'static str, Environment)> {
+    let room = Room::new(5.0, 6.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    vec![
+        ("free_space", Environment::free_space()),
+        (
+            "concrete_room",
+            Environment::in_room(room).with_walls(Material::concrete(), &mut rng),
+        ),
+    ]
+}
+
+#[test]
+fn recurrence_matches_reference_on_randomized_soundings() {
+    let room = Room::new(5.0, 6.0);
+    let spec = spec(&room);
+    let engine = LikelihoodEngine::recurrence();
+    let tags = [P2::new(1.3, 1.8), P2::new(3.7, 4.4), P2::new(2.5, 0.6)];
+    for (name, env) in environments(100) {
+        for (t, &tag) in tags.iter().enumerate() {
+            let corrected = corrected_for(&env, tag, 200 + t as u64, None);
+            for combining in [
+                AntennaCombining::Coherent,
+                AntennaCombining::NoncoherentAntennas,
+                AntennaCombining::Hybrid,
+            ] {
+                for i in 0..corrected.n_anchors() {
+                    let fast = engine.anchor_likelihood(&corrected, i, spec, combining);
+                    let reference = anchor_likelihood_reference(&corrected, i, spec, combining);
+                    assert_grids_close(
+                        &fast,
+                        &reference,
+                        1e-9,
+                        &format!("{name} tag {tag} anchor {i} {combining:?}"),
+                    );
+                }
+                let fast = engine.joint_likelihood(&corrected, spec, combining);
+                let reference = joint_likelihood_reference(&corrected, spec, combining);
+                assert_grids_close(
+                    &fast,
+                    &reference,
+                    1e-9,
+                    &format!("{name} tag {tag} joint {combining:?}"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn recurrence_matches_reference_under_fault_degradation() {
+    let room = Room::new(5.0, 6.0);
+    let spec = spec(&room);
+    let engine = LikelihoodEngine::recurrence();
+    let chans = all_data_channels();
+    let plans = [
+        FaultPlan {
+            seed: 7,
+            tag_loss: 0.35,
+            master_loss: 0.1,
+            ..Default::default()
+        },
+        FaultPlan {
+            seed: 8,
+            dropouts: vec![AnchorDropout {
+                anchor: 2,
+                bands: 0..chans.len(),
+            }],
+            dead_antennas: vec![(1, 0), (3, 2)],
+            ..Default::default()
+        },
+        FaultPlan {
+            seed: 9,
+            tag_loss: 0.6,
+            dead_antennas: vec![(0, 3)],
+            dropouts: vec![AnchorDropout {
+                anchor: 1,
+                bands: 5..20,
+            }],
+            ..Default::default()
+        },
+    ];
+    for (p, plan) in plans.into_iter().enumerate() {
+        let corrected = corrected_for(
+            &Environment::free_space(),
+            P2::new(2.4, 3.1),
+            300 + p as u64,
+            Some(plan),
+        );
+        let fast = engine.joint_likelihood(&corrected, spec, AntennaCombining::default());
+        let reference = joint_likelihood_reference(&corrected, spec, AntennaCombining::default());
+        assert_grids_close(&fast, &reference, 1e-9, &format!("fault plan {p}"));
+        // Masking dropped whole bands: the surviving set is a sub-comb,
+        // and the plan must still recognize it as uniform (exact path).
+        let soa = SoaChannels::build(&corrected);
+        assert!(
+            soa.plan.is_uniform_comb() || corrected.bands.len() <= 1,
+            "surviving bands of plan {p} should still form a comb"
+        );
+    }
+}
+
+#[test]
+fn thread_count_never_changes_the_result() {
+    let room = Room::new(5.0, 6.0);
+    let spec = spec(&room);
+    let corrected = corrected_for(
+        &environments(42).pop().expect("environments").1,
+        P2::new(3.1, 2.2),
+        400,
+        None,
+    );
+    let single = LikelihoodEngine::recurrence().joint_likelihood(
+        &corrected,
+        spec,
+        AntennaCombining::default(),
+    );
+    let (ix1, iy1, _) = single.argmax().expect("peak");
+    for threads in [2, 4, 8] {
+        let multi = LikelihoodEngine::recurrence()
+            .with_threads(threads)
+            .joint_likelihood(&corrected, spec, AntennaCombining::default());
+        // Bit-identical, not merely close: the row split assigns cells,
+        // never reorders per-cell arithmetic.
+        assert_eq!(
+            single.data(),
+            multi.data(),
+            "threads={threads} changed cell values"
+        );
+        let (ix, iy, _) = multi.argmax().expect("peak");
+        assert_eq!((ix, iy), (ix1, iy1), "threads={threads} moved the argmax");
+    }
+}
+
+#[test]
+fn reference_kernel_engine_reproduces_free_functions_exactly() {
+    // The engine wrapping of the reference kernel changes no arithmetic:
+    // bit-identical to the free reference functions.
+    let room = Room::new(5.0, 6.0);
+    let spec = spec(&room);
+    let corrected = corrected_for(&Environment::free_space(), P2::new(1.9, 4.2), 500, None);
+    let engine = LikelihoodEngine::reference();
+    let via_engine = engine.joint_likelihood(&corrected, spec, AntennaCombining::default());
+    let via_free = joint_likelihood_reference(&corrected, spec, AntennaCombining::default());
+    assert_eq!(via_engine.data(), via_free.data());
+}
+
+#[test]
+fn public_free_functions_route_through_the_fast_path() {
+    // `likelihood::joint_likelihood` is now the engine: it must stay
+    // within the equivalence budget of the reference.
+    let room = Room::new(5.0, 6.0);
+    let spec = spec(&room);
+    let corrected = corrected_for(&Environment::free_space(), P2::new(2.2, 2.9), 600, None);
+    let fast = joint_likelihood(&corrected, spec, AntennaCombining::default());
+    let reference = joint_likelihood_reference(&corrected, spec, AntennaCombining::default());
+    assert_grids_close(&fast, &reference, 1e-9, "public joint_likelihood");
+}
+
+#[test]
+fn soa_layout_round_trips_the_alpha_tensor() {
+    let corrected = corrected_for(&Environment::free_space(), P2::new(1.1, 1.2), 700, None);
+    let soa = SoaChannels::build(&corrected);
+    assert_eq!(soa.n_bands(), corrected.bands.len());
+    // Plan frequencies ascend and enumerate the original bands.
+    assert!(soa.plan.freqs.windows(2).all(|w| w[0] <= w[1]));
+    for i in 0..corrected.n_anchors() {
+        for (slot, &b) in soa.plan.order.iter().enumerate() {
+            let slice = soa.band_antennas(i, slot);
+            assert_eq!(slice.len(), corrected.anchors[i].n_antennas);
+            for (j, &a) in slice.iter().enumerate() {
+                assert_eq!(
+                    a, corrected.bands[b].alpha[i][j],
+                    "anchor {i} antenna {j} slot {slot}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn off_comb_bands_fall_back_and_still_match_reference() {
+    let room = Room::new(5.0, 6.0);
+    let spec = spec(&room);
+    let mut corrected = corrected_for(&Environment::free_space(), P2::new(2.8, 1.7), 800, None);
+    // Push one band half a channel off the comb: the exact recurrence no
+    // longer exists and BandPlan must refuse it…
+    corrected.bands[10].freq_hz += 1.0e6;
+    let soa = SoaChannels::build(&corrected);
+    assert!(
+        !soa.plan.is_uniform_comb(),
+        "off-comb band must disable the recurrence"
+    );
+    // …while the engine's per-band fallback still matches the reference.
+    let fast = LikelihoodEngine::recurrence().joint_likelihood(
+        &corrected,
+        spec,
+        AntennaCombining::default(),
+    );
+    let reference = joint_likelihood_reference(&corrected, spec, AntennaCombining::default());
+    assert_grids_close(&fast, &reference, 1e-9, "off-comb fallback");
+}
+
+#[test]
+fn localizer_clones_share_one_steering_cache() {
+    let room = Room::new(5.0, 6.0);
+    let corrected = corrected_for(&Environment::free_space(), P2::new(2.0, 2.0), 900, None);
+    let engine = LikelihoodEngine::recurrence();
+    let clone = engine.clone();
+    let spec = spec(&room);
+    let _ = engine.joint_likelihood(&corrected, spec, AntennaCombining::default());
+    let _ = clone.joint_likelihood(&corrected, spec, AntennaCombining::default());
+    assert_eq!(
+        engine.cache().len(),
+        1,
+        "clone must reuse the cached geometry"
+    );
+    let plan = SoaChannels::build(&corrected).plan;
+    let a = engine.cache().tables(
+        spec,
+        &corrected.anchors,
+        &corrected.master_anchor_dist,
+        plan.base_hz,
+        plan.step_hz,
+    );
+    let b = clone.cache().tables(
+        spec,
+        &corrected.anchors,
+        &corrected.master_anchor_dist,
+        plan.base_hz,
+        plan.step_hz,
+    );
+    assert!(Arc::ptr_eq(&a, &b));
+}
+
+#[test]
+fn band_plan_handles_the_full_ble_data_comb() {
+    // The 37 data channels after correction: one uniform 2 MHz comb with
+    // the advertising gaps folded in.
+    let corrected = corrected_for(&Environment::free_space(), P2::new(1.0, 5.0), 1000, None);
+    let freqs: Vec<f64> = corrected.bands.iter().map(|b| b.freq_hz).collect();
+    let plan = BandPlan::build(&freqs);
+    assert!(plan.is_uniform_comb());
+    assert_eq!(plan.gaps.len(), freqs.len());
+    assert_eq!(plan.step_hz, 2.0e6);
+}

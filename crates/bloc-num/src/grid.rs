@@ -112,6 +112,25 @@ impl Grid2D {
         g
     }
 
+    /// Builds a grid by evaluating `f` at every cell centre, splitting the
+    /// rows across `threads` scoped threads (see [`crate::par`]).
+    ///
+    /// Unlike [`Self::from_fn`] the closure must be `Fn + Sync` so it can
+    /// be shared across workers. Cell values are a pure function of the
+    /// cell centre, so the result is bit-identical for every thread count;
+    /// `threads <= 1` runs inline with no spawn overhead.
+    pub fn from_fn_par(spec: GridSpec, threads: usize, f: impl Fn(P2) -> f64 + Sync) -> Self {
+        let mut g = Self::zeros(spec);
+        let nx = spec.nx.max(1);
+        crate::par::for_each_chunk_mut(&mut g.data, nx, threads, |start, row| {
+            for (off, v) in row.iter_mut().enumerate() {
+                let idx = start + off;
+                *v = f(spec.cell_center(idx % nx, idx / nx));
+            }
+        });
+        g
+    }
+
     /// The grid geometry.
     #[inline]
     pub fn spec(&self) -> GridSpec {
@@ -312,6 +331,22 @@ mod tests {
         let g = Grid2D::from_fn(s, |p| -(p.dist_sq(P2::new(0.25, -0.25))));
         let (ix, iy, _) = g.argmax().unwrap();
         assert_eq!(s.cell_center(ix, iy), P2::new(0.25, -0.25));
+    }
+
+    #[test]
+    fn from_fn_par_matches_from_fn_for_any_thread_count() {
+        let s = GridSpec {
+            origin: P2::new(-1.0, 0.5),
+            resolution: 0.21,
+            nx: 13,
+            ny: 9,
+        };
+        let f = |p: P2| (p.x * 1.7).sin() * (p.y * 0.9).cos() + p.x;
+        let seq = Grid2D::from_fn(s, f);
+        for threads in [1, 2, 3, 8] {
+            let par = Grid2D::from_fn_par(s, threads, f);
+            assert_eq!(seq, par, "threads = {threads} must be bit-identical");
+        }
     }
 
     #[test]

@@ -19,6 +19,9 @@
 //!   the AoA-combining baseline.
 //! * [`fft`] — a radix-2 FFT used for spectral sanity checks of the GFSK
 //!   modulator.
+//! * [`par`] — a std-only scoped-thread work splitter shared by every
+//!   CPU-bound fan-out in the workspace (grid rows, location sweeps,
+//!   ablation batteries).
 //! * [`angle`], [`constants`] — angle hygiene and physical constants.
 //!
 //! The crate is deliberately free of `unsafe` and of any global state; all
@@ -34,6 +37,7 @@ pub mod entropy;
 pub mod fft;
 pub mod grid;
 pub mod linalg;
+pub mod par;
 pub mod peaks;
 pub mod point;
 pub mod stats;

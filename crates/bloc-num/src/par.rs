@@ -1,0 +1,228 @@
+//! A small shared parallel executor over `std::thread::scope`.
+//!
+//! Every CPU-bound fan-out in the workspace — likelihood grid rows, the
+//! testbed location sweep, the ablation batteries — used to hand-roll its
+//! own `std::thread::scope` sharding. This module centralizes the pattern:
+//! deterministic work splitting with no work queue, no channels and no
+//! dependencies (consistent with the vendored-shim constraint).
+//!
+//! Determinism contract: the *assignment* of work items to threads is a
+//! pure function of `(n, threads)`, and results are reassembled in item
+//! order, so outputs never depend on scheduling. Callers that also want
+//! bit-identical floating-point results simply need per-item computations
+//! that don't depend on which thread runs them — which every caller in
+//! this workspace satisfies.
+
+/// The number of worker threads the host advertises (≥ 1).
+pub fn max_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
+/// Splits `data` into contiguous chunks of `chunk_len` elements and applies
+/// `f(start_offset, chunk)` to every chunk, distributing chunks round-robin
+/// across `threads` scoped threads.
+///
+/// With `threads <= 1` (or a single chunk) everything runs inline on the
+/// caller's thread — no spawn overhead, and the zero-thread case needs no
+/// special handling at call sites.
+pub fn for_each_chunk_mut<T, F>(data: &mut [T], chunk_len: usize, threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let chunk_len = chunk_len.max(1);
+    let n_chunks = data.len().div_ceil(chunk_len);
+    let threads = threads.max(1).min(n_chunks.max(1));
+    if threads == 1 {
+        for (k, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            f(k * chunk_len, chunk);
+        }
+        return;
+    }
+    let mut per_thread: Vec<Vec<(usize, &mut [T])>> = (0..threads).map(|_| Vec::new()).collect();
+    for (k, chunk) in data.chunks_mut(chunk_len).enumerate() {
+        per_thread[k % threads].push((k * chunk_len, chunk));
+    }
+    std::thread::scope(|scope| {
+        let f = &f;
+        for work in per_thread {
+            scope.spawn(move || {
+                for (start, chunk) in work {
+                    f(start, chunk);
+                }
+            });
+        }
+    });
+}
+
+/// Evaluates `work` for every index in `0..n` across `threads` scoped
+/// threads, returning the results in index order.
+///
+/// Each worker owns a private state built by `init(worker_index)` — a
+/// sounder, a local stats accumulator, a scratch buffer — threaded through
+/// its `work` calls and handed to `fini` when the worker's share is done
+/// (the merge-at-join point). Items are sharded by stride (worker `t`
+/// takes `t, t+threads, …`), so the item→worker mapping is deterministic.
+///
+/// A panic in any worker is resumed on the calling thread after the scope
+/// joins, matching the behaviour of the hand-rolled sharding blocks this
+/// replaces.
+pub fn sharded_map<S, T, I, W, F>(n: usize, threads: usize, init: I, work: W, fini: F) -> Vec<T>
+where
+    T: Send,
+    I: Fn(usize) -> S + Sync,
+    W: Fn(&mut S, usize) -> T + Sync,
+    F: Fn(S) + Sync,
+{
+    let threads = threads.max(1).min(n.max(1));
+    if threads == 1 {
+        let mut state = init(0);
+        let out: Vec<T> = (0..n).map(|i| work(&mut state, i)).collect();
+        fini(state);
+        return out;
+    }
+    let shards: Vec<Vec<T>> = std::thread::scope(|scope| {
+        let (init, work, fini) = (&init, &work, &fini);
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                scope.spawn(move || {
+                    let mut state = init(t);
+                    let out: Vec<T> = (t..n)
+                        .step_by(threads)
+                        .map(|i| work(&mut state, i))
+                        .collect();
+                    fini(state);
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(v) => v,
+                Err(e) => std::panic::resume_unwind(e),
+            })
+            .collect()
+    });
+    let mut out: Vec<Option<T>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    for (t, shard) in shards.into_iter().enumerate() {
+        for (k, item) in shard.into_iter().enumerate() {
+            out[t + k * threads] = Some(item);
+        }
+    }
+    debug_assert!(out.iter().all(Option::is_some));
+    out.into_iter().flatten().collect()
+}
+
+/// Stateless [`sharded_map`]: maps `f` over `0..n` in parallel, results in
+/// index order.
+pub fn map<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    sharded_map(n, threads, |_| (), |(), i| f(i), |()| ())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn map_preserves_index_order() {
+        for threads in [1, 2, 3, 7] {
+            let out = map(23, threads, |i| i * i);
+            assert_eq!(out, (0..23).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn map_handles_empty_and_tiny() {
+        assert!(map(0, 4, |i| i).is_empty());
+        assert_eq!(map(1, 8, |i| i + 1), vec![1]);
+    }
+
+    #[test]
+    fn chunks_cover_every_element_exactly_once() {
+        for threads in [1, 2, 5] {
+            let mut data = vec![0u32; 103];
+            for_each_chunk_mut(&mut data, 10, threads, |start, chunk| {
+                for (off, v) in chunk.iter_mut().enumerate() {
+                    *v += (start + off) as u32 + 1;
+                }
+            });
+            for (i, v) in data.iter().enumerate() {
+                assert_eq!(
+                    *v,
+                    i as u32 + 1,
+                    "element {i} touched wrong number of times"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_starts_match_offsets() {
+        let mut data = vec![0usize; 25];
+        for_each_chunk_mut(&mut data, 4, 3, |start, chunk| {
+            assert!(chunk.len() <= 4);
+            assert_eq!(start % 4, 0);
+            for v in chunk.iter_mut() {
+                *v = start;
+            }
+        });
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, (i / 4) * 4);
+        }
+    }
+
+    #[test]
+    fn sharded_state_init_and_fini_run_per_worker() {
+        let inits = AtomicUsize::new(0);
+        let finis = AtomicUsize::new(0);
+        let out = sharded_map(
+            10,
+            3,
+            |t| {
+                inits.fetch_add(1, Ordering::SeqCst);
+                t
+            },
+            |state, i| (*state, i),
+            |_| {
+                finis.fetch_add(1, Ordering::SeqCst);
+            },
+        );
+        assert_eq!(inits.load(Ordering::SeqCst), 3);
+        assert_eq!(finis.load(Ordering::SeqCst), 3);
+        // Strided assignment: item i ran on worker i % 3.
+        for (i, (t, idx)) in out.into_iter().enumerate() {
+            assert_eq!(idx, i);
+            assert_eq!(t, i % 3);
+        }
+    }
+
+    #[test]
+    fn results_are_thread_count_independent() {
+        let reference = map(57, 1, |i| (i as f64 * 0.37).sin());
+        for threads in [2, 4, 9] {
+            assert_eq!(map(57, threads, |i| (i as f64 * 0.37).sin()), reference);
+        }
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let caught = std::panic::catch_unwind(|| {
+            map(8, 2, |i| {
+                if i == 5 {
+                    panic!("boom");
+                }
+                i
+            })
+        });
+        assert!(caught.is_err());
+    }
+}

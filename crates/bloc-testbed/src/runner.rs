@@ -6,13 +6,13 @@
 //! 1700 times. Here each location is sounded once and every method under
 //! test consumes the *same* sounding — exactly the paper's "using the same
 //! number of antennas and the same set of channel measurements" comparison
-//! discipline. Locations are processed across all CPU cores; results are
-//! streamed back over a channel and reassembled deterministically.
+//! discipline. Locations fan out across all CPU cores through
+//! [`bloc_num::par::sharded_map`]; each worker owns its stats accumulator
+//! and sounder, and results come back in dataset order by construction.
 
 use std::sync::Arc;
 
 use bloc_obs::local::LocalStats;
-use crossbeam::channel;
 use serde::{Deserialize, Serialize};
 
 use bloc_ble::channels::Channel;
@@ -152,128 +152,118 @@ pub fn sweep(spec: &SweepSpec<'_>) -> Vec<SweepOutcome> {
     let _span = bloc_obs::span("sweep");
     bloc_obs::counter("sweep.runs").inc();
 
-    let n_threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4)
-        .min(n.max(1));
-    let (tx, rx) = channel::unbounded::<(usize, Vec<Option<P2>>)>();
-
-    std::thread::scope(|scope| {
-        for t in 0..n_threads {
-            let tx = tx.clone();
-            let localizer = localizer.clone();
-            let spec = spec.clone();
-            scope.spawn(move || {
-                // Per-worker aggregation: samples accumulate in plain
-                // memory here and hit the shared registry once, at join.
-                let mut stats = LocalStats::new();
-                let sounder = spec.scenario.sounder(spec.sounder_config);
-                for idx in (t..n).step_by(n_threads) {
-                    let truth = spec.positions[idx];
-                    let mut estimates: Vec<Option<P2>> = vec![None; spec.methods.len()];
-                    for attempt in 0..=spec.max_retries {
-                        // Deterministic per-(location, attempt) stream,
-                        // independent of the thread count. Attempt 0 keeps
-                        // the historical derivation so fault-free sweeps
-                        // reproduce earlier results bit for bit.
-                        let attempt_seed = (spec.seed
-                            ^ (idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
-                        .wrapping_add((attempt as u64).wrapping_mul(0xA24B_AED4_963E_E407));
-                        let mut rng = StdRng::seed_from_u64(attempt_seed);
-                        let faulted;
-                        let active = match &spec.fault_plan {
-                            Some(plan) => {
-                                faulted = sounder.clone().with_faults(plan.with_seed(attempt_seed));
-                                &faulted
-                            }
-                            None => &sounder,
-                        };
-                        // One bad location must not take down the sweep —
-                        // isolate it, count it, and let the retry budget
-                        // (or a blank record) absorb it.
-                        let outcome =
-                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                                let mut data = stats.time("sweep.sound_us", || {
-                                    active.sound(truth, &spec.channels, &mut rng)
-                                });
-                                if let Some(transform) = &spec.transform {
-                                    data = transform(data);
-                                }
-                                stats.time("sweep.location_us", || {
-                                    spec.methods
-                                        .iter()
-                                        .map(|m| evaluate(*m, &localizer, &data))
-                                        .collect::<Vec<Option<P2>>>()
-                                })
-                            }));
-                        match outcome {
-                            Ok(ests) => estimates = ests,
-                            Err(_) => stats.inc("sweep.panics_caught"),
-                        }
-                        if estimates.iter().any(|e| e.is_some()) {
-                            if attempt > 0 {
-                                stats.inc("sweep.retry_recovered");
-                            }
-                            break;
-                        }
-                        if attempt < spec.max_retries {
-                            stats.inc("sweep.resound_retries");
-                        }
-                    }
-                    stats.inc("sweep.locations");
-                    stats.add(
-                        "sweep.estimate_failures",
-                        estimates.iter().filter(|e| e.is_none()).count() as u64,
-                    );
-                    tx.send((idx, estimates))
-                        .expect("collector outlives workers");
-                }
-                stats.merge_into(bloc_obs::Registry::global());
-            });
-        }
-        drop(tx);
-
-        let mut per_method: Vec<Vec<LocRecord>> = vec![
-            vec![
-                LocRecord {
-                    truth: P2::ORIGIN,
-                    estimate: None,
-                    error: f64::NAN
-                };
-                n
-            ];
-            n_methods
-        ];
-        for (idx, estimates) in rx {
+    // Per-worker state: a stats accumulator (samples hit the shared
+    // registry once, at join) and a private sounder. Work is sharded by
+    // stride and reassembled in dataset order by the executor.
+    let per_location: Vec<Vec<Option<P2>>> = bloc_num::par::sharded_map(
+        n,
+        bloc_num::par::max_threads(),
+        |_t| {
+            (
+                LocalStats::new(),
+                spec.scenario.sounder(spec.sounder_config),
+            )
+        },
+        |(stats, sounder), idx| {
             let truth = spec.positions[idx];
-            for (m, est) in estimates.into_iter().enumerate() {
-                per_method[m][idx] = LocRecord {
-                    truth,
-                    estimate: est,
-                    error: est.map(|e| e.dist(truth)).unwrap_or(f64::NAN),
+            let mut estimates: Vec<Option<P2>> = vec![None; spec.methods.len()];
+            for attempt in 0..=spec.max_retries {
+                // Deterministic per-(location, attempt) stream,
+                // independent of the thread count. Attempt 0 keeps
+                // the historical derivation so fault-free sweeps
+                // reproduce earlier results bit for bit.
+                let attempt_seed = (spec.seed ^ (idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                    .wrapping_add((attempt as u64).wrapping_mul(0xA24B_AED4_963E_E407));
+                let mut rng = StdRng::seed_from_u64(attempt_seed);
+                let faulted;
+                let active = match &spec.fault_plan {
+                    Some(plan) => {
+                        faulted = sounder.clone().with_faults(plan.with_seed(attempt_seed));
+                        &faulted
+                    }
+                    None => &*sounder,
                 };
-            }
-        }
-
-        per_method
-            .into_iter()
-            .zip(&spec.methods)
-            .map(|(records, &method)| {
-                let errors: Vec<f64> = records
-                    .iter()
-                    .filter(|r| r.estimate.is_some())
-                    .map(|r| r.error)
-                    .collect();
-                let failures = records.len() - errors.len();
-                SweepOutcome {
-                    method,
-                    stats: ErrorStats::from_errors(errors),
-                    records,
-                    failures,
+                // One bad location must not take down the sweep —
+                // isolate it, count it, and let the retry budget
+                // (or a blank record) absorb it.
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let mut data = stats.time("sweep.sound_us", || {
+                        active.sound(truth, &spec.channels, &mut rng)
+                    });
+                    if let Some(transform) = &spec.transform {
+                        data = transform(data);
+                    }
+                    stats.time("sweep.location_us", || {
+                        spec.methods
+                            .iter()
+                            .map(|m| evaluate(*m, &localizer, &data))
+                            .collect::<Vec<Option<P2>>>()
+                    })
+                }));
+                match outcome {
+                    Ok(ests) => estimates = ests,
+                    Err(_) => stats.inc("sweep.panics_caught"),
                 }
-            })
-            .collect()
-    })
+                if estimates.iter().any(|e| e.is_some()) {
+                    if attempt > 0 {
+                        stats.inc("sweep.retry_recovered");
+                    }
+                    break;
+                }
+                if attempt < spec.max_retries {
+                    stats.inc("sweep.resound_retries");
+                }
+            }
+            stats.inc("sweep.locations");
+            stats.add(
+                "sweep.estimate_failures",
+                estimates.iter().filter(|e| e.is_none()).count() as u64,
+            );
+            estimates
+        },
+        |(mut stats, _sounder)| stats.merge_into(bloc_obs::Registry::global()),
+    );
+
+    let mut per_method: Vec<Vec<LocRecord>> = vec![
+        vec![
+            LocRecord {
+                truth: P2::ORIGIN,
+                estimate: None,
+                error: f64::NAN
+            };
+            n
+        ];
+        n_methods
+    ];
+    for (idx, estimates) in per_location.into_iter().enumerate() {
+        let truth = spec.positions[idx];
+        for (m, est) in estimates.into_iter().enumerate() {
+            per_method[m][idx] = LocRecord {
+                truth,
+                estimate: est,
+                error: est.map(|e| e.dist(truth)).unwrap_or(f64::NAN),
+            };
+        }
+    }
+
+    per_method
+        .into_iter()
+        .zip(&spec.methods)
+        .map(|(records, &method)| {
+            let errors: Vec<f64> = records
+                .iter()
+                .filter(|r| r.estimate.is_some())
+                .map(|r| r.error)
+                .collect();
+            let failures = records.len() - errors.len();
+            SweepOutcome {
+                method,
+                stats: ErrorStats::from_errors(errors),
+                records,
+                failures,
+            }
+        })
+        .collect()
 }
 
 fn evaluate(method: Method, localizer: &BlocLocalizer, data: &SoundingData) -> Option<P2> {

@@ -17,6 +17,11 @@ if [[ "${1:-}" != "quick" ]]; then
     # on any panic, unpopulated DegradationReport, or injected/recovered
     # ledger mismatch (see crates/bloc-bench/src/bin/fault_soak.rs).
     run cargo run --release -q -p bloc-bench --bin fault_soak 100
+    # Likelihood-engine perf gate: verifies the fast kernels against the
+    # naive reference and enforces the ≥ 5× single-thread speedup floor.
+    # Best-of-15 keeps the gate stable on noisy shared hosts; refreshes
+    # BENCH_likelihood.json (see crates/bloc-bench/src/bin/perf_baseline.rs).
+    run cargo run --release -q -p bloc-bench --bin perf_baseline 15
 fi
 run cargo test -q
 run cargo fmt --check
