@@ -8,9 +8,12 @@
 //! substrate here, including the remapping step used when a channel map
 //! blacklists channels (exercised by the Fig. 11 interference experiment).
 
+use crate::access_address::AccessAddress;
 use crate::channels::{Channel, ChannelMap};
 use crate::error::BleError;
 use bloc_num::constants::BLE_NUM_DATA_CHANNELS;
+
+const N: u64 = BLE_NUM_DATA_CHANNELS as u64;
 
 /// Validated hop increment (spec range 5..=16).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -63,9 +66,59 @@ impl HopSequence {
         })
     }
 
+    /// Creates the hop engine for a connection identified by its access
+    /// address, seeding `lastUnmappedChannel` from the address value
+    /// (`AA mod 37`). Both sides of a link derive the same starting
+    /// channel from the AA alone, which is what makes closed-form
+    /// re-synchronization after missed events possible: the whole
+    /// schedule is a pure function of (AA, hop, event counter).
+    pub fn for_connection(hop: HopIncrement, map: ChannelMap, aa: AccessAddress) -> Self {
+        Self {
+            hop,
+            map,
+            last_unmapped: (aa.value() as u64 % N) as u8,
+            event_counter: 0,
+        }
+    }
+
     /// The channel map currently in force.
     pub fn channel_map(&self) -> ChannelMap {
         self.map
+    }
+
+    /// The `lastUnmappedChannel` the connection started from (the state
+    /// at event 0), re-derived in closed form from the current state.
+    pub fn first_unmapped(&self) -> u8 {
+        let step = (self.hop.get() as u64 % N) * (self.event_counter % N) % N;
+        ((self.last_unmapped as u64 + N - step) % N) as u8
+    }
+
+    /// The unmapped channel index when the event counter reads `event`,
+    /// in closed form: `(first + event · hop) mod 37` — no replay of the
+    /// intervening events. `unmapped_at(self.event_counter)` equals the
+    /// current `lastUnmappedChannel`.
+    pub fn unmapped_at(&self, event: u64) -> u8 {
+        let step = (self.hop.get() as u64 % N) * (event % N) % N;
+        ((self.first_unmapped() as u64 + step) % N) as u8
+    }
+
+    /// The data channel in use when the event counter reads `event`
+    /// (what [`HopSequence::next_channel`] returned for that event),
+    /// computed without mutating state. Event 0 is the pre-connection
+    /// state: the mapped form of the starting channel.
+    pub fn channel_at(&self, event: u64) -> Channel {
+        self.map_unmapped(self.unmapped_at(event))
+    }
+
+    /// Re-synchronizes to an externally observed event counter (an
+    /// anchor that missed packets, or whose counter drifted) by
+    /// re-deriving `lastUnmappedChannel` in closed form instead of
+    /// replaying — or aborting — the connection. Returns the data
+    /// channel in force at that event.
+    pub fn resync(&mut self, event: u64) -> Channel {
+        self.last_unmapped = self.unmapped_at(event);
+        self.event_counter = event;
+        self.channel_at(event)
     }
 
     /// Applies a channel-map update (as the LL_CHANNEL_MAP_IND procedure
@@ -83,6 +136,11 @@ impl HopSequence {
         let unmapped = (self.last_unmapped + self.hop.get()) % BLE_NUM_DATA_CHANNELS as u8;
         self.last_unmapped = unmapped;
         self.event_counter += 1;
+        self.map_unmapped(unmapped)
+    }
+
+    /// Applies the blacklist remap of algorithm #1 to an unmapped index.
+    fn map_unmapped(&self, unmapped: u8) -> Channel {
         let candidate = Channel::data(unmapped).expect("mod 37 keeps index in range");
         if self.map.contains(candidate) {
             candidate
@@ -201,6 +259,55 @@ mod tests {
     #[test]
     fn invalid_start_channel_rejected() {
         assert!(HopSequence::new(hop(5), ChannelMap::all(), 37).is_err());
+    }
+
+    #[test]
+    fn closed_form_matches_replay() {
+        let map = ChannelMap::subsampled(2, 1).unwrap();
+        let mut seq = HopSequence::new(hop(11), map, 7).unwrap();
+        let reference = seq.clone();
+        for event in 1..=200u64 {
+            let stepped = seq.next_channel();
+            assert_eq!(
+                reference.channel_at(event),
+                stepped,
+                "closed form diverges at event {event}"
+            );
+            assert_eq!(reference.unmapped_at(event), seq.last_unmapped);
+        }
+    }
+
+    #[test]
+    fn resync_recovers_a_desynced_counter() {
+        let mut truth = HopSequence::new(hop(9), ChannelMap::all(), 12).unwrap();
+        for _ in 0..50 {
+            truth.next_channel();
+        }
+        // A follower that missed 50 events re-derives the state from the
+        // shared event counter instead of replaying or aborting.
+        let mut follower = HopSequence::new(hop(9), ChannelMap::all(), 12).unwrap();
+        follower.resync(truth.event_counter);
+        assert_eq!(follower, truth);
+        assert_eq!(follower.next_channel(), truth.next_channel());
+    }
+
+    #[test]
+    fn first_unmapped_inverts_any_number_of_events() {
+        let mut seq = HopSequence::new(hop(13), ChannelMap::all(), 29).unwrap();
+        assert_eq!(seq.first_unmapped(), 29);
+        for _ in 0..123 {
+            seq.next_channel();
+        }
+        assert_eq!(seq.first_unmapped(), 29);
+    }
+
+    #[test]
+    fn access_address_seeds_a_shared_start() {
+        let aa = AccessAddress::new_data(0x8E89_BED7 ^ 0x5A5A_5A5A).unwrap();
+        let a = HopSequence::for_connection(hop(7), ChannelMap::all(), aa);
+        let b = HopSequence::for_connection(hop(7), ChannelMap::all(), aa);
+        assert_eq!(a, b, "both link ends derive the same schedule");
+        assert_eq!(a.first_unmapped() as u32, aa.value() % 37);
     }
 
     proptest! {

@@ -167,6 +167,17 @@ impl FaultPlan {
         }
     }
 
+    /// The plan reseeded for sounding round `round`: the same fault mix,
+    /// but fresh (and still fully deterministic) loss decisions. Rounds
+    /// decorrelate — a link lost in round `r` is not automatically lost
+    /// in `r + 1` — yet any round can be replayed in isolation, e.g.
+    /// `plan.for_round(r).census(…)` predicts round `r`'s injection.
+    pub fn for_round(&self, round: u64) -> FaultPlan {
+        self.with_seed(splitmix(
+            self.seed ^ round.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        ))
+    }
+
     /// True when the plan can inject nothing.
     pub fn is_empty(&self) -> bool {
         self.tag_loss <= 0.0

@@ -287,6 +287,20 @@ impl<'a> Sounder<'a> {
         channels: &[Channel],
         rng: &mut R,
     ) -> SoundingData {
+        self.sound_censused(tag, channels, rng).0
+    }
+
+    /// Like [`Sounder::sound`], but also hands back the
+    /// [`crate::faults::FaultCensus`] of what the composed plan actually
+    /// injected into this sounding (empty when no plan is composed in).
+    /// Round supervisors feed per-anchor health from this census instead
+    /// of re-deriving loss from the data.
+    pub fn sound_censused<R: Rng + ?Sized>(
+        &self,
+        tag: P2,
+        channels: &[Channel],
+        rng: &mut R,
+    ) -> (SoundingData, crate::faults::FaultCensus) {
         let cfo = (rng.gen::<f64>() * 2.0 - 1.0) * self.config.tag_cfo_max_hz;
         let mut bands: Vec<BandSounding> = channels
             .iter()
@@ -301,16 +315,42 @@ impl<'a> Sounder<'a> {
                 )
             })
             .collect();
+        let mut census = crate::faults::FaultCensus::default();
         if let Some(plan) = &self.faults {
-            let mut census = crate::faults::FaultCensus::default();
             for (slot, band) in bands.iter_mut().enumerate() {
                 census.absorb(&plan.apply_to_band(slot, band));
             }
             crate::faults::FaultPlan::record(&census);
         }
-        SoundingData {
-            bands,
-            anchors: self.anchors.to_vec(),
+        (
+            SoundingData {
+                bands,
+                anchors: self.anchors.to_vec(),
+            },
+            census,
+        )
+    }
+
+    /// One supervised sounding round: the composed fault plan (if any) is
+    /// reseeded deterministically for `round` via
+    /// [`crate::faults::FaultPlan::for_round`], so loss patterns vary
+    /// across rounds while every round stays independently replayable —
+    /// `plan.for_round(round).census(…)` predicts this call's injection
+    /// exactly. Returns the sounding and its injected-fault census.
+    pub fn sound_round<R: Rng + ?Sized>(
+        &self,
+        round: u64,
+        tag: P2,
+        channels: &[Channel],
+        rng: &mut R,
+    ) -> (SoundingData, crate::faults::FaultCensus) {
+        match &self.faults {
+            Some(plan) => {
+                let mut per_round = self.clone();
+                per_round.faults = Some(plan.for_round(round));
+                per_round.sound_censused(tag, channels, rng)
+            }
+            None => self.sound_censused(tag, channels, rng),
         }
     }
 
@@ -600,6 +640,34 @@ mod tests {
             assert_eq!(b.master_to_anchor[0], bloc_num::complex::ONE);
             assert_eq!(b.tag_to_master0(), b.tag_to_anchor[0][0]);
         }
+    }
+
+    #[test]
+    fn sound_round_census_is_predictable_and_rounds_decorrelate() {
+        let (env, anchors) = deployment();
+        let channels = all_data_channels();
+        let plan = crate::faults::FaultPlan {
+            tag_loss: 0.4,
+            ..crate::faults::FaultPlan::default()
+        }
+        .with_seed(0xBEEF);
+        let sounder =
+            Sounder::new(&env, &anchors, SounderConfig::default()).with_faults(plan.clone());
+
+        let mut rng = StdRng::seed_from_u64(7);
+        let (_, census_a) = sounder.sound_round(3, P2::new(2.0, 3.0), &channels, &mut rng);
+        // Replayable without data: the reseeded plan's census predicts it.
+        assert_eq!(census_a, plan.for_round(3).census(&channels, &anchors));
+
+        // Same round, same injection; different round, different pattern.
+        let mut rng2 = StdRng::seed_from_u64(7);
+        let (_, census_b) = sounder.sound_round(3, P2::new(2.0, 3.0), &channels, &mut rng2);
+        assert_eq!(census_a, census_b);
+        assert_ne!(
+            plan.for_round(3).census(&channels, &anchors),
+            plan.for_round(4).census(&channels, &anchors),
+            "rounds must decorrelate"
+        );
     }
 
     #[test]

@@ -318,18 +318,31 @@ fn cache_key(
     push_f64(&mut key, spec.resolution);
     key.push(spec.nx as u64);
     key.push(spec.ny as u64);
-    for a in anchors {
-        push_f64(&mut key, a.origin.x);
-        push_f64(&mut key, a.origin.y);
-        push_f64(&mut key, a.axis.x);
-        push_f64(&mut key, a.axis.y);
-        push_f64(&mut key, a.spacing);
-        key.push(a.n_antennas as u64);
-    }
+    key.extend_from_slice(&anchor_fingerprint(anchors));
     for &d in master_anchor_dist {
         push_f64(&mut key, d);
     }
     key
+}
+
+/// Offset of the anchor-geometry segment inside a cache key (after the
+/// two comb frequencies and the five grid-spec words).
+const KEY_ANCHOR_OFFSET: usize = 7;
+
+/// The anchor-geometry words of a cache key: 6 per anchor, exactly as
+/// [`cache_key`] lays them out. [`SteeringCache::invalidate_geometry`]
+/// matches cached entries on this segment.
+fn anchor_fingerprint(anchors: &[AnchorArray]) -> Vec<u64> {
+    let mut fp = Vec::with_capacity(anchors.len() * 6);
+    for a in anchors {
+        push_f64(&mut fp, a.origin.x);
+        push_f64(&mut fp, a.origin.y);
+        push_f64(&mut fp, a.axis.x);
+        push_f64(&mut fp, a.axis.y);
+        push_f64(&mut fp, a.spacing);
+        fp.push(a.n_antennas as u64);
+    }
+    fp
 }
 
 impl SteeringCache {
@@ -365,6 +378,32 @@ impl SteeringCache {
         ));
         map.insert(key, Arc::clone(&built));
         built
+    }
+
+    /// Drops every cached deployment built for exactly this anchor
+    /// geometry, returning how many entries were removed. The runtime
+    /// supervisor calls this when an anchor is quarantined or
+    /// re-admitted (and benches call it on a physical geometry swap), so
+    /// the engine never serves steering tables for an anchor set that is
+    /// no longer the one being localized against. Entries for *other*
+    /// anchor subsets — including the new admitted set — are untouched.
+    pub fn invalidate_geometry(&self, anchors: &[AnchorArray]) -> usize {
+        let fp = anchor_fingerprint(anchors);
+        // Every key for an n-anchor deployment has 7 + 6n + n words
+        // (master distances trail the geometry), so length + segment
+        // equality is an exact match, not a prefix heuristic.
+        let expect_len = KEY_ANCHOR_OFFSET + fp.len() + anchors.len();
+        let mut map = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let before = map.len();
+        map.retain(|key, _| {
+            key.len() != expect_len
+                || key[KEY_ANCHOR_OFFSET..KEY_ANCHOR_OFFSET + fp.len()] != fp[..]
+        });
+        let removed = before - map.len();
+        if removed > 0 {
+            bloc_obs::counter("likelihood.steering_cache_invalidated").add(removed as u64);
+        }
+        removed
     }
 
     /// Number of cached deployments.

@@ -79,6 +79,73 @@ impl LocalizeError {
     }
 }
 
+/// Why the runtime supervisor declined to attempt (or accept) a localize
+/// this round. A deferral is not a failure: it is the supervisor's typed
+/// statement that conditions were below its admission policy and the
+/// round should be retried later, against [`LocalizeError`] which reports
+/// a localize that was attempted and produced nothing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum DeferReason {
+    /// Too few anchors were admitted (live and not quarantined by the
+    /// circuit breaker) to meet the quorum policy.
+    AnchorQuorum {
+        /// Anchors admitted this round.
+        live: usize,
+        /// The policy minimum.
+        required: usize,
+    },
+    /// The sounding survived with fewer bands than the quorum policy
+    /// requires for a trustworthy stitch (paper §5.1: span — hence band
+    /// count — sets the relative-distance resolution).
+    BandQuorum {
+        /// Bands that survived masking.
+        surviving: usize,
+        /// The policy minimum.
+        required: usize,
+    },
+    /// Every backoff-scheduled attempt of the round failed; the last
+    /// typed failure is carried for diagnosis.
+    RetriesExhausted {
+        /// Attempts made (initial + retries).
+        attempts: usize,
+        /// The failure of the final attempt.
+        last: LocalizeError,
+    },
+}
+
+impl fmt::Display for DeferReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::AnchorQuorum { live, required } => {
+                write!(f, "anchor quorum not met: {live} live, need {required}")
+            }
+            Self::BandQuorum {
+                surviving,
+                required,
+            } => write!(
+                f,
+                "band quorum not met: {surviving} surviving, need {required}"
+            ),
+            Self::RetriesExhausted { attempts, last } => {
+                write!(f, "all {attempts} attempts failed; last: {last}")
+            }
+        }
+    }
+}
+
+impl DeferReason {
+    /// A short machine-readable reason (the `bloc-obs` counter suffix for
+    /// this deferral).
+    pub fn reason(&self) -> &'static str {
+        match self {
+            Self::AnchorQuorum { .. } => "anchor_quorum",
+            Self::BandQuorum { .. } => "band_quorum",
+            Self::RetriesExhausted { .. } => "retries_exhausted",
+        }
+    }
+}
+
 /// What the pipeline discarded on the way to an estimate — the evidence
 /// that a fix produced under degraded conditions *is* degraded, and by how
 /// much.
@@ -150,6 +217,29 @@ mod tests {
                 total: 4,
             },
             LocalizeError::NoPeak,
+        ];
+        let mut reasons = std::collections::HashSet::new();
+        for v in &variants {
+            assert!(!v.to_string().is_empty());
+            assert!(reasons.insert(v.reason()), "reasons must be distinct");
+        }
+    }
+
+    #[test]
+    fn defer_display_and_reason_cover_every_variant() {
+        let variants = [
+            DeferReason::AnchorQuorum {
+                live: 2,
+                required: 3,
+            },
+            DeferReason::BandQuorum {
+                surviving: 5,
+                required: 10,
+            },
+            DeferReason::RetriesExhausted {
+                attempts: 4,
+                last: LocalizeError::NoPeak,
+            },
         ];
         let mut reasons = std::collections::HashSet::new();
         for v in &variants {

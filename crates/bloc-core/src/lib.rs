@@ -80,7 +80,12 @@ pub mod error;
 pub mod likelihood;
 pub mod localizer;
 pub mod multipath;
+pub mod runtime;
 pub mod tracker;
 
-pub use error::{DegradationReport, LocalizeError};
+pub use error::{DeferReason, DegradationReport, LocalizeError};
 pub use localizer::{BlocConfig, BlocLocalizer, Estimate};
+pub use runtime::{
+    BreakerState, BreakerTransition, HopMonitor, RetryPolicy, RoundFix, RoundOutcome,
+    RuntimeConfig, SessionSupervisor,
+};

@@ -25,6 +25,15 @@ pub struct TrackerConfig {
     /// Measurement noise standard deviation of a BLoc fix, metres.
     /// BLoc's ~0.9 m median error ⇒ ~0.8–1.0 m is the right magnitude.
     pub fix_sigma_m: f64,
+    /// Innovation gate in Mahalanobis σ units (see [`Tracker::offer`]):
+    /// a fix whose normalized innovation exceeds the velocity-scaled
+    /// bound is rejected instead of updating the filter. `INFINITY`
+    /// disables gating.
+    pub gate_sigma: f64,
+    /// Hysteresis depth K: after this many *consecutive* gate
+    /// rejections, the tag is assumed to have genuinely moved and the
+    /// filter re-initializes at the offending fix (re-acquisition).
+    pub reacquire_after: usize,
 }
 
 impl Default for TrackerConfig {
@@ -32,6 +41,8 @@ impl Default for TrackerConfig {
         Self {
             accel_noise: 1.0,
             fix_sigma_m: 0.9,
+            gate_sigma: 4.0,
+            reacquire_after: 3,
         }
     }
 }
@@ -57,6 +68,41 @@ pub struct TrackState {
 pub struct Tracker {
     config: TrackerConfig,
     axis: Option<[AxisFilter; 2]>,
+    /// Consecutive fixes rejected by the innovation gate (hysteresis
+    /// state for re-acquisition).
+    rejected_streak: usize,
+}
+
+/// What [`Tracker::offer`] did with one fix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FixDisposition {
+    /// The fix passed the innovation gate (or initialized the filter)
+    /// and updated the track.
+    Accepted(TrackState),
+    /// The fix failed the gate: the filter coasted through the step on
+    /// its motion model and the fix was discarded.
+    Rejected {
+        /// The coasted state.
+        state: TrackState,
+        /// The fix's normalized innovation distance (σ units).
+        mahalanobis: f64,
+        /// The velocity-scaled bound it exceeded.
+        bound: f64,
+    },
+    /// The fix failed the gate but completed a streak of
+    /// `reacquire_after` consecutive rejections — the tag genuinely
+    /// moved, so the filter re-initialized at this fix.
+    Reacquired(TrackState),
+}
+
+impl FixDisposition {
+    /// The track state after this disposition, whatever it was.
+    pub fn state(&self) -> TrackState {
+        match *self {
+            Self::Accepted(s) | Self::Reacquired(s) => s,
+            Self::Rejected { state, .. } => state,
+        }
+    }
 }
 
 /// One axis of the CV filter: state (p, v), covariance [[p00,p01],[p01,p11]].
@@ -117,7 +163,11 @@ impl AxisFilter {
 impl Tracker {
     /// A tracker awaiting its first fix.
     pub fn new(config: TrackerConfig) -> Self {
-        Self { config, axis: None }
+        Self {
+            config,
+            axis: None,
+            rejected_streak: 0,
+        }
     }
 
     /// True until the first fix arrives.
@@ -145,6 +195,65 @@ impl Tracker {
             }
         }
         self.state().expect("initialized above")
+    }
+
+    /// Feeds one fix through the innovation gate. Unlike [`Tracker::push`]
+    /// (which trusts every fix), `offer` first predicts the filter
+    /// forward and measures the fix's innovation in Mahalanobis units,
+    /// `d = √(Σ_axis innov²/s)` with `s = c00_pred + r`. The gate bound
+    /// is velocity-scaled — `gate_sigma · (1 + |v|·dt/σ_fix)` — so a
+    /// fast-moving track legitimately tolerates larger jumps per step. A
+    /// rejected fix coasts the filter; `reacquire_after` consecutive
+    /// rejections re-initialize it at the latest fix (hysteresis: a tag
+    /// that truly teleported re-acquires within K rounds instead of
+    /// being gated forever).
+    pub fn offer(&mut self, fix: P2, dt: f64) -> FixDisposition {
+        assert!(dt > 0.0, "time step must be positive");
+        let Some(ax) = &mut self.axis else {
+            self.rejected_streak = 0;
+            return FixDisposition::Accepted(self.push(fix, dt));
+        };
+        let r = self.config.fix_sigma_m * self.config.fix_sigma_m;
+        // Predict (time passes regardless of what we decide about the fix).
+        for f in ax.iter_mut() {
+            f.predict(dt, self.config.accel_noise);
+        }
+        let mut d_sq = 0.0;
+        let mut speed_sq = 0.0;
+        for (f, z) in ax.iter().zip([fix.x, fix.y]) {
+            let s = f.c00 + r;
+            let innov = z - f.p;
+            d_sq += innov * innov / s;
+            speed_sq += f.v * f.v;
+        }
+        let mahalanobis = d_sq.sqrt();
+        let bound = self.config.gate_sigma * (1.0 + speed_sq.sqrt() * dt / self.config.fix_sigma_m);
+        if mahalanobis <= bound {
+            for (f, z) in ax.iter_mut().zip([fix.x, fix.y]) {
+                f.update(z, r);
+            }
+            self.rejected_streak = 0;
+            return FixDisposition::Accepted(self.state().expect("initialized"));
+        }
+        self.rejected_streak += 1;
+        if self.rejected_streak >= self.config.reacquire_after {
+            self.axis = Some([
+                AxisFilter::init(fix.x, self.config.fix_sigma_m),
+                AxisFilter::init(fix.y, self.config.fix_sigma_m),
+            ]);
+            self.rejected_streak = 0;
+            return FixDisposition::Reacquired(self.state().expect("initialized"));
+        }
+        FixDisposition::Rejected {
+            state: self.state().expect("initialized"),
+            mahalanobis,
+            bound,
+        }
+    }
+
+    /// Consecutive gate rejections so far (resets on accept/re-acquire).
+    pub fn rejected_streak(&self) -> usize {
+        self.rejected_streak
     }
 
     /// Advances time without a fix (the tag's burst was lost): predict
@@ -206,12 +315,37 @@ impl TrackingPipeline {
         dt: f64,
     ) -> Result<TrackState, crate::error::LocalizeError> {
         match self.localizer.localize(data) {
-            Ok(est) => Ok(self.tracker.push(est.position, dt)),
+            Ok(est) => Ok(self.offer_fix(est.position, dt).state()),
             Err(e) => {
                 self.tracker.coast(dt);
                 Err(e)
             }
         }
+    }
+
+    /// Feeds one already-localized fix through the tracker's innovation
+    /// gate (see [`Tracker::offer`]), recording `track.gated` /
+    /// `track.reacquired` on the global registry. This is the entry the
+    /// runtime supervisor uses when it localizes on its own schedule.
+    pub fn offer_fix(&mut self, fix: P2, dt: f64) -> FixDisposition {
+        let disposition = self.tracker.offer(fix, dt);
+        match disposition {
+            FixDisposition::Rejected { .. } => bloc_obs::counter("track.gated").inc(),
+            FixDisposition::Reacquired(_) => bloc_obs::counter("track.reacquired").inc(),
+            FixDisposition::Accepted(_) => {}
+        }
+        disposition
+    }
+
+    /// Coasts the tracker through a fix-less step (deferred round, lost
+    /// burst handled outside [`Self::push_sounding`]).
+    pub fn coast(&mut self, dt: f64) -> Option<TrackState> {
+        self.tracker.coast(dt)
+    }
+
+    /// The tracker half.
+    pub fn tracker(&self) -> &Tracker {
+        &self.tracker
     }
 
     /// The current track estimate, if any fix has arrived.
@@ -246,6 +380,7 @@ mod tests {
         let mut tracker = Tracker::new(TrackerConfig {
             accel_noise: 0.05,
             fix_sigma_m: 0.9,
+            ..Default::default()
         });
         let mut last = TrackState {
             position: P2::ORIGIN,
@@ -282,6 +417,7 @@ mod tests {
         let mut tracker = Tracker::new(TrackerConfig {
             accel_noise: 0.1,
             fix_sigma_m: 0.9,
+            ..Default::default()
         });
         let mut state = None;
         for k in 0..150 {
@@ -312,6 +448,7 @@ mod tests {
         let mut tracker = Tracker::new(TrackerConfig {
             accel_noise: 0.02,
             fix_sigma_m: 0.9,
+            ..Default::default()
         });
         let mut raw_sq = 0.0;
         let mut flt_sq = 0.0;
@@ -444,6 +581,7 @@ mod tests {
         let mut tracker = Tracker::new(TrackerConfig {
             accel_noise: 5.0,
             fix_sigma_m: 0.1,
+            ..Default::default()
         });
         let mut rng = StdRng::seed_from_u64(4);
         tracker.push(P2::new(1.0, 1.0), 0.05); // initialize first

@@ -59,7 +59,7 @@ pub mod report;
 pub mod span;
 
 pub use event::{Event, Sink, Value};
-pub use metrics::{Counter, Histogram};
+pub use metrics::{Counter, Gauge, Histogram};
 pub use registry::Registry;
 pub use report::RunReport;
 pub use span::SpanGuard;
@@ -69,6 +69,11 @@ use std::sync::Arc;
 /// The named counter on the global registry.
 pub fn counter(name: &str) -> Arc<Counter> {
     Registry::global().counter(name)
+}
+
+/// The named gauge on the global registry.
+pub fn gauge(name: &str) -> Arc<Gauge> {
+    Registry::global().gauge(name)
 }
 
 /// The named histogram on the global registry.

@@ -37,6 +37,31 @@ impl Counter {
     }
 }
 
+/// A last-value-wins level metric (anchor health scores, breaker states,
+/// queue depths). Stores an `f64` as its IEEE-754 bit pattern in an
+/// `AtomicU64`; like [`Counter`], accesses are relaxed — a gauge is a
+/// level, not a synchronization point.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A gauge reading `0.0`.
+    pub const fn new() -> Self {
+        // 0.0f64 has an all-zero bit pattern, so AtomicU64::new(0) is it.
+        Self(AtomicU64::new(0))
+    }
+
+    /// Overwrites the level.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// The current level.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
 /// The bucket a value lands in: 0 for 0, else `floor(log₂ v) + 1`.
 pub fn bucket_index(v: u64) -> usize {
     if v == 0 {
@@ -218,6 +243,16 @@ mod tests {
         assert!((s.mean() - 1206.0 / 7.0).abs() < 1e-12);
         // Median sample is 3 → bucket [2,4) → geometric midpoint √8.
         assert!((s.quantile(0.5) - 8.0f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gauge_is_last_value_wins() {
+        let g = Gauge::new();
+        assert_eq!(g.get(), 0.0);
+        g.set(0.75);
+        assert_eq!(g.get(), 0.75);
+        g.set(-1.5);
+        assert_eq!(g.get(), -1.5);
     }
 
     #[test]

@@ -5,7 +5,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
 use crate::event::{Event, Sink};
-use crate::metrics::{Counter, Histogram};
+use crate::metrics::{Counter, Gauge, Histogram};
 use crate::report::RunReport;
 use crate::span::SpanGuard;
 
@@ -21,6 +21,7 @@ use crate::span::SpanGuard;
 #[derive(Default)]
 pub struct Registry {
     counters: RwLock<HashMap<String, Arc<Counter>>>,
+    gauges: RwLock<HashMap<String, Arc<Gauge>>>,
     histograms: RwLock<HashMap<String, Arc<Histogram>>>,
     sinks: Mutex<Vec<Box<dyn Sink>>>,
     /// Mirror of `sinks.len()` readable without the lock.
@@ -45,6 +46,15 @@ impl Registry {
             return Arc::clone(c);
         }
         let mut map = self.counters.write().expect("counter map");
+        Arc::clone(map.entry(name.to_string()).or_default())
+    }
+
+    /// The gauge registered under `name`, created on first use (at 0.0).
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        if let Some(g) = self.gauges.read().expect("gauge map").get(name) {
+            return Arc::clone(g);
+        }
+        let mut map = self.gauges.write().expect("gauge map");
         Arc::clone(map.entry(name.to_string()).or_default())
     }
 
@@ -118,6 +128,13 @@ impl Registry {
             .iter()
             .map(|(name, c)| (name.clone(), c.get()))
             .collect();
+        let gauges = self
+            .gauges
+            .read()
+            .expect("gauge map")
+            .iter()
+            .map(|(name, g)| (name.clone(), g.get()))
+            .collect();
         let histograms = self
             .histograms
             .read()
@@ -127,6 +144,7 @@ impl Registry {
             .collect();
         RunReport {
             counters,
+            gauges,
             histograms,
         }
     }
@@ -139,6 +157,7 @@ impl std::fmt::Debug for Registry {
                 "counters",
                 &self.counters.read().expect("counter map").len(),
             )
+            .field("gauges", &self.gauges.read().expect("gauge map").len())
             .field(
                 "histograms",
                 &self.histograms.read().expect("histogram map").len(),
@@ -212,9 +231,11 @@ mod tests {
     fn snapshot_captures_all_metrics() {
         let reg = Registry::new();
         reg.counter("x").add(4);
+        reg.gauge("g").set(0.5);
         reg.histogram("y").record(10);
         let snap = reg.snapshot();
         assert_eq!(snap.counters["x"], 4);
+        assert_eq!(snap.gauges["g"], 0.5);
         assert_eq!(snap.histograms["y"].sum, 10);
     }
 }

@@ -18,6 +18,8 @@ use crate::metrics::{HistogramSnapshot, N_BUCKETS};
 pub struct RunReport {
     /// Counter totals by name.
     pub counters: BTreeMap<String, u64>,
+    /// Gauge levels by name (last value wins, not accumulated).
+    pub gauges: BTreeMap<String, f64>,
     /// Histogram states by name.
     pub histograms: BTreeMap<String, HistogramSnapshot>,
 }
@@ -30,7 +32,9 @@ impl RunReport {
 
     /// Metric-wise saturating difference `self − earlier`. Metrics absent
     /// from `earlier` pass through unchanged; metrics that accrued
-    /// nothing in the window are dropped.
+    /// nothing in the window are dropped. Gauges are levels, not
+    /// accumulators: the diff keeps the later level and drops gauges
+    /// whose reading did not move bit-for-bit during the window.
     pub fn diff(&self, earlier: &RunReport) -> RunReport {
         let counters = self
             .counters
@@ -42,6 +46,14 @@ impl RunReport {
                 )
             })
             .filter(|(_, v)| *v > 0)
+            .collect();
+        let gauges = self
+            .gauges
+            .iter()
+            .filter(|(name, &v)| {
+                earlier.gauges.get(name.as_str()).map(|p| p.to_bits()) != Some(v.to_bits())
+            })
+            .map(|(name, &v)| (name.clone(), v))
             .collect();
         let histograms = self
             .histograms
@@ -57,6 +69,7 @@ impl RunReport {
             .collect();
         RunReport {
             counters,
+            gauges,
             histograms,
         }
     }
@@ -116,6 +129,12 @@ impl RunReport {
                 );
             }
         }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges:\n");
+            for (name, v) in &self.gauges {
+                let _ = writeln!(out, "  {name:<40} {v:>9.4}");
+            }
+        }
         if !self.counters.is_empty() {
             out.push_str("counters:\n");
             for (name, v) in &self.counters {
@@ -136,6 +155,15 @@ impl RunReport {
                 ("type", Json::Str("counter".into())),
                 ("name", Json::Str(name.clone())),
                 ("value", Json::Num(v_to_f64(*v))),
+            ]);
+            out.push_str(&line.render());
+            out.push('\n');
+        }
+        for (name, v) in &self.gauges {
+            let line = Json::obj([
+                ("type", Json::Str("gauge".into())),
+                ("name", Json::Str(name.clone())),
+                ("value", Json::Num(*v)),
             ]);
             out.push_str(&line.render());
             out.push('\n');
@@ -190,6 +218,13 @@ impl RunReport {
                         .and_then(Json::as_u64)
                         .ok_or_else(|| bad("counter without integer \"value\""))?;
                     report.counters.insert(name, value);
+                }
+                Some("gauge") => {
+                    let value = obj
+                        .get("value")
+                        .and_then(Json::as_f64)
+                        .ok_or_else(|| bad("gauge without numeric \"value\""))?;
+                    report.gauges.insert(name, value);
                 }
                 Some("histogram") => {
                     let mut snap = HistogramSnapshot::empty();
@@ -270,6 +305,7 @@ mod tests {
         let reg = Registry::new();
         reg.counter("likelihood.grid_cells").add(4800);
         reg.counter("sounding.issue.dead_measurement").add(3);
+        reg.gauge("runtime.anchor_health.2").set(0.8125);
         reg.histogram("localize.latency_us").record(1500);
         reg.histogram("localize.latency_us").record(2300);
         reg.histogram("span.localize").record(2000);
@@ -321,11 +357,17 @@ mod tests {
         let reg = Registry::new();
         reg.counter("busy").inc();
         reg.counter("quiet").inc();
+        reg.gauge("level.moved").set(0.25);
+        reg.gauge("level.steady").set(1.0);
         let before = reg.snapshot();
         reg.counter("busy").inc();
+        reg.gauge("level.moved").set(0.5);
         let run = reg.snapshot().diff(&before);
         assert_eq!(run.counters.get("busy"), Some(&1));
         assert!(!run.counters.contains_key("quiet"));
+        // Gauges are levels: the later reading survives, unchanged drop.
+        assert_eq!(run.gauges.get("level.moved"), Some(&0.5));
+        assert!(!run.gauges.contains_key("level.steady"));
     }
 
     #[test]
@@ -335,6 +377,7 @@ mod tests {
         assert!(text.contains("localize")); // span name with prefix stripped
         assert!(text.contains("likelihood.grid_cells"));
         assert!(text.contains("localize.latency_us"));
+        assert!(text.contains("runtime.anchor_health.2"));
     }
 
     #[test]

@@ -18,7 +18,7 @@ use serde::{Deserialize, Serialize};
 use bloc_ble::channels::Channel;
 use bloc_chan::sounder::{SounderConfig, SoundingData};
 use bloc_core::baselines::{aoa, rssi};
-use bloc_core::BlocLocalizer;
+use bloc_core::{BlocLocalizer, DegradationReport, RetryPolicy};
 use bloc_num::P2;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -56,7 +56,7 @@ impl Method {
 }
 
 /// One evaluated location.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LocRecord {
     /// Ground-truth tag position (the simulator's coordinates stand in for
     /// the paper's VICON truth).
@@ -65,6 +65,12 @@ pub struct LocRecord {
     pub estimate: Option<P2>,
     /// Euclidean error, metres (`NaN` when the method failed).
     pub error: f64,
+    /// The masking summary of the attempt that actually produced the
+    /// estimate (BLoc only — baselines have no masking stage). Retries
+    /// draw fresh faults, so the summary must travel with its estimate:
+    /// attempt 0's report describes attempt 0's fault draw, not the
+    /// retry's.
+    pub degradation: Option<DegradationReport>,
 }
 
 /// A method's results over the whole sweep.
@@ -102,13 +108,15 @@ pub struct SweepSpec<'a> {
     /// location (and per retry attempt) so every sounding draws an
     /// independent fault pattern at the plan's rates.
     pub fault_plan: Option<bloc_chan::FaultPlan>,
-    /// Bounded re-sounding retries per location: when no method under
-    /// test produces an estimate (or the location's evaluation panics),
-    /// the location is re-sounded with a fresh fault/noise draw up to this
-    /// many extra times — the testbed equivalent of a tracker simply
-    /// waiting for the next hop cycle (~25 ms at BLE's ~40 full sweeps/s,
-    /// paper §6).
-    pub max_retries: usize,
+    /// Re-sounding policy per location: when no method under test
+    /// produces an estimate (or the location's evaluation panics), the
+    /// location is re-sounded with a fresh fault/noise draw under this
+    /// jittered exponential-backoff schedule — the testbed equivalent of
+    /// a tracker waiting for the next hop cycle (~25 ms at BLE's ~40 full
+    /// sweeps/s, paper §6). The schedule is a pure hash of (seed,
+    /// location, attempt), so sweeps stay bit-reproducible; the simulator
+    /// records rather than sleeps the delays (`sweep.backoff_us`).
+    pub retry: RetryPolicy,
 }
 
 impl<'a> SweepSpec<'a> {
@@ -129,14 +137,15 @@ impl<'a> SweepSpec<'a> {
             seed,
             transform: None,
             fault_plan: None,
-            max_retries: 0,
+            retry: RetryPolicy::with_retries(0),
         }
     }
 
-    /// Returns a copy with a fault plan and a retry budget.
+    /// Returns a copy with a fault plan and a retry budget (a default
+    /// backoff policy with `max_retries` retries).
     pub fn with_faults(mut self, plan: bloc_chan::FaultPlan, max_retries: usize) -> Self {
         self.fault_plan = Some(plan);
-        self.max_retries = max_retries;
+        self.retry = RetryPolicy::with_retries(max_retries);
         self
     }
 }
@@ -155,7 +164,7 @@ pub fn sweep(spec: &SweepSpec<'_>) -> Vec<SweepOutcome> {
     // Per-worker state: a stats accumulator (samples hit the shared
     // registry once, at join) and a private sounder. Work is sharded by
     // stride and reassembled in dataset order by the executor.
-    let per_location: Vec<Vec<Option<P2>>> = bloc_num::par::sharded_map(
+    let per_location: Vec<Vec<Option<Eval>>> = bloc_num::par::sharded_map(
         n,
         bloc_num::par::max_threads(),
         |_t| {
@@ -166,8 +175,14 @@ pub fn sweep(spec: &SweepSpec<'_>) -> Vec<SweepOutcome> {
         },
         |(stats, sounder), idx| {
             let truth = spec.positions[idx];
-            let mut estimates: Vec<Option<P2>> = vec![None; spec.methods.len()];
-            for attempt in 0..=spec.max_retries {
+            let mut estimates: Vec<Option<Eval>> = vec![None; spec.methods.len()];
+            for attempt in 0..spec.retry.attempts() {
+                let backoff = spec.retry.delay_us(idx as u64, attempt);
+                if backoff > 0 {
+                    // The simulator records the scheduled wait instead of
+                    // sleeping it; determinism tests replay the schedule.
+                    stats.record("sweep.backoff_us", backoff);
+                }
                 // Deterministic per-(location, attempt) stream,
                 // independent of the thread count. Attempt 0 keeps
                 // the historical derivation so fault-free sweeps
@@ -197,10 +212,13 @@ pub fn sweep(spec: &SweepSpec<'_>) -> Vec<SweepOutcome> {
                         spec.methods
                             .iter()
                             .map(|m| evaluate(*m, &localizer, &data))
-                            .collect::<Vec<Option<P2>>>()
+                            .collect::<Vec<Option<Eval>>>()
                     })
                 }));
                 match outcome {
+                    // Estimates are replaced wholesale: each estimate's
+                    // masking summary describes *this* attempt's fault
+                    // draw, never a stale earlier one.
                     Ok(ests) => estimates = ests,
                     Err(_) => stats.inc("sweep.panics_caught"),
                 }
@@ -210,7 +228,7 @@ pub fn sweep(spec: &SweepSpec<'_>) -> Vec<SweepOutcome> {
                     }
                     break;
                 }
-                if attempt < spec.max_retries {
+                if attempt + 1 < spec.retry.attempts() {
                     stats.inc("sweep.resound_retries");
                 }
             }
@@ -229,7 +247,8 @@ pub fn sweep(spec: &SweepSpec<'_>) -> Vec<SweepOutcome> {
             LocRecord {
                 truth: P2::ORIGIN,
                 estimate: None,
-                error: f64::NAN
+                error: f64::NAN,
+                degradation: None,
             };
             n
         ];
@@ -238,10 +257,12 @@ pub fn sweep(spec: &SweepSpec<'_>) -> Vec<SweepOutcome> {
     for (idx, estimates) in per_location.into_iter().enumerate() {
         let truth = spec.positions[idx];
         for (m, est) in estimates.into_iter().enumerate() {
+            let position = est.as_ref().map(|e| e.position);
             per_method[m][idx] = LocRecord {
                 truth,
-                estimate: est,
-                error: est.map(|e| e.dist(truth)).unwrap_or(f64::NAN),
+                estimate: position,
+                error: position.map(|e| e.dist(truth)).unwrap_or(f64::NAN),
+                degradation: est.and_then(|e| e.degradation),
             };
         }
     }
@@ -266,23 +287,38 @@ pub fn sweep(spec: &SweepSpec<'_>) -> Vec<SweepOutcome> {
         .collect()
 }
 
-fn evaluate(method: Method, localizer: &BlocLocalizer, data: &SoundingData) -> Option<P2> {
-    let estimate = match method {
-        Method::Bloc => localizer.localize(data).ok().map(|e| e.position),
-        Method::BlocShortestDistance => localizer
-            .localize_shortest_distance(data)
-            .map(|e| e.position),
-        Method::BlocArgmax => localizer.localize_argmax(data).map(|e| e.position),
-        Method::AoaBaseline => aoa::localize(data, &aoa::AoaConfig::default()),
-        Method::RssiBaseline => rssi::localize(data, &rssi::RssiConfig::default()),
+/// One method's output for one attempt: the (clamped) position plus the
+/// masking summary of the localize that produced it, when the method has
+/// one (the full BLoc path; baselines have no masking stage).
+#[derive(Debug, Clone)]
+struct Eval {
+    position: P2,
+    degradation: Option<DegradationReport>,
+}
+
+fn evaluate(method: Method, localizer: &BlocLocalizer, data: &SoundingData) -> Option<Eval> {
+    let (estimate, degradation) = match method {
+        Method::Bloc => match localizer.localize(data) {
+            Ok(e) => (Some(e.position), Some(e.degradation)),
+            Err(_) => (None, None),
+        },
+        Method::BlocShortestDistance => (
+            localizer
+                .localize_shortest_distance(data)
+                .map(|e| e.position),
+            None,
+        ),
+        Method::BlocArgmax => (localizer.localize_argmax(data).map(|e| e.position), None),
+        Method::AoaBaseline => (aoa::localize(data, &aoa::AoaConfig::default()), None),
+        Method::RssiBaseline => (rssi::localize(data, &rssi::RssiConfig::default()), None),
     };
     // Every method knows the deployment region (BLoc searches only inside
     // it); clamping the open-form baselines' estimates into the same
     // region keeps the comparison fair when a degenerate triangulation
     // shoots a fix far outside the building.
     let spec = localizer.config().grid;
-    estimate.map(|p| {
-        P2::new(
+    estimate.map(|p| Eval {
+        position: P2::new(
             p.x.clamp(
                 spec.origin.x,
                 spec.origin.x + spec.nx as f64 * spec.resolution,
@@ -291,7 +327,8 @@ fn evaluate(method: Method, localizer: &BlocLocalizer, data: &SoundingData) -> O
                 spec.origin.y,
                 spec.origin.y + spec.ny as f64 * spec.resolution,
             ),
-        )
+        ),
+        degradation,
     })
 }
 
@@ -465,13 +502,13 @@ mod tests {
         };
         let registry = bloc_obs::Registry::global();
         let no_retry = sweep(&SweepSpec {
-            max_retries: 0,
+            retry: RetryPolicy::with_retries(0),
             fault_plan: Some(plan.clone()),
             ..base.clone()
         });
         let before = registry.snapshot();
         let with_retry = sweep(&SweepSpec {
-            max_retries: 4,
+            retry: RetryPolicy::with_retries(4),
             fault_plan: Some(plan),
             ..base
         });
@@ -492,6 +529,66 @@ mod tests {
                 "recoveries must be counted"
             );
         }
+    }
+
+    #[test]
+    fn retry_summary_comes_from_the_producing_attempt() {
+        // Regression: the retry loop draws fresh faults per attempt, so a
+        // record's masking summary must describe the attempt that actually
+        // produced its estimate — not attempt 0's stale draw. Mirror the
+        // runner's per-attempt derivation sequentially and require the
+        // (estimate, summary) pair to match the first succeeding attempt.
+        let scenario = Scenario::build(Clutter::None, 21);
+        let positions = sample_positions(&scenario.room, 8, 21);
+        let channels = bloc_chan::sounder::all_data_channels()[..6].to_vec();
+        let plan = bloc_chan::FaultPlan {
+            tag_loss: 0.85,
+            ..Default::default()
+        };
+        let spec = SweepSpec {
+            channels: channels.clone(),
+            ..SweepSpec::standard(&scenario, &positions, vec![Method::Bloc], 17)
+                .with_faults(plan.clone(), 4)
+        };
+        let out = sweep(&spec);
+
+        let sounder = scenario.sounder(spec.sounder_config);
+        let localizer = BlocLocalizer::new(scenario.bloc_config());
+        let mut recovered_late = 0;
+        for (idx, rec) in out[0].records.iter().enumerate() {
+            let mut expected: Option<(usize, Eval)> = None;
+            for attempt in 0..spec.retry.attempts() {
+                let attempt_seed = (spec.seed ^ (idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                    .wrapping_add((attempt as u64).wrapping_mul(0xA24B_AED4_963E_E407));
+                let mut rng = StdRng::seed_from_u64(attempt_seed);
+                let data = sounder
+                    .clone()
+                    .with_faults(plan.with_seed(attempt_seed))
+                    .sound(rec.truth, &channels, &mut rng);
+                if let Some(eval) = evaluate(Method::Bloc, &localizer, &data) {
+                    expected = Some((attempt, eval));
+                    break;
+                }
+            }
+            match (&expected, &rec.estimate) {
+                (Some((attempt, eval)), Some(est)) => {
+                    assert_eq!(eval.position, *est, "location {idx}");
+                    assert_eq!(
+                        eval.degradation, rec.degradation,
+                        "location {idx}: summary must come from attempt {attempt}"
+                    );
+                    if *attempt > 0 {
+                        recovered_late += 1;
+                    }
+                }
+                (None, None) => {}
+                (e, r) => panic!("location {idx}: replay {e:?} vs sweep {r:?}"),
+            }
+        }
+        assert!(
+            recovered_late > 0,
+            "the plan must force at least one location to fix on a retry"
+        );
     }
 
     #[test]

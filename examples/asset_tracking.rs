@@ -53,6 +53,7 @@ fn main() {
     let mut tracker = Tracker::new(TrackerConfig {
         accel_noise: 0.3,
         fix_sigma_m: 0.9,
+        ..Default::default()
     });
     const DT: f64 = 1.0;
 

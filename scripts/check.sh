@@ -17,6 +17,12 @@ if [[ "${1:-}" != "quick" ]]; then
     # on any panic, unpopulated DegradationReport, or injected/recovered
     # ledger mismatch (see crates/bloc-bench/src/bin/fault_soak.rs).
     run cargo run --release -q -p bloc-bench --bin fault_soak 100
+    # Supervised-runtime chaos soak: 200 rounds of combined faults with two
+    # scheduled anchor blackouts and a mid-run geometry swap; fails on any
+    # panic, <90% valid rounds, breaker-ledger/obs mismatch, or the
+    # supervised track not beating the fixed-retry baseline (see
+    # crates/bloc-bench/src/bin/chaos_soak.rs).
+    run cargo run --release -q -p bloc-bench --bin chaos_soak 200
     # Likelihood-engine perf gate: verifies the fast kernels against the
     # naive reference and enforces the ≥ 5× single-thread speedup floor.
     # Best-of-15 keeps the gate stable on noisy shared hosts; refreshes
