@@ -45,5 +45,41 @@ fn main() {
     println!("{}", ext_fusion::run(&ext).render());
 
     bloc_bench::emit_run_report("all_figures", &obs_before);
+
+    // Per-stage share of the pipeline's accumulated wall time: sounding
+    // (the `sweep.sound_us` timer), Eq. 10 correction and localization
+    // (their `span.*` histograms, summed over every nesting path).
+    // Correction runs *inside* localize, so its share is also part of
+    // the localize share; sums exceed wall clock when sweeps run
+    // parallel workers.
+    let run = bloc_obs::Registry::global().snapshot().diff(&obs_before);
+    let stage_us = |last_segment: &str| -> u64 {
+        run.histograms
+            .iter()
+            .filter(|(name, _)| {
+                name.strip_prefix("span.")
+                    .is_some_and(|path| path.rsplit('/').next() == Some(last_segment))
+            })
+            .map(|(_, h)| h.sum)
+            .sum()
+    };
+    let sound_us = run
+        .histograms
+        .get("sweep.sound_us")
+        .map(|h| h.sum)
+        .unwrap_or(0);
+    let correct_us = stage_us("correct");
+    let localize_us = stage_us("localize") + stage_us("localize_fused");
+    let accounted = (sound_us + localize_us).max(1);
+    let pct = |us: u64| 100.0 * us as f64 / accounted as f64;
+    println!(
+        "per-stage wall time: sound {:.1}s ({:.0}%) · localize {:.1}s ({:.0}%, of which correct {:.1}s {:.0}%)",
+        sound_us as f64 / 1e6,
+        pct(sound_us),
+        localize_us as f64 / 1e6,
+        pct(localize_us),
+        correct_us as f64 / 1e6,
+        pct(correct_us),
+    );
     println!("total wall time: {:?}", t0.elapsed());
 }

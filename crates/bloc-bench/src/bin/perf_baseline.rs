@@ -1,20 +1,22 @@
-//! The likelihood-engine performance baseline: verifies the fast engine
-//! against the naive reference, times every kernel configuration at the
-//! default testbed grid, and writes a machine-readable
-//! `BENCH_likelihood.json` so future PRs have a perf trajectory to move.
+//! The performance baseline: verifies the fast likelihood engine and the
+//! fast channel-synthesis engine against their naive references, times
+//! every configuration at the default testbed problem, and writes the
+//! machine-readable `BENCH_likelihood.json` and `BENCH_sounding.json` so
+//! future PRs have a perf trajectory to move.
 //!
 //! ```text
 //! cargo run --release -p bloc-bench --bin perf_baseline [iters]
 //! ```
 //!
-//! Exit status is nonzero when a sanity floor fails: kernel/reference
-//! equivalence (always), nonzero throughput (always), and the ≥ 5×
-//! single-thread speedup of the warm recurrence engine over the reference
-//! (release builds only — debug timings are meaningless).
+//! Exit status is nonzero when a sanity floor fails: fast/reference
+//! equivalence (always), nonzero throughput (always), and the
+//! single-thread speedup floors — ≥ 5× for the warm recurrence likelihood
+//! engine, ≥ 4× for the warm-cache analytic sounder (release builds
+//! only — debug timings are meaningless).
 
 use std::time::Instant;
 
-use bloc_chan::sounder::{all_data_channels, SounderConfig};
+use bloc_chan::sounder::{all_data_channels, SounderConfig, TONE_OFFSET_HZ};
 use bloc_core::correction::correct;
 use bloc_core::engine::LikelihoodEngine;
 use bloc_core::likelihood::{joint_likelihood_reference, AntennaCombining};
@@ -178,6 +180,161 @@ fn main() {
         Err(e) => eprintln!("warning: could not write {path}: {e}"),
     }
 
+    // ===== Channel-synthesis engine (DESIGN.md §10) =====
+    println!("\n=== Sounding engine perf baseline (best of {iters}) ===");
+    let channels = all_data_channels();
+    let n_links =
+        scenario.anchors.iter().map(|a| a.n_antennas).sum::<usize>() + scenario.anchors.len() - 1;
+    let measurements = (n_links * channels.len() * 2) as f64;
+    println!(
+        "{n_links} links · {} bands · 2 tones = {measurements} measurements/sounding",
+        channels.len()
+    );
+
+    // -- Equivalence gate: with ideal hardware (zero offsets/CFO, no
+    // calibration error, vanishing noise) every per-tone measurement the
+    // fast engine produces must be the reference Environment::channel
+    // value. Scale by the largest reference magnitude — deep multipath
+    // fades make naive per-band relative error meaningless.
+    let ideal_sounder = scenario.sounder(SounderConfig {
+        csi_snr_db: 300.0,
+        antenna_phase_err_std: 0.0,
+        ..SounderConfig::default()
+    });
+    let mut rng = StdRng::seed_from_u64(9);
+    let ideal = ideal_sounder.sound_ideal(tag, &channels, &mut rng);
+    let mut snd_scale = f64::MIN_POSITIVE;
+    let mut snd_max_err = 0.0f64;
+    let mut errs = Vec::new();
+    for band in &ideal.bands {
+        for (i, anchor) in scenario.anchors.iter().enumerate() {
+            for j in 0..anchor.n_antennas {
+                let got = band.tag_to_anchor_tones[i][j];
+                let want = [
+                    scenario
+                        .env
+                        .channel(tag, anchor.antenna(j), band.freq_hz - TONE_OFFSET_HZ),
+                    scenario
+                        .env
+                        .channel(tag, anchor.antenna(j), band.freq_hz + TONE_OFFSET_HZ),
+                ];
+                for tone in 0..2 {
+                    snd_scale = snd_scale.max(want[tone].abs());
+                    errs.push((got[tone] - want[tone]).abs());
+                }
+            }
+        }
+    }
+    for e in errs {
+        snd_max_err = snd_max_err.max(e / snd_scale);
+    }
+    let snd_tol = 1e-12;
+    let snd_equivalent = snd_max_err <= snd_tol;
+    println!(
+        "equivalence: max rel err {snd_max_err:.3e} (tol {snd_tol:.0e}) → {}",
+        if snd_equivalent { "PASS" } else { "FAIL" }
+    );
+
+    // -- Timings under the realistic default config.
+    let seed = 21u64;
+    // Reference: the per-band sequential path (two Environment::channel
+    // path rebuilds per link × band).
+    let ref_sounder = scenario.sounder(SounderConfig::default());
+    let t_snd_reference = {
+        let _span = bloc_obs::span("perf.sound_reference");
+        time_best(iters, || {
+            let mut rng = StdRng::seed_from_u64(seed);
+            std::hint::black_box(ref_sounder.sound_censused_reference(tag, &channels, &mut rng));
+        })
+    };
+    // Cold: a fresh sounder per call pays path extraction for every link.
+    let t_snd_cold = {
+        let _span = bloc_obs::span("perf.sound_cold");
+        time_best(iters, || {
+            let sounder = scenario.sounder(SounderConfig::default());
+            let mut rng = StdRng::seed_from_u64(seed);
+            std::hint::black_box(sounder.sound(tag, &channels, &mut rng));
+        })
+    };
+    // Warm: one sounder, PathSets cached — the steady-state per-sounding
+    // cost of a sweep (static links shared across locations, tag links
+    // shared across retries of one location).
+    let warm_sounder = scenario.sounder(SounderConfig::default());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let _ = warm_sounder.sound(tag, &channels, &mut rng);
+    let t_snd_warm = {
+        let _span = bloc_obs::span("perf.sound_warm");
+        time_best(iters, || {
+            let mut rng = StdRng::seed_from_u64(seed);
+            std::hint::black_box(warm_sounder.sound(tag, &channels, &mut rng));
+        })
+    };
+    let mut snd_thread_rows = Vec::new();
+    for threads in [2usize, 4] {
+        let sounder = scenario
+            .sounder(SounderConfig::default())
+            .with_threads(threads);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let _ = sounder.sound(tag, &channels, &mut rng);
+        let t = {
+            let _span = bloc_obs::span("perf.sound_threads");
+            time_best(iters, || {
+                let mut rng = StdRng::seed_from_u64(seed);
+                std::hint::black_box(sounder.sound(tag, &channels, &mut rng));
+            })
+        };
+        snd_thread_rows.push((threads, t));
+    }
+
+    let snd_throughput = |secs: f64| measurements / secs;
+    let snd_speedup = t_snd_reference / t_snd_warm;
+    println!(
+        "reference         {:>9.2} ms  {:>12.0} measurements/s",
+        t_snd_reference * 1e3,
+        snd_throughput(t_snd_reference)
+    );
+    println!(
+        "fast, cold cache  {:>9.2} ms  {:>12.0} measurements/s",
+        t_snd_cold * 1e3,
+        snd_throughput(t_snd_cold)
+    );
+    println!(
+        "fast, warm cache  {:>9.2} ms  {:>12.0} measurements/s",
+        t_snd_warm * 1e3,
+        snd_throughput(t_snd_warm)
+    );
+    for (threads, t) in &snd_thread_rows {
+        println!(
+            "warm, {threads} threads   {:>9.2} ms  {:>12.0} measurements/s",
+            t * 1e3,
+            snd_throughput(*t)
+        );
+    }
+    println!("single-thread sounding speedup over reference: {snd_speedup:.1}×");
+
+    let snd_thread_json: Vec<String> = snd_thread_rows
+        .iter()
+        .map(|(threads, t)| {
+            format!(
+                "{{\"threads\": {threads}, \"secs_per_sounding\": {t:.6}, \"measurements_per_sec\": {:.0}}}",
+                snd_throughput(*t)
+            )
+        })
+        .collect();
+    let snd_json = format!(
+        "{{\n  \"bench\": \"analytic_sounding\",\n  \"links\": {n_links},\n  \"bands\": {},\n  \"measurements_per_sounding\": {measurements},\n  \"iters\": {iters},\n  \"host_threads\": {host_threads},\n  \"equivalence\": {{\"max_rel_err\": {snd_max_err:.3e}, \"tol\": {snd_tol:.0e}, \"pass\": {snd_equivalent}}},\n  \"reference\": {{\"secs_per_sounding\": {t_snd_reference:.6}, \"measurements_per_sec\": {:.0}}},\n  \"fast_cold\": {{\"secs_per_sounding\": {t_snd_cold:.6}, \"measurements_per_sec\": {:.0}}},\n  \"fast_warm\": {{\"secs_per_sounding\": {t_snd_warm:.6}, \"measurements_per_sec\": {:.0}}},\n  \"warm_threads\": [{}],\n  \"speedup_single_thread\": {snd_speedup:.2}\n}}\n",
+        channels.len(),
+        snd_throughput(t_snd_reference),
+        snd_throughput(t_snd_cold),
+        snd_throughput(t_snd_warm),
+        snd_thread_json.join(", "),
+    );
+    let snd_path = "BENCH_sounding.json";
+    match std::fs::write(snd_path, &snd_json) {
+        Ok(()) => println!("wrote {snd_path}"),
+        Err(e) => eprintln!("warning: could not write {snd_path}: {e}"),
+    }
+
     bloc_bench::emit_run_report("perf_baseline", &obs_before);
 
     // -- Sanity floors.
@@ -186,15 +343,33 @@ fn main() {
         eprintln!("FLOOR FAILED: recurrence engine diverges from reference ({max_rel_err:.3e} > {tol:.0e})");
         failed = true;
     }
+    if !snd_equivalent {
+        eprintln!(
+            "FLOOR FAILED: fast sounding diverges from reference ({snd_max_err:.3e} > {snd_tol:.0e})"
+        );
+        failed = true;
+    }
     if !(t_warm.is_finite() && t_warm > 0.0 && throughput(t_warm) > 0.0) {
         eprintln!("FLOOR FAILED: warm throughput is not positive");
         failed = true;
     }
-    if cfg!(debug_assertions) {
-        println!("debug build: speedup floor not enforced (timings are unrepresentative)");
-    } else if speedup < 5.0 {
-        eprintln!("FLOOR FAILED: single-thread speedup {speedup:.2}× < 5× over reference");
+    if !(t_snd_warm.is_finite() && t_snd_warm > 0.0 && snd_throughput(t_snd_warm) > 0.0) {
+        eprintln!("FLOOR FAILED: warm sounding throughput is not positive");
         failed = true;
+    }
+    if cfg!(debug_assertions) {
+        println!("debug build: speedup floors not enforced (timings are unrepresentative)");
+    } else {
+        if speedup < 5.0 {
+            eprintln!("FLOOR FAILED: single-thread speedup {speedup:.2}× < 5× over reference");
+            failed = true;
+        }
+        if snd_speedup < 4.0 {
+            eprintln!(
+                "FLOOR FAILED: single-thread sounding speedup {snd_speedup:.2}× < 4× over reference"
+            );
+            failed = true;
+        }
     }
     if failed {
         std::process::exit(1);

@@ -6,6 +6,8 @@
 //! λ/2 at mid-band), oriented along a given direction (for wall-mounted
 //! anchors, along the wall).
 
+#![deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use bloc_num::constants::wavelength;
 use bloc_num::P2;
 
@@ -102,6 +104,8 @@ impl AnchorArray {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
     use super::*;
 
     #[test]

@@ -9,11 +9,45 @@
 //! ([`crate::reflector`]) and LOS obstruction losses, and `d_p` is the
 //! geometric length. Everything is deterministic once built.
 
+#![deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use crate::geometry::{Room, Segment};
 use crate::materials::Material;
 use crate::reflector::Reflector;
 use bloc_num::constants::SPEED_OF_LIGHT;
 use bloc_num::{C64, P2};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-global revision source: every [`Environment`] construction or
+/// mutation takes a fresh value, so a revision number identifies one
+/// immutable snapshot of path geometry — the key
+/// [`crate::synth::PathCache`] invalidates on.
+static NEXT_REVISION: AtomicU64 = AtomicU64::new(1);
+
+fn next_revision() -> u64 {
+    NEXT_REVISION.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Errors building an [`Environment`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EnvironmentError {
+    /// [`Environment::with_walls`] needs a bounding room to take the
+    /// walls from; build with [`Environment::in_room`] first.
+    NoRoom,
+}
+
+impl std::fmt::Display for EnvironmentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EnvironmentError::NoRoom => {
+                write!(f, "with_walls requires a room: build with in_room first")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EnvironmentError {}
 
 /// A resolved propagation path between two points.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -50,7 +84,7 @@ pub struct Obstruction {
 }
 
 /// A static propagation environment.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Environment {
     /// Optional bounding room; its walls become reflectors when added via
@@ -59,6 +93,21 @@ pub struct Environment {
     reflectors: Vec<Reflector>,
     obstructions: Vec<Obstruction>,
     second_order: bool,
+    /// Snapshot identity for path-geometry caching; bumped by every
+    /// mutation, excluded from equality and serialization.
+    #[cfg_attr(feature = "serde", serde(skip, default = "next_revision"))]
+    revision: u64,
+}
+
+impl PartialEq for Environment {
+    fn eq(&self, other: &Self) -> bool {
+        // The revision is cache identity, not content: two structurally
+        // identical environments compare equal regardless of history.
+        self.room == other.room
+            && self.reflectors == other.reflectors
+            && self.obstructions == other.obstructions
+            && self.second_order == other.second_order
+    }
 }
 
 impl Environment {
@@ -69,6 +118,7 @@ impl Environment {
             reflectors: Vec::new(),
             obstructions: Vec::new(),
             second_order: false,
+            revision: next_revision(),
         }
     }
 
@@ -79,6 +129,7 @@ impl Environment {
             reflectors: Vec::new(),
             obstructions: Vec::new(),
             second_order: false,
+            revision: next_revision(),
         }
     }
 
@@ -89,30 +140,38 @@ impl Environment {
     /// studies.
     pub fn with_second_order(mut self, enabled: bool) -> Self {
         self.second_order = enabled;
+        self.revision = next_revision();
         self
     }
 
     /// Makes the room's four walls reflectors of the given material,
-    /// freezing their scatter using `rng`.
-    ///
-    /// # Panics
-    /// Panics when the environment has no room.
-    pub fn with_walls<R: rand::Rng + ?Sized>(mut self, material: Material, rng: &mut R) -> Self {
-        let room = self.room.expect("with_walls requires a room");
+    /// freezing their scatter using `rng`. Fails with
+    /// [`EnvironmentError::NoRoom`] when the environment has no room.
+    pub fn with_walls<R: rand::Rng + ?Sized>(
+        mut self,
+        material: Material,
+        rng: &mut R,
+    ) -> Result<Self, EnvironmentError> {
+        let Some(room) = self.room else {
+            return Err(EnvironmentError::NoRoom);
+        };
         for wall in room.walls() {
             self.reflectors.push(Reflector::new(wall, material, rng));
         }
-        self
+        self.revision = next_revision();
+        Ok(self)
     }
 
     /// Adds a free-standing reflector (cupboard, screen, robot…).
     pub fn add_reflector(&mut self, r: Reflector) {
         self.reflectors.push(r);
+        self.revision = next_revision();
     }
 
     /// Adds an obstruction.
     pub fn add_obstruction(&mut self, o: Obstruction) {
         self.obstructions.push(o);
+        self.revision = next_revision();
     }
 
     /// Number of reflectors.
@@ -120,12 +179,62 @@ impl Environment {
         self.reflectors.len()
     }
 
+    /// The geometry snapshot identity: changes on every mutation, so
+    /// [`crate::synth::PathCache`] entries built against an older revision
+    /// are stale by construction. Clones keep their revision (same
+    /// content), fresh builds and mutations take a new one.
+    pub fn revision(&self) -> u64 {
+        self.revision
+    }
+
+    /// An exact upper bound on the number of paths any `(tx, rx)` query
+    /// can produce: LOS, plus each reflector's specular bounce and scatter
+    /// points, plus the R·(R−1) ordered double bounces when second order
+    /// is on. Queries whose specular geometry misses a face produce
+    /// fewer — sizing buffers from this bound means the hot path never
+    /// reallocates.
+    pub fn path_capacity(&self) -> usize {
+        let first_order: usize = self
+            .reflectors
+            .iter()
+            .map(|r| 1 + r.scatterer_count())
+            .sum();
+        let second = if self.second_order {
+            let n = self.reflectors.len();
+            n * n.saturating_sub(1)
+        } else {
+            0
+        };
+        1 + first_order + second
+    }
+
     /// All propagation paths from `tx` to `rx`: the LOS path (attenuated by
     /// any crossed obstruction) followed by every reflector sub-path.
     /// The LOS path is always first and flagged `is_los`.
+    ///
+    /// This is the **reference** geometry walk — the fast engine's
+    /// [`Environment::path_set_into`] visits exactly the same paths
+    /// through the same traversal, so the two cannot diverge.
     pub fn paths(&self, tx: P2, rx: P2) -> Vec<Path> {
-        let mut paths = Vec::with_capacity(1 + self.reflectors.len() * 6);
+        let mut paths = Vec::with_capacity(self.path_capacity());
+        self.for_each_path(tx, rx, &mut |p| paths.push(p));
+        paths
+    }
 
+    /// Fills `set` with the frequency-independent geometry of `tx → rx` —
+    /// the geometry phase of the fast synthesis engine. Reuses the set's
+    /// buffers: after one warm-up, repeated calls allocate nothing
+    /// ([`Environment::path_capacity`] bounds the path count exactly).
+    pub fn path_set_into(&self, tx: P2, rx: P2, set: &mut crate::synth::PathSet) {
+        set.clear();
+        set.reserve(self.path_capacity());
+        self.for_each_path(tx, rx, &mut |p| set.push(p.length, p.coeff));
+    }
+
+    /// The single source of truth for path enumeration: LOS (obstruction
+    /// losses applied), then every reflector's sub-paths, then optional
+    /// double bounces, each handed to `f` in deterministic order.
+    fn for_each_path(&self, tx: P2, rx: P2, f: &mut impl FnMut(Path)) {
         // LOS with obstruction losses.
         let mut los_amp = 1.0;
         for o in &self.obstructions {
@@ -133,33 +242,32 @@ impl Environment {
                 los_amp *= 10f64.powf(-o.loss_db / 20.0);
             }
         }
-        paths.push(Path {
+        f(Path {
             length: tx.dist(rx).max(1e-3),
             coeff: C64::real(los_amp),
             is_los: true,
         });
 
         for r in &self.reflectors {
-            for sp in r.sub_paths(tx, rx) {
-                paths.push(Path {
-                    length: sp.length,
-                    coeff: sp.coeff,
+            r.for_each_sub_path(tx, rx, &mut |length, coeff| {
+                f(Path {
+                    length,
+                    coeff,
                     is_los: false,
-                });
-            }
+                })
+            });
         }
 
         if self.second_order {
-            self.push_double_bounces(tx, rx, &mut paths);
+            self.for_each_double_bounce(tx, rx, f);
         }
-        paths
     }
 
-    /// Appends specular double-bounce paths (tx → face A → face B → rx)
+    /// Visits specular double-bounce paths (tx → face A → face B → rx)
     /// via the image-of-image construction: mirror tx across A, mirror the
     /// image across B, demand the B-bounce point exists, then the A-bounce
     /// point on the segment from tx's image toward it.
-    fn push_double_bounces(&self, tx: P2, rx: P2, paths: &mut Vec<Path>) {
+    fn for_each_double_bounce(&self, tx: P2, rx: P2, f: &mut impl FnMut(Path)) {
         for (ia, ra) in self.reflectors.iter().enumerate() {
             let image_a = ra.face.mirror(tx);
             for (ib, rb) in self.reflectors.iter().enumerate() {
@@ -183,7 +291,7 @@ impl Environment {
                     * (1.0 - rb.material.scatter_fraction)
                     * rb.material.amplitude_factor();
                 if amp > 1e-4 {
-                    paths.push(Path {
+                    f(Path {
                         length,
                         coeff: C64::real(amp),
                         is_los: false,
@@ -202,8 +310,78 @@ impl Environment {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
     use super::*;
     use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn with_walls_without_a_room_is_a_typed_error() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let err = Environment::free_space()
+            .with_walls(Material::concrete(), &mut rng)
+            .unwrap_err();
+        assert_eq!(err, EnvironmentError::NoRoom);
+        assert!(err.to_string().contains("room"));
+    }
+
+    #[test]
+    fn path_capacity_bounds_every_query_exactly() {
+        // The capacity must be reached by an all-specular query and never
+        // exceeded, with and without second-order bounces.
+        let mut rng = StdRng::seed_from_u64(13);
+        for second in [false, true] {
+            let mut env = Environment::in_room(Room::new(5.0, 6.0))
+                .with_second_order(second)
+                .with_walls(Material::metal(), &mut rng)
+                .unwrap();
+            env.add_obstruction(Obstruction {
+                blocker: Segment::new(P2::new(2.0, 0.0), P2::new(2.0, 6.0)),
+                loss_db: 10.0,
+            });
+            let cap = env.path_capacity();
+            let mut max_seen = 0;
+            for (tx, rx) in [
+                (P2::new(1.0, 1.0), P2::new(4.0, 5.0)),
+                (P2::new(2.5, 3.0), P2::new(2.6, 3.1)),
+                (P2::new(0.2, 0.2), P2::new(4.8, 5.8)),
+            ] {
+                let n = env.paths(tx, rx).len();
+                assert!(n <= cap, "paths {n} must fit capacity {cap}");
+                max_seen = max_seen.max(n);
+            }
+            // Interior points see all four specular walls: the bound is
+            // tight for first order; double bounces may geometrically
+            // miss, so only the ≤ holds there.
+            if !second {
+                assert_eq!(max_seen, cap, "first-order bound must be exact");
+            }
+        }
+    }
+
+    #[test]
+    fn revision_changes_on_mutation_but_not_on_clone() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let env = Environment::in_room(Room::new(5.0, 6.0))
+            .with_walls(Material::concrete(), &mut rng)
+            .unwrap();
+        let r0 = env.revision();
+        let cloned = env.clone();
+        assert_eq!(cloned.revision(), r0, "a clone is the same snapshot");
+        assert_eq!(env, cloned, "equality ignores revision");
+
+        let mut mutated = env.clone();
+        mutated.add_obstruction(Obstruction {
+            blocker: Segment::new(P2::new(1.0, 0.0), P2::new(1.0, 6.0)),
+            loss_db: 3.0,
+        });
+        assert_ne!(mutated.revision(), r0, "mutation must bump the revision");
+        assert_ne!(
+            Environment::free_space().revision(),
+            Environment::free_space().revision(),
+            "fresh builds are distinct snapshots"
+        );
+    }
 
     #[test]
     fn free_space_matches_equation_one() {
@@ -254,8 +432,9 @@ mod tests {
     #[test]
     fn walls_create_multipath() {
         let mut rng = StdRng::seed_from_u64(5);
-        let env =
-            Environment::in_room(Room::new(5.0, 6.0)).with_walls(Material::concrete(), &mut rng);
+        let env = Environment::in_room(Room::new(5.0, 6.0))
+            .with_walls(Material::concrete(), &mut rng)
+            .unwrap();
         let paths = env.paths(P2::new(1.0, 1.0), P2::new(4.0, 5.0));
         assert!(
             paths.len() > 10,
@@ -274,7 +453,9 @@ mod tests {
         // With reflections, |h(f)| varies across the 80 MHz span — the
         // physical reason RSSI-based localization fails (paper §2.2).
         let mut rng = StdRng::seed_from_u64(6);
-        let env = Environment::in_room(Room::new(5.0, 6.0)).with_walls(Material::metal(), &mut rng);
+        let env = Environment::in_room(Room::new(5.0, 6.0))
+            .with_walls(Material::metal(), &mut rng)
+            .unwrap();
         let tx = P2::new(1.2, 1.7);
         let rx = P2::new(3.9, 4.1);
         let amps: Vec<f64> = (0..40)
@@ -320,7 +501,9 @@ mod tests {
     #[test]
     fn channel_is_deterministic() {
         let mut rng = StdRng::seed_from_u64(8);
-        let env = Environment::in_room(Room::new(5.0, 6.0)).with_walls(Material::metal(), &mut rng);
+        let env = Environment::in_room(Room::new(5.0, 6.0))
+            .with_walls(Material::metal(), &mut rng)
+            .unwrap();
         let a = env.channel(P2::new(1.0, 2.0), P2::new(4.0, 3.0), 2.44e9);
         let b = env.channel(P2::new(1.0, 2.0), P2::new(4.0, 3.0), 2.44e9);
         assert_eq!(a, b);
@@ -352,11 +535,13 @@ mod tests {
     #[test]
     fn second_order_off_by_default() {
         let mut rng = StdRng::seed_from_u64(11);
-        let base =
-            Environment::in_room(Room::new(5.0, 6.0)).with_walls(Material::metal(), &mut rng);
+        let base = Environment::in_room(Room::new(5.0, 6.0))
+            .with_walls(Material::metal(), &mut rng)
+            .unwrap();
         let mut rng = StdRng::seed_from_u64(11);
         let second = Environment::in_room(Room::new(5.0, 6.0))
             .with_walls(Material::metal(), &mut rng)
+            .unwrap()
             .with_second_order(true);
         let tx = P2::new(1.0, 1.0);
         let rx = P2::new(4.0, 5.0);
@@ -369,8 +554,9 @@ mod tests {
         // unchanged (all path mechanisms here — LOS, specular, scatter,
         // obstruction — are symmetric).
         let mut rng = StdRng::seed_from_u64(9);
-        let mut env =
-            Environment::in_room(Room::new(5.0, 6.0)).with_walls(Material::metal(), &mut rng);
+        let mut env = Environment::in_room(Room::new(5.0, 6.0))
+            .with_walls(Material::metal(), &mut rng)
+            .unwrap();
         env.add_obstruction(Obstruction {
             blocker: Segment::new(P2::new(2.0, 1.0), P2::new(2.0, 4.0)),
             loss_db: 12.0,

@@ -24,6 +24,8 @@
 //! convention `bloc_core::diagnostics` already treats as a hole
 //! (`DeadMeasurement`) and the convention the correction stage masks on.
 
+#![deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use crate::array::AnchorArray;
 use crate::sounder::BandSounding;
 use bloc_ble::channels::Channel;
@@ -140,12 +142,14 @@ impl FaultCensus {
 
 /// The hole/interference decisions for one band: `tag[i][j]` marks
 /// tag→anchor entry (i, j) for zeroing, `master[i]` the master-response
-/// link of anchor `i` (index 0 unused).
+/// link of anchor `i` (index 0 unused). Exposed crate-internally so the
+/// fast sounding path can skip synthesizing measurements the plan is
+/// about to punch out anyway.
 #[derive(Debug, Clone)]
-struct BandMasks {
-    tag: Vec<Vec<bool>>,
-    master: Vec<bool>,
-    interfered: bool,
+pub(crate) struct BandMasks {
+    pub(crate) tag: Vec<Vec<bool>>,
+    pub(crate) master: Vec<bool>,
+    pub(crate) interfered: bool,
 }
 
 /// Fault kinds, used as hash domains so each decision stream is
@@ -212,7 +216,12 @@ impl FaultPlan {
     /// `n_antennas[i]` antennas per anchor at band slot `slot` on
     /// `channel`. This single function backs both [`Self::apply_to_band`]
     /// and [`Self::census`], so injection and prediction cannot diverge.
-    fn band_masks(&self, slot: usize, channel: Channel, n_antennas: &[usize]) -> BandMasks {
+    pub(crate) fn band_masks(
+        &self,
+        slot: usize,
+        channel: Channel,
+        n_antennas: &[usize],
+    ) -> BandMasks {
         let n = n_antennas.len();
         let mut tag: Vec<Vec<bool>> = n_antennas.iter().map(|&na| vec![false; na]).collect();
         let mut master = vec![false; n];
@@ -411,7 +420,7 @@ fn clip_measurement(h: &mut C64, clip: f64) -> bool {
 }
 
 /// splitmix64 finalizer.
-fn splitmix(mut x: u64) -> u64 {
+pub(crate) fn splitmix(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -420,6 +429,8 @@ fn splitmix(mut x: u64) -> u64 {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
     use super::*;
     use crate::environment::Environment;
     use crate::geometry::Room;

@@ -1,6 +1,8 @@
 //! Planar geometry for the propagation model: segments, rooms, mirror
 //! images and crossing tests.
 
+#![deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use bloc_num::P2;
 
 /// A line segment (a wall face or reflector face).
@@ -151,6 +153,8 @@ impl Room {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
     use super::*;
     use proptest::prelude::*;
 

@@ -24,6 +24,11 @@
 //! * [`faults`] — deterministic fault injection composed into the sounder:
 //!   lost packets, anchor dropouts, dead antennas, frontend clipping and
 //!   interference bursts, with an exactly replayable census.
+//! * [`synth`] — the fast channel-synthesis engine: frequency-independent
+//!   [`synth::PathSet`] geometry per link, an exact comb-sweep phasor
+//!   recurrence across all bands × tones, and a revision-keyed
+//!   [`synth::PathCache`] that makes static anchor↔master links free
+//!   across a sweep.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -36,8 +41,10 @@ pub mod materials;
 pub mod oscillator;
 pub mod reflector;
 pub mod sounder;
+pub mod synth;
 
 pub use array::AnchorArray;
-pub use environment::{Environment, Path};
+pub use environment::{Environment, EnvironmentError, Path};
 pub use faults::{AnchorDropout, FaultCensus, FaultPlan, InterferenceBurst};
 pub use sounder::{BandSounding, Fidelity, Sounder, SounderConfig, SoundingData};
+pub use synth::{FreqComb, LinkClass, PathCache, PathSet};

@@ -11,6 +11,8 @@
 //! anchors and not within one anchor." The model here gives every *device*
 //! (tag or anchor) one offset per retune event, shared by all its antennas.
 
+#![deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use rand::Rng;
 /// A device identifier in the deployment: the tag or one of the anchors.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -74,6 +76,8 @@ impl TuningEpoch {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
     use super::*;
     use rand::{rngs::StdRng, SeedableRng};
 

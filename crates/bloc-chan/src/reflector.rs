@@ -11,6 +11,8 @@
 //! per scatter point. Different receivers naturally illuminate the scatter
 //! set from different angles, spreading the apparent source.
 
+#![deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use crate::geometry::Segment;
 use crate::materials::Material;
 use bloc_num::{C64, P2};
@@ -92,31 +94,36 @@ impl Reflector {
     /// bounce (if it lands on the face) plus every scatter point.
     pub fn sub_paths(&self, tx: P2, rx: P2) -> Vec<SubPath> {
         let mut out = Vec::with_capacity(1 + self.scatterers.len());
+        self.for_each_sub_path(tx, rx, &mut |length, coeff| {
+            out.push(SubPath { length, coeff })
+        });
+        out
+    }
 
+    /// Visits every sub-path from `tx` to `rx` via this reflector — the
+    /// specular bounce (when the geometry allows) then every scatter
+    /// point, as `(length, coeff)` pairs — without allocating. This is
+    /// the walk behind [`Reflector::sub_paths`] and the fast engine's
+    /// geometry phase; both see exactly the same paths.
+    pub fn for_each_sub_path(&self, tx: P2, rx: P2, f: &mut impl FnMut(f64, C64)) {
         if let Some(sp) = self.face.specular_point(tx, rx) {
             let length = tx.dist(sp) + sp.dist(rx);
             let amp = (1.0 - self.material.scatter_fraction) * self.material.amplitude_factor();
             if amp > 0.0 {
-                out.push(SubPath {
-                    length,
-                    coeff: C64::real(amp),
-                });
+                f(length, C64::real(amp));
             }
         }
 
         for s in &self.scatterers {
-            let length = tx.dist(s.pos) + s.pos.dist(rx);
-            out.push(SubPath {
-                length,
-                coeff: s.coeff,
-            });
+            f(tx.dist(s.pos) + s.pos.dist(rx), s.coeff);
         }
-        out
     }
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
     use super::*;
     use rand::{rngs::StdRng, SeedableRng};
 

@@ -21,16 +21,19 @@
 //!   runs. Slow; used by microbenchmarks and the analytic-vs-phy parity
 //!   check.
 
+#![deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use crate::array::AnchorArray;
 use crate::environment::Environment;
 use crate::oscillator::{Device, TuningEpoch};
+use crate::synth::{splitmix, FreqComb, LinkClass, PathCache};
 use bloc_ble::access_address::AccessAddress;
 use bloc_ble::channels::Channel;
 use bloc_ble::locpacket::LocalizationPacket;
 use bloc_num::{C64, P2};
 use bloc_phy::impairments;
 use bloc_phy::modulator::{GfskModulator, ModulatorConfig};
-use rand::Rng;
+use rand::{Rng, SeedableRng};
 
 /// How channels are measured.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -231,12 +234,23 @@ impl SoundingData {
 
 /// The sounder: environment + anchors + configuration, with an optional
 /// fault plan injected into everything [`Sounder::sound`] produces.
+///
+/// Analytic soundings run on the fast path: per-link
+/// [`crate::synth::PathSet`]s from a shared [`PathCache`] (clones share
+/// it, so per-retry clones and repeated soundings of a static deployment
+/// stay warm), the whole band comb swept per link by the exact phasor
+/// recurrence, and bands optionally sharded across threads
+/// ([`Sounder::with_threads`]) with per-band RNG streams split
+/// deterministically from the caller's seed — results are bit-identical
+/// for any thread count.
 #[derive(Debug, Clone)]
 pub struct Sounder<'a> {
     env: &'a Environment,
     anchors: &'a [AnchorArray],
     config: SounderConfig,
     faults: Option<crate::faults::FaultPlan>,
+    threads: usize,
+    cache: PathCache,
 }
 
 impl<'a> Sounder<'a> {
@@ -254,12 +268,37 @@ impl<'a> Sounder<'a> {
             anchors,
             config,
             faults: None,
+            threads: 1,
+            cache: PathCache::new(),
         }
     }
 
     /// The configuration in force.
     pub fn config(&self) -> &SounderConfig {
         &self.config
+    }
+
+    /// Shards analytic sounding work (links, then bands) across up to
+    /// `threads` worker threads on the shared `bloc_num::par` executor.
+    /// Output is bit-identical regardless of the count; `1` (the default)
+    /// runs inline with no spawn overhead — the right setting inside an
+    /// already-parallel location sweep.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Replaces the sounder's path cache with `cache`, sharing its
+    /// storage — the hook a session supervisor uses to own invalidation
+    /// across geometry swaps (the PR 4 cache-invalidation pattern).
+    pub fn with_path_cache(mut self, cache: PathCache) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// The path cache in use (clones of it share storage).
+    pub fn path_cache(&self) -> &PathCache {
+        &self.cache
     }
 
     /// Composes a fault plan into the sounder: every sounding produced by
@@ -296,6 +335,28 @@ impl<'a> Sounder<'a> {
     /// Round supervisors feed per-anchor health from this census instead
     /// of re-deriving loss from the data.
     pub fn sound_censused<R: Rng + ?Sized>(
+        &self,
+        tag: P2,
+        channels: &[Channel],
+        rng: &mut R,
+    ) -> (SoundingData, crate::faults::FaultCensus) {
+        match self.config.fidelity {
+            Fidelity::Analytic => {
+                let cfo = (rng.gen::<f64>() * 2.0 - 1.0) * self.config.tag_cfo_max_hz;
+                let seed: u64 = rng.gen();
+                self.sound_analytic(tag, channels, cfo, seed, false)
+            }
+            Fidelity::Phy { .. } => self.sound_censused_reference(tag, channels, rng),
+        }
+    }
+
+    /// The reference sounding path: per band, per link, two
+    /// `Environment::channel` queries (each rebuilding the path list from
+    /// scratch), with noise drawn sequentially from `rng`. This is the
+    /// implementation the fast engine is verified against
+    /// (`synth_equivalence.rs`, `perf_baseline`), and the only path Phy
+    /// fidelity takes.
+    pub fn sound_censused_reference<R: Rng + ?Sized>(
         &self,
         tag: P2,
         channels: &[Channel],
@@ -362,6 +423,10 @@ impl<'a> Sounder<'a> {
         channels: &[Channel],
         rng: &mut R,
     ) -> SoundingData {
+        if matches!(self.config.fidelity, Fidelity::Analytic) {
+            let seed: u64 = rng.gen();
+            return self.sound_analytic(tag, channels, 0.0, seed, true).0;
+        }
         let epoch = TuningEpoch::zero(self.anchors.len());
         let bands = channels
             .iter()
@@ -388,6 +453,183 @@ impl<'a> Sounder<'a> {
         (0..repeats)
             .map(|_| self.sound_band(tag, channel, &epoch, cfo, rng))
             .collect()
+    }
+
+    /// The fast analytic sounding engine (DESIGN.md §10).
+    ///
+    /// Phase A (link-major): every directed link's
+    /// [`crate::synth::PathSet`] comes from the [`PathCache`] and is swept
+    /// across the whole comb by the exact phasor recurrence — clean
+    /// per-tone channels for all links × bands in one pass per link.
+    /// Phase B (band-major): per band, oscillator offsets, CFO and noise
+    /// are applied as phasors. All randomness derives from `seed` via
+    /// per-band and per-measurement splitmix streams, so the output is
+    /// independent of thread count and of which measurements a fault plan
+    /// masks; masked entries short-circuit to exact zeros before
+    /// [`crate::faults::FaultPlan::apply_to_band`] runs as the census
+    /// (and interference/clip) source of truth.
+    fn sound_analytic(
+        &self,
+        tag: P2,
+        channels: &[Channel],
+        cfo: f64,
+        seed: u64,
+        ideal: bool,
+    ) -> (SoundingData, crate::faults::FaultCensus) {
+        let n_anchors = self.anchors.len();
+        let comb = FreqComb::for_channels(channels);
+
+        // Directed link table: tag → every (anchor, antenna), then the
+        // static master0 → anchor links (antenna 0), in measurement order.
+        let total_antennas: usize = self.anchors.iter().map(|a| a.n_antennas).sum();
+        let mut links: Vec<(P2, P2, LinkClass)> =
+            Vec::with_capacity(total_antennas + n_anchors - 1);
+        for anchor in self.anchors {
+            for j in 0..anchor.n_antennas {
+                links.push((tag, anchor.antenna(j), LinkClass::Tag));
+            }
+        }
+        let master0 = self.anchors[0].antenna(0);
+        for anchor in &self.anchors[1..] {
+            links.push((master0, anchor.antenna(0), LinkClass::Static));
+        }
+
+        // Phase A: sweep every link across all bands × tones.
+        let clean: Vec<Vec<[C64; 2]>> = bloc_num::par::map(links.len(), self.threads, |l| {
+            let (tx, rx, class) = links[l];
+            let set = self.cache.path_set(self.env, tx, rx, class);
+            let mut out = vec![[bloc_num::complex::ZERO; 2]; channels.len()];
+            set.sweep_tones(&comb, &mut out);
+            out
+        });
+
+        // Phase B: per-band impairments, parallel over bands.
+        let n_antennas: Vec<usize> = self.anchors.iter().map(|a| a.n_antennas).collect();
+        let plan = if ideal {
+            None
+        } else {
+            self.faults.as_ref().filter(|p| !p.is_empty())
+        };
+        let mut bands = bloc_num::par::map(channels.len(), self.threads, |slot| {
+            self.assemble_band(
+                slot,
+                channels[slot],
+                &clean,
+                &n_antennas,
+                cfo,
+                seed,
+                ideal,
+                plan,
+            )
+        });
+
+        let mut census = crate::faults::FaultCensus::default();
+        if !ideal {
+            if let Some(p) = &self.faults {
+                for (slot, band) in bands.iter_mut().enumerate() {
+                    census.absorb(&p.apply_to_band(slot, band));
+                }
+                crate::faults::FaultPlan::record(&census);
+            }
+        }
+        (
+            SoundingData {
+                bands,
+                anchors: self.anchors.to_vec(),
+            },
+            census,
+        )
+    }
+
+    /// Assembles one band of a fast analytic sounding from the Phase A
+    /// clean channels — the band-major half of [`Sounder::sound_analytic`].
+    #[allow(clippy::too_many_arguments)] // internal assembly plumbing
+    fn assemble_band(
+        &self,
+        slot: usize,
+        channel: Channel,
+        clean: &[Vec<[C64; 2]>],
+        n_antennas: &[usize],
+        cfo: f64,
+        seed: u64,
+        ideal: bool,
+        plan: Option<&crate::faults::FaultPlan>,
+    ) -> BandSounding {
+        let band_seed = splitmix(seed ^ (slot as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let (epoch, cfo_band) = if ideal {
+            (TuningEpoch::zero(n_antennas.len()), 0.0)
+        } else {
+            // One private, deterministically-seeded stream per band: the
+            // per-hop retune draws don't depend on which thread runs them
+            // or on how many bands precede them.
+            let mut brng = rand::rngs::StdRng::seed_from_u64(band_seed);
+            let cfo_band = cfo + self.config.tag_cfo_jitter_hz * gaussian_sample(&mut brng);
+            (TuningEpoch::draw(n_antennas.len(), &mut brng), cfo_band)
+        };
+        let masks = plan.map(|p| p.band_masks(slot, channel, n_antennas));
+        let cfo_rot = C64::cis(std::f64::consts::TAU * cfo_band * TONE_INTERVAL_S);
+        let snr = self.config.csi_snr_db;
+
+        let mut link_idx = 0usize;
+        let mut tag_to_anchor = Vec::with_capacity(n_antennas.len());
+        let mut tag_to_anchor_tones = Vec::with_capacity(n_antennas.len());
+        for (i, &na) in n_antennas.iter().enumerate() {
+            let rot = C64::cis(epoch.measurement_offset(Device::Tag, Device::Anchor(i)));
+            let mut row = Vec::with_capacity(na);
+            let mut tones_row = Vec::with_capacity(na);
+            for j in 0..na {
+                if masks.as_ref().is_some_and(|m| m.tag[i][j]) {
+                    // The plan punches this hole anyway: skip the
+                    // impairment work and write the exact zero directly.
+                    row.push(bloc_num::complex::ZERO);
+                    tones_row.push([bloc_num::complex::ZERO; 2]);
+                    link_idx += 1;
+                    continue;
+                }
+                let cal = C64::cis(self.cal_error(i, j));
+                let [c0, c1] = clean[link_idx][slot];
+                let mut tones = [c0 * rot, c1 * rot * cfo_rot];
+                tones[0] = add_noise_hashed(tones[0], snr, band_seed, link_idx as u64, 0);
+                tones[1] = add_noise_hashed(tones[1], snr, band_seed, link_idx as u64, 1);
+                tones[0] *= cal;
+                tones[1] *= cal;
+                row.push(combine_tones(tones));
+                tones_row.push(tones);
+                link_idx += 1;
+            }
+            tag_to_anchor.push(row);
+            tag_to_anchor_tones.push(tones_row);
+        }
+
+        let mut master_to_anchor = Vec::with_capacity(n_antennas.len());
+        master_to_anchor.push(bloc_num::complex::ONE);
+        for i in 1..n_antennas.len() {
+            if masks.as_ref().is_some_and(|m| m.master[i]) {
+                master_to_anchor.push(bloc_num::complex::ZERO);
+                link_idx += 1;
+                continue;
+            }
+            let rot = C64::cis(epoch.measurement_offset(Device::Anchor(0), Device::Anchor(i)));
+            // Anchors are frequency-disciplined relative to each other far
+            // better than the free-running tag: no CFO on this link.
+            let cal = C64::cis(self.cal_error(i, 0));
+            let [c0, c1] = clean[link_idx][slot];
+            let mut tones = [c0 * rot, c1 * rot];
+            tones[0] = add_noise_hashed(tones[0], snr, band_seed, link_idx as u64, 0);
+            tones[1] = add_noise_hashed(tones[1], snr, band_seed, link_idx as u64, 1);
+            tones[0] *= cal;
+            tones[1] *= cal;
+            master_to_anchor.push(combine_tones(tones));
+            link_idx += 1;
+        }
+
+        BandSounding {
+            channel,
+            freq_hz: channel.freq_hz(),
+            tag_to_anchor,
+            tag_to_anchor_tones,
+            master_to_anchor,
+        }
     }
 
     fn sound_band<R: Rng + ?Sized>(
@@ -522,6 +764,9 @@ impl<'a> Sounder<'a> {
         });
         let fs = modem.config().sample_rate();
         let aa = AccessAddress::generate(rng);
+        // Invariant, not input: the config's run/pair counts always fit a
+        // PDU, so a failure here is a programming error worth a loud stop.
+        #[allow(clippy::expect_used)]
         let packet = LocalizationPacket::build(
             channel,
             aa,
@@ -575,6 +820,26 @@ fn gaussian_sample<R: Rng + ?Sized>(rng: &mut R) -> f64 {
 }
 
 /// Adds complex Gaussian measurement noise at `snr_db` relative to `h`'s
+/// own power, drawn from a splitmix stream keyed by (band seed, link,
+/// tone) — the fast path's replacement for the reference path's
+/// sequential draws. Keying per measurement (instead of consuming a
+/// shared stream) is what keeps soundings bit-identical across thread
+/// counts and across fault plans that skip masked entries.
+fn add_noise_hashed(h: C64, snr_db: f64, band_seed: u64, link: u64, tone: u64) -> C64 {
+    let noise_amp = h.abs() / 10f64.powf(snr_db / 20.0);
+    let sigma = noise_amp / 2f64.sqrt();
+    let key = band_seed
+        ^ link.wrapping_mul(0xA24B_AED4_963E_E407)
+        ^ tone.wrapping_mul(0x9E6D_62D0_6F6A_9A9B);
+    let u1 = (splitmix(key) >> 11) as f64 / (1u64 << 53) as f64;
+    let u2 = (splitmix(key ^ 0x6A09_E667_F3BC_C909) >> 11) as f64 / (1u64 << 53) as f64;
+    // Box–Muller from the two hashed uniforms.
+    let r = (-2.0 * u1.max(f64::MIN_POSITIVE).ln()).sqrt();
+    let (s, c) = (std::f64::consts::TAU * u2).sin_cos();
+    h + C64::new(sigma * r * c, sigma * r * s)
+}
+
+/// Adds complex Gaussian measurement noise at `snr_db` relative to `h`'s
 /// own power.
 fn add_measurement_noise<R: Rng + ?Sized>(h: C64, snr_db: f64, rng: &mut R) -> C64 {
     let noise_amp = h.abs() / 10f64.powf(snr_db / 20.0);
@@ -597,6 +862,8 @@ pub fn all_data_channels() -> Vec<Channel> {
 /// The channels of `n` consecutive connection events under a hop sequence —
 /// what a real BLoc deployment sounds, in the order it sounds them.
 pub fn hop_schedule(hop: bloc_ble::hopping::HopIncrement, n: usize) -> Vec<Channel> {
+    // Invariant, not input: the full channel map always maps channel 0.
+    #[allow(clippy::expect_used)]
     let mut seq =
         bloc_ble::hopping::HopSequence::new(hop, bloc_ble::channels::ChannelMap::all(), 0)
             .expect("full map, channel 0");
@@ -605,6 +872,8 @@ pub fn hop_schedule(hop: bloc_ble::hopping::HopIncrement, n: usize) -> Vec<Chann
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
     use super::*;
     use crate::geometry::Room;
     use crate::materials::Material;
@@ -613,7 +882,9 @@ mod tests {
     fn deployment() -> (Environment, Vec<AnchorArray>) {
         let room = Room::new(5.0, 6.0);
         let mut rng = StdRng::seed_from_u64(99);
-        let env = Environment::in_room(room).with_walls(Material::concrete(), &mut rng);
+        let env = Environment::in_room(room)
+            .with_walls(Material::concrete(), &mut rng)
+            .unwrap();
         let anchors = standard_anchors(&room);
         (env, anchors)
     }

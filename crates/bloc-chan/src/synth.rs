@@ -1,0 +1,564 @@
+//! The fast channel-synthesis engine: frequency-independent path geometry
+//! extracted once per link, evaluated across the whole sounding comb by an
+//! exact phasor recurrence, and cached across queries.
+//!
+//! [`crate::environment::Environment::channel`] (paper Eq. 2) rebuilds the
+//! full path list — LOS obstruction tests, every reflector's specular +
+//! scatter sub-paths, O(R²) double bounces — for **every frequency
+//! query**, even though the geometry is frequency-independent. This module
+//! mirrors the `bloc_core::engine` kernel architecture on the sounding
+//! side (DESIGN.md §10):
+//!
+//! * [`PathSet`] — the geometry phase, SoA (lengths + per-path complex
+//!   gains with the 1/d spreading folded in), filled by
+//!   [`crate::environment::Environment::path_set_into`] into reusable
+//!   buffers;
+//! * [`FreqComb`] — the evaluation plan over one sounding's bands: on
+//!   BLE's uniform 2 MHz comb each path's phasor advances by an exact
+//!   complex-rotation recurrence (one `cis` seed + one step per path
+//!   instead of 2 × 37 transcendentals), with the ±250 kHz GFSK tone
+//!   offset applied as one fixed rotation; off-comb frequencies fall back
+//!   to per-band `cis`;
+//! * [`PathCache`] — link-level memoization keyed by (environment
+//!   revision, tx, rx): anchor↔master PathSets (§5.2 — the anchors never
+//!   move) are computed once per deployment, tag links once per location,
+//!   invalidated when the tag moves, the environment mutates, or a runtime
+//!   supervisor calls [`PathCache::invalidate`] on a geometry swap.
+//!
+//! The naive per-band path remains in `environment.rs` as the reference
+//! implementation; `synth_equivalence.rs` pins the two together to
+//! ≤ 1e-12 relative error.
+
+#![deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use crate::environment::Environment;
+use bloc_num::constants::SPEED_OF_LIGHT;
+use bloc_num::{complex, C64, P2};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// How far (in hertz) a band may sit off the comb and still count as on
+/// it — same tolerance as `bloc_core::engine`'s likelihood comb. BLE
+/// channel centres are exact megahertz multiples, so any real deviation
+/// is a test fabrication, not noise.
+const COMB_TOLERANCE_HZ: f64 = 1.0;
+
+/// The frequency-independent path geometry of one directed link: the
+/// evaluation half of paper Eq. 2 after the geometry half has been
+/// hoisted out.
+///
+/// Structure-of-arrays: `lengths[p]` is path `p`'s geometric length
+/// (metres, the raw value whose phase slope Eq. 2 integrates) and
+/// `gains[p]` its full complex amplitude `A_p / max(d_p, 1 mm)` —
+/// reflection/scatter coefficient with the spreading loss folded in, so
+/// evaluation is a pure phasor sum.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PathSet {
+    lengths: Vec<f64>,
+    gains: Vec<C64>,
+}
+
+impl PathSet {
+    /// An empty set (fill it with
+    /// [`crate::environment::Environment::path_set_into`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of paths.
+    pub fn len(&self) -> usize {
+        self.lengths.len()
+    }
+
+    /// True when no paths are present.
+    pub fn is_empty(&self) -> bool {
+        self.lengths.is_empty()
+    }
+
+    /// Empties the set, keeping the buffers.
+    pub(crate) fn clear(&mut self) {
+        self.lengths.clear();
+        self.gains.clear();
+    }
+
+    /// Grows the buffers to hold `n` paths without reallocation.
+    pub(crate) fn reserve(&mut self, n: usize) {
+        self.lengths.reserve(n.saturating_sub(self.lengths.len()));
+        self.gains.reserve(n.saturating_sub(self.gains.len()));
+    }
+
+    /// Appends one path, folding the spreading loss into the stored gain
+    /// (same `max(d, 1 mm)` guard as [`crate::environment::Path::channel_at`]).
+    pub(crate) fn push(&mut self, length: f64, coeff: C64) {
+        self.lengths.push(length);
+        self.gains.push(coeff / length.max(1e-3));
+    }
+
+    /// The channel at a single frequency — per-band `cis` evaluation,
+    /// algebraically identical to summing
+    /// [`crate::environment::Path::channel_at`] over the path list.
+    pub fn channel_at(&self, f_hz: f64) -> C64 {
+        let w = -std::f64::consts::TAU * f_hz / SPEED_OF_LIGHT;
+        let mut h = complex::ZERO;
+        for (&len, &gain) in self.lengths.iter().zip(&self.gains) {
+            h += gain * C64::cis(w * len);
+        }
+        h
+    }
+
+    /// Evaluates the two GFSK tone channels `[h(f−δ), h(f+δ)]` for every
+    /// band of `comb` in a single pass, writing into `out` (indexed in
+    /// the comb's original sounding order; `out.len()` must equal
+    /// [`FreqComb::n_bands`]).
+    ///
+    /// On a uniform comb each path costs three `cis` calls total — seed,
+    /// step and tone rotation — and then one complex multiply per comb
+    /// slot: the phase `−2πd f/c` is linear in `f`, so walking the bands
+    /// in ascending order multiplies the running phasor by an **exact**
+    /// step rotation (`gap` comb slots at a time), and the ±δ tone offset
+    /// is one fixed rotation applied symmetrically. Off-comb inputs fall
+    /// back to per-band `cis`.
+    pub fn sweep_tones(&self, comb: &FreqComb, out: &mut [[C64; 2]]) {
+        debug_assert_eq!(out.len(), comb.n_bands());
+        for v in out.iter_mut() {
+            *v = [complex::ZERO; 2];
+        }
+        if comb.is_uniform() {
+            for (&len, &gain) in self.lengths.iter().zip(&self.gains) {
+                // phase(f) = w·f with w = −2πd/c.
+                let w = -std::f64::consts::TAU * len / SPEED_OF_LIGHT;
+                let step = C64::cis(w * comb.step_hz);
+                let tone = C64::cis(w * comb.tone_offset_hz);
+                let mut rot = C64::cis(w * comb.base_hz);
+                let lo = gain * tone.conj();
+                let hi = gain * tone;
+                for (slot, &gap) in comb.gaps.iter().enumerate() {
+                    for _ in 0..gap {
+                        rot *= step;
+                    }
+                    let o = &mut out[comb.order[slot]];
+                    o[0] += lo * rot;
+                    o[1] += hi * rot;
+                }
+            }
+        } else {
+            for (&len, &gain) in self.lengths.iter().zip(&self.gains) {
+                let w = -std::f64::consts::TAU * len / SPEED_OF_LIGHT;
+                for (k, &f) in comb.freqs.iter().enumerate() {
+                    out[k][0] += gain * C64::cis(w * (f - comb.tone_offset_hz));
+                    out[k][1] += gain * C64::cis(w * (f + comb.tone_offset_hz));
+                }
+            }
+        }
+    }
+}
+
+/// The evaluation plan for one sounding's bands: centre frequencies (in
+/// sounding order) plus the uniform-comb walk that the recurrence follows
+/// (ascending order, integer comb gaps), mirroring `bloc_core::engine`'s
+/// `BandPlan` on the likelihood side.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FreqComb {
+    /// Centre frequencies in the caller's sounding (hop) order, hertz.
+    freqs: Vec<f64>,
+    /// Indices into `freqs`, ascending frequency — the walk order.
+    order: Vec<usize>,
+    /// Comb slots to advance per walked band; empty when off-comb.
+    gaps: Vec<u32>,
+    /// Lowest centre frequency, hertz.
+    base_hz: f64,
+    /// Comb pitch, hertz; 0 when the bands are not on a uniform comb.
+    step_hz: f64,
+    /// GFSK tone offset from each band centre (±), hertz.
+    tone_offset_hz: f64,
+}
+
+impl FreqComb {
+    /// Plans the sweep for band centres `freqs` (in sounding order) with
+    /// the given ± tone offset.
+    pub fn build(freqs_in_order: &[f64], tone_offset_hz: f64) -> Self {
+        let mut order: Vec<usize> = (0..freqs_in_order.len()).collect();
+        order.sort_by(|&a, &b| freqs_in_order[a].total_cmp(&freqs_in_order[b]));
+        let freqs = freqs_in_order.to_vec();
+        let base_hz = order.first().map_or(0.0, |&k| freqs[k]);
+
+        // Candidate comb pitch: the smallest positive adjacent gap.
+        let mut step_hz = f64::INFINITY;
+        for w in order.windows(2) {
+            let d = freqs[w[1]] - freqs[w[0]];
+            if d > 0.0 {
+                step_hz = step_hz.min(d);
+            }
+        }
+        if !step_hz.is_finite() {
+            // Zero or one distinct frequency: a degenerate (but valid)
+            // comb — every gap is zero slots.
+            let step_hz = if freqs.is_empty() { 0.0 } else { 1.0 };
+            return Self {
+                gaps: vec![0; freqs.len()],
+                order,
+                freqs,
+                base_hz,
+                step_hz,
+                tone_offset_hz,
+            };
+        }
+
+        let mut gaps = Vec::with_capacity(freqs.len());
+        let mut prev_slot: i64 = 0;
+        for &k in &order {
+            let slots = (freqs[k] - base_hz) / step_hz;
+            let rounded = slots.round();
+            if ((freqs[k] - base_hz) - rounded * step_hz).abs() > COMB_TOLERANCE_HZ
+                || rounded < 0.0
+                || rounded > u32::MAX as f64
+            {
+                // Off-comb band: no exact recurrence exists.
+                return Self {
+                    order,
+                    freqs,
+                    base_hz,
+                    step_hz: 0.0,
+                    gaps: Vec::new(),
+                    tone_offset_hz,
+                };
+            }
+            let slot = rounded as i64;
+            gaps.push((slot - prev_slot) as u32);
+            prev_slot = slot;
+        }
+        Self {
+            order,
+            freqs,
+            base_hz,
+            step_hz,
+            gaps,
+            tone_offset_hz,
+        }
+    }
+
+    /// Plans the sweep for BLE channels at the standard
+    /// [`crate::sounder::TONE_OFFSET_HZ`] GFSK tone offset.
+    pub fn for_channels(channels: &[bloc_ble::channels::Channel]) -> Self {
+        let freqs: Vec<f64> = channels.iter().map(|c| c.freq_hz()).collect();
+        Self::build(&freqs, crate::sounder::TONE_OFFSET_HZ)
+    }
+
+    /// Number of bands planned.
+    pub fn n_bands(&self) -> usize {
+        self.freqs.len()
+    }
+
+    /// True when the exact rotation recurrence applies.
+    pub fn is_uniform(&self) -> bool {
+        self.step_hz > 0.0 && self.gaps.len() == self.freqs.len()
+    }
+}
+
+/// Which half of the cache a link lives in — the reuse rule of §5.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkClass {
+    /// Anchor↔anchor (master-response) links: the deployment is fixed, so
+    /// these survive for the life of the environment revision — across
+    /// every tag location of a sweep.
+    Static,
+    /// Tag↔anchor links: valid only while the tag stays put; a query from
+    /// a different tag position evicts all of them.
+    Tag,
+}
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    /// The environment revision the entries were built against.
+    revision: u64,
+    static_links: HashMap<[u64; 4], Arc<PathSet>>,
+    /// The tag position `tag_links` was built for.
+    tag_pos: Option<(u64, u64)>,
+    tag_links: HashMap<[u64; 4], Arc<PathSet>>,
+}
+
+/// A shared, thread-safe memo of [`PathSet`]s keyed by (environment
+/// revision, tx, rx).
+///
+/// Clones share storage (`Arc`), so a [`crate::sounder::Sounder`] clone —
+/// e.g. the per-retry clone the testbed runner makes — keeps its warm
+/// cache. Entries are dropped on three events: the environment's revision
+/// changes (any mutation bumps it), a tag-class query arrives from a new
+/// tag position (drops tag links only), or a supervisor calls
+/// [`PathCache::invalidate`] after swapping geometry (the PR 4 hook
+/// pattern). Hits and misses are counted on the global `bloc-obs`
+/// registry under `synth.path_cache.*`.
+#[derive(Debug, Clone, Default)]
+pub struct PathCache {
+    inner: Arc<Mutex<CacheInner>>,
+}
+
+fn link_key(tx: P2, rx: P2) -> [u64; 4] {
+    [
+        tx.x.to_bits(),
+        tx.y.to_bits(),
+        rx.x.to_bits(),
+        rx.y.to_bits(),
+    ]
+}
+
+impl PathCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The [`PathSet`] for `tx → rx` in `env`, computed on miss and
+    /// memoized under `class`'s reuse rule.
+    pub fn path_set(&self, env: &Environment, tx: P2, rx: P2, class: LinkClass) -> Arc<PathSet> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if inner.revision != env.revision() {
+            inner.static_links.clear();
+            inner.tag_links.clear();
+            inner.tag_pos = None;
+            inner.revision = env.revision();
+        }
+        if class == LinkClass::Tag {
+            let pos = (tx.x.to_bits(), tx.y.to_bits());
+            if inner.tag_pos != Some(pos) {
+                inner.tag_links.clear();
+                inner.tag_pos = Some(pos);
+            }
+        }
+        let map = match class {
+            LinkClass::Static => &mut inner.static_links,
+            LinkClass::Tag => &mut inner.tag_links,
+        };
+        let key = link_key(tx, rx);
+        if let Some(hit) = map.get(&key) {
+            bloc_obs::counter("synth.path_cache.hits").add(1);
+            return Arc::clone(hit);
+        }
+        bloc_obs::counter("synth.path_cache.misses").add(1);
+        let mut set = PathSet::new();
+        env.path_set_into(tx, rx, &mut set);
+        let set = Arc::new(set);
+        map.insert(key, Arc::clone(&set));
+        set
+    }
+
+    /// Drops every entry (both link classes); returns how many were
+    /// dropped. Call after swapping anchor geometry or replacing the
+    /// environment mid-session.
+    pub fn invalidate(&self) -> usize {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let dropped = inner.static_links.len() + inner.tag_links.len();
+        inner.static_links.clear();
+        inner.tag_links.clear();
+        inner.tag_pos = None;
+        bloc_obs::counter("synth.path_cache.invalidations").add(1);
+        bloc_obs::counter("synth.path_cache.dropped").add(dropped as u64);
+        dropped
+    }
+
+    /// Number of cached link entries (both classes).
+    pub fn len(&self) -> usize {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.static_links.len() + inner.tag_links.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// splitmix64 finalizer — the workspace's standard stream splitter.
+pub(crate) fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+    use super::*;
+    use crate::geometry::Room;
+    use crate::materials::Material;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn test_env(seed: u64) -> Environment {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Environment::in_room(Room::new(5.0, 6.0))
+            .with_walls(Material::metal(), &mut rng)
+            .unwrap()
+    }
+
+    fn ble_freqs() -> Vec<f64> {
+        crate::sounder::all_data_channels()
+            .iter()
+            .map(|c| c.freq_hz())
+            .collect()
+    }
+
+    #[test]
+    fn path_set_matches_reference_channel() {
+        let env = test_env(1);
+        let (tx, rx) = (P2::new(1.2, 1.7), P2::new(3.9, 4.1));
+        let mut set = PathSet::new();
+        env.path_set_into(tx, rx, &mut set);
+        for k in 0..5 {
+            let f = 2.402e9 + k as f64 * 17e6;
+            let reference = env.channel(tx, rx, f);
+            let fast = set.channel_at(f);
+            assert!(
+                (fast - reference).abs() <= 1e-12 * reference.abs().max(1e-12),
+                "f = {f}: {fast:?} vs {reference:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_recurrence_matches_per_band_cis() {
+        let env = test_env(2);
+        let (tx, rx) = (P2::new(0.7, 2.3), P2::new(4.4, 5.2));
+        let mut set = PathSet::new();
+        env.path_set_into(tx, rx, &mut set);
+        let freqs = ble_freqs();
+        let comb = FreqComb::build(&freqs, 250e3);
+        assert!(comb.is_uniform(), "BLE data channels are a uniform comb");
+        let mut out = vec![[complex::ZERO; 2]; freqs.len()];
+        set.sweep_tones(&comb, &mut out);
+        let scale: f64 = out.iter().flatten().map(|h| h.abs()).fold(0.0f64, f64::max);
+        for (k, &f) in freqs.iter().enumerate() {
+            for (t, sign) in [(0usize, -1.0), (1usize, 1.0)] {
+                let reference = set.channel_at(f + sign * 250e3);
+                assert!(
+                    (out[k][t] - reference).abs() <= 1e-12 * scale,
+                    "band {k} tone {t}: {:?} vs {reference:?}",
+                    out[k][t]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn off_comb_frequencies_fall_back_exactly() {
+        let env = test_env(3);
+        let (tx, rx) = (P2::new(1.0, 1.0), P2::new(4.0, 5.0));
+        let mut set = PathSet::new();
+        env.path_set_into(tx, rx, &mut set);
+        // An irrational-ish spacing: no uniform comb exists.
+        let freqs = [2.402e9, 2.402e9 + 1.37e6, 2.402e9 + 3.91e6];
+        let comb = FreqComb::build(&freqs, 250e3);
+        assert!(!comb.is_uniform());
+        let mut out = vec![[complex::ZERO; 2]; freqs.len()];
+        set.sweep_tones(&comb, &mut out);
+        for (k, &f) in freqs.iter().enumerate() {
+            let reference = set.channel_at(f - 250e3);
+            assert!((out[k][0] - reference).abs() <= 1e-12 * reference.abs().max(1e-12));
+        }
+    }
+
+    #[test]
+    fn sweep_handles_sounding_order_and_duplicates() {
+        // Hop order is not ascending, and long schedules revisit channels.
+        let env = test_env(4);
+        let mut set = PathSet::new();
+        env.path_set_into(P2::new(2.0, 2.0), P2::new(0.5, 4.0), &mut set);
+        let freqs = [2.426e9, 2.402e9, 2.480e9, 2.402e9, 2.404e9];
+        let comb = FreqComb::build(&freqs, 250e3);
+        assert!(comb.is_uniform());
+        let mut out = vec![[complex::ZERO; 2]; freqs.len()];
+        set.sweep_tones(&comb, &mut out);
+        for (k, &f) in freqs.iter().enumerate() {
+            let reference = set.channel_at(f + 250e3);
+            assert!(
+                (out[k][1] - reference).abs() <= 1e-12 * reference.abs().max(1e-12),
+                "slot {k}"
+            );
+        }
+        assert_eq!(out[1], out[3], "duplicate channels get identical sweeps");
+    }
+
+    #[test]
+    fn degenerate_combs_are_safe() {
+        let env = test_env(5);
+        let mut set = PathSet::new();
+        env.path_set_into(P2::new(1.0, 1.0), P2::new(2.0, 2.0), &mut set);
+        for freqs in [vec![], vec![2.44e9], vec![2.44e9, 2.44e9]] {
+            let comb = FreqComb::build(&freqs, 250e3);
+            let mut out = vec![[complex::ZERO; 2]; freqs.len()];
+            set.sweep_tones(&comb, &mut out);
+            for (k, &f) in freqs.iter().enumerate() {
+                let reference = set.channel_at(f - 250e3);
+                assert!((out[k][0] - reference).abs() <= 1e-9 * reference.abs().max(1e-12));
+            }
+        }
+    }
+
+    #[test]
+    fn cache_hits_until_the_tag_moves() {
+        let env = test_env(6);
+        let cache = PathCache::new();
+        let anchor = P2::new(2.5, 0.0);
+        let tag_a = P2::new(1.0, 1.0);
+        let set1 = cache.path_set(&env, tag_a, anchor, LinkClass::Tag);
+        let set2 = cache.path_set(&env, tag_a, anchor, LinkClass::Tag);
+        assert!(Arc::ptr_eq(&set1, &set2), "second query must hit");
+        assert_eq!(cache.len(), 1);
+
+        // A new tag position evicts the tag class…
+        let sref = cache.path_set(&env, anchor, P2::new(0.0, 3.0), LinkClass::Static);
+        let _ = cache.path_set(&env, P2::new(2.0, 2.0), anchor, LinkClass::Tag);
+        assert_eq!(cache.len(), 2, "old tag link evicted, static retained");
+        // …but not the static class.
+        let sref2 = cache.path_set(&env, anchor, P2::new(0.0, 3.0), LinkClass::Static);
+        assert!(Arc::ptr_eq(&sref, &sref2));
+    }
+
+    #[test]
+    fn cache_invalidates_on_environment_mutation() {
+        let mut env = test_env(7);
+        let cache = PathCache::new();
+        let (tag, anchor) = (P2::new(1.0, 1.0), P2::new(2.5, 0.0));
+        let before = cache.path_set(&env, tag, anchor, LinkClass::Tag);
+        env.add_obstruction(crate::environment::Obstruction {
+            blocker: crate::geometry::Segment::new(P2::new(1.5, 0.0), P2::new(1.5, 6.0)),
+            loss_db: 20.0,
+        });
+        let after = cache.path_set(&env, tag, anchor, LinkClass::Tag);
+        assert!(
+            !Arc::ptr_eq(&before, &after),
+            "mutation must bump the revision and drop the entry"
+        );
+        assert!(
+            (after.channel_at(2.44e9) - env.channel(tag, anchor, 2.44e9)).abs() < 1e-12,
+            "rebuilt entry reflects the mutated environment"
+        );
+    }
+
+    #[test]
+    fn explicit_invalidate_drops_everything() {
+        let env = test_env(8);
+        let cache = PathCache::new();
+        let _ = cache.path_set(&env, P2::new(1.0, 1.0), P2::new(2.5, 0.0), LinkClass::Tag);
+        let _ = cache.path_set(
+            &env,
+            P2::new(2.5, 0.0),
+            P2::new(0.0, 3.0),
+            LinkClass::Static,
+        );
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.invalidate(), 2);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn clones_share_storage() {
+        let env = test_env(9);
+        let cache = PathCache::new();
+        let clone = cache.clone();
+        let a = cache.path_set(&env, P2::new(1.0, 1.0), P2::new(2.5, 0.0), LinkClass::Tag);
+        let b = clone.path_set(&env, P2::new(1.0, 1.0), P2::new(2.5, 0.0), LinkClass::Tag);
+        assert!(Arc::ptr_eq(&a, &b), "clone must see the original's entries");
+    }
+}

@@ -311,7 +311,9 @@ mod tests {
         let room = Room::new(5.0, 6.0);
         let anchors = anchors(&room);
         let mut rng = StdRng::seed_from_u64(35);
-        let env_mp = Environment::in_room(room).with_walls(Material::metal(), &mut rng);
+        let env_mp = Environment::in_room(room)
+            .with_walls(Material::metal(), &mut rng)
+            .unwrap();
         let env_fs = Environment::free_space();
 
         let err_in = |env: &Environment, seed: u64| {

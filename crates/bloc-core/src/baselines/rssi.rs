@@ -126,7 +126,9 @@ mod tests {
         let room = Room::new(5.0, 6.0);
         let anchors = anchors(&room);
         let mut rng = StdRng::seed_from_u64(53);
-        let env = Environment::in_room(room).with_walls(Material::metal(), &mut rng);
+        let env = Environment::in_room(room)
+            .with_walls(Material::metal(), &mut rng)
+            .unwrap();
         let sounder = Sounder::new(&env, &anchors, SounderConfig::default());
         let mut errs = Vec::new();
         for k in 0..6 {

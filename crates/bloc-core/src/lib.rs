@@ -49,7 +49,9 @@
 //! // midpoints — the paper's deployment.
 //! let room = Room::new(5.0, 6.0);
 //! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
-//! let env = Environment::in_room(room).with_walls(Material::concrete(), &mut rng);
+//! let env = Environment::in_room(room)
+//!     .with_walls(Material::concrete(), &mut rng)
+//!     .unwrap();
 //! let anchors: Vec<AnchorArray> = room
 //!     .wall_midpoints()
 //!     .iter()

@@ -484,7 +484,9 @@ mod tests {
     fn multipath_localization_stays_submeter() {
         let room = Room::new(5.0, 6.0);
         let mut rng = StdRng::seed_from_u64(22);
-        let env = Environment::in_room(room).with_walls(Material::concrete(), &mut rng);
+        let env = Environment::in_room(room)
+            .with_walls(Material::concrete(), &mut rng)
+            .unwrap();
         let anchors = anchors(&room);
         let sounder = Sounder::new(
             &env,
@@ -590,7 +592,9 @@ mod tests {
         // than the median single burst (it averages per-epoch noise).
         let room = Room::new(5.0, 6.0);
         let mut rng = StdRng::seed_from_u64(77);
-        let env = Environment::in_room(room).with_walls(Material::concrete(), &mut rng);
+        let env = Environment::in_room(room)
+            .with_walls(Material::concrete(), &mut rng)
+            .unwrap();
         let anchors = anchors(&room);
         let sounder = Sounder::new(&env, &anchors, SounderConfig::default());
         let localizer = BlocLocalizer::new(BlocConfig::for_room(&room));

@@ -355,6 +355,10 @@ pub struct SessionSupervisor {
     /// Geometry of the last admitted subset that built steering tables,
     /// invalidated when admission changes.
     last_geometry: Option<Vec<AnchorArray>>,
+    /// Sounder path cache to drop alongside the steering tables: when the
+    /// admitted set changes, the deployment the synthesis engine memoized
+    /// its static anchor↔master links for is no longer the one sounded.
+    path_cache: Option<bloc_chan::PathCache>,
 }
 
 impl SessionSupervisor {
@@ -371,12 +375,23 @@ impl SessionSupervisor {
             hop: None,
             round: 0,
             last_geometry: None,
+            path_cache: None,
         }
     }
 
     /// Attaches a hop monitor (see [`HopMonitor`]).
     pub fn with_hop_monitor(mut self, monitor: HopMonitor) -> Self {
         self.hop = Some(monitor);
+        self
+    }
+
+    /// Attaches the sounder's [`bloc_chan::PathCache`] so breaker-driven
+    /// admission changes invalidate it together with the steering-table
+    /// cache (same hook as [`super::engine`]'s geometry invalidation):
+    /// pass a clone of the cache handed to
+    /// [`bloc_chan::Sounder::with_path_cache`] — clones share storage.
+    pub fn with_path_cache(mut self, cache: bloc_chan::PathCache) -> Self {
+        self.path_cache = Some(cache);
         self
     }
 
@@ -617,6 +632,9 @@ impl SessionSupervisor {
                     .engine()
                     .cache()
                     .invalidate_geometry(geometry);
+            }
+            if let Some(cache) = &self.path_cache {
+                cache.invalidate();
             }
         }
     }

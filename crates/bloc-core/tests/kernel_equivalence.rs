@@ -80,7 +80,9 @@ fn environments(seed: u64) -> Vec<(&'static str, Environment)> {
         ("free_space", Environment::free_space()),
         (
             "concrete_room",
-            Environment::in_room(room).with_walls(Material::concrete(), &mut rng),
+            Environment::in_room(room)
+                .with_walls(Material::concrete(), &mut rng)
+                .unwrap(),
         ),
     ]
 }

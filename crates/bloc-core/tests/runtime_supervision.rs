@@ -553,3 +553,58 @@ fn hop_monitor_repairs_desync_in_closed_form() {
     );
     assert_eq!(monitor.desyncs(), 1);
 }
+
+#[test]
+fn breaker_transitions_invalidate_the_sounder_path_cache() {
+    // The PR 4 hook pattern, extended to the synthesis engine: the
+    // supervisor holds a clone of the sounder's path cache (clones share
+    // storage) and drops it whenever breaker-driven admission changes —
+    // the deployment the static anchor↔master PathSets were memoized for
+    // is no longer the one being sounded.
+    let (room, anchors) = deployment();
+    let env = Environment::free_space();
+    let cache = bloc_chan::PathCache::new();
+    let sounder = Sounder::new(&env, &anchors, quiet()).with_path_cache(cache.clone());
+    let channels = all_data_channels()[..12].to_vec();
+    let localizer = BlocLocalizer::new(BlocConfig::for_room(&room));
+    let mut sup = SessionSupervisor::new(localizer, anchors.len(), RuntimeConfig::default())
+        .with_path_cache(cache.clone());
+
+    let dead = FaultPlan {
+        dropouts: vec![AnchorDropout {
+            anchor: 2,
+            bands: 0..channels.len(),
+        }],
+        ..Default::default()
+    };
+    let clean = FaultPlan::default();
+    let invalidations = bloc_obs::counter("synth.path_cache.invalidations").get();
+    let hits = bloc_obs::counter("synth.path_cache.hits").get();
+
+    let truth = P2::new(1.5, 3.0);
+    for round in 0..20u64 {
+        let plan = if round < 6 { &dead } else { &clean };
+        let out = sup.run_round(0.5, |attempt| {
+            sound(&sounder, plan, &channels, truth, 47, round, attempt)
+        });
+        assert!(out.is_fix(), "three healthy anchors keep fixing");
+    }
+
+    // The full quarantine story played out (open → probe → readmit)…
+    assert_eq!(sup.breaker_ledger().len(), 3);
+    // …and each membership change (open, probe) dropped the path cache.
+    assert!(
+        bloc_obs::counter("synth.path_cache.invalidations").get() - invalidations >= 2,
+        "membership changes must invalidate the path cache"
+    );
+    // Between invalidations the cache served warm PathSets: 20 rounds of
+    // an identical deployment are far more hits than misses.
+    assert!(
+        bloc_obs::counter("synth.path_cache.hits").get() - hits > 0,
+        "steady rounds must reuse cached PathSets"
+    );
+    assert!(
+        !cache.is_empty(),
+        "the cache ends warm after the last stable stretch"
+    );
+}

@@ -64,11 +64,13 @@ impl Scenario {
 
         let env = match clutter {
             Clutter::None => Environment::in_room(room),
-            Clutter::WallsOnly => {
-                Environment::in_room(room).with_walls(Material::concrete(), &mut rng)
-            }
+            Clutter::WallsOnly => Environment::in_room(room)
+                .with_walls(Material::concrete(), &mut rng)
+                .expect("in_room always has a room"),
             Clutter::MultipathRich => {
-                let mut env = Environment::in_room(room).with_walls(Material::concrete(), &mut rng);
+                let mut env = Environment::in_room(room)
+                    .with_walls(Material::concrete(), &mut rng)
+                    .expect("in_room always has a room");
                 // Metallic clutter (cupboards, robots, screens). Each face
                 // both reflects strongly AND blocks LOS crossing it — that
                 // combination is what makes "reflections … stronger than

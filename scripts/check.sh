@@ -23,10 +23,12 @@ if [[ "${1:-}" != "quick" ]]; then
     # supervised track not beating the fixed-retry baseline (see
     # crates/bloc-bench/src/bin/chaos_soak.rs).
     run cargo run --release -q -p bloc-bench --bin chaos_soak 200
-    # Likelihood-engine perf gate: verifies the fast kernels against the
-    # naive reference and enforces the ≥ 5× single-thread speedup floor.
-    # Best-of-15 keeps the gate stable on noisy shared hosts; refreshes
-    # BENCH_likelihood.json (see crates/bloc-bench/src/bin/perf_baseline.rs).
+    # Perf gate: verifies the fast likelihood kernels (≤ 1e-9) and the fast
+    # channel-synthesis engine (≤ 1e-12) against their naive references and
+    # enforces the single-thread speedup floors — ≥ 5× likelihood, ≥ 4×
+    # sounding. Best-of-15 keeps the gate stable on noisy shared hosts;
+    # refreshes BENCH_likelihood.json and BENCH_sounding.json (see
+    # crates/bloc-bench/src/bin/perf_baseline.rs).
     run cargo run --release -q -p bloc-bench --bin perf_baseline 15
 fi
 run cargo test -q

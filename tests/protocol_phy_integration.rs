@@ -86,7 +86,9 @@ fn phy_and_analytic_sounding_agree_under_multipath() {
     // in a reflective environment (noiseless, ideal oscillators).
     let room = Room::new(5.0, 6.0);
     let mut rng = StdRng::seed_from_u64(3);
-    let env = Environment::in_room(room).with_walls(Material::concrete(), &mut rng);
+    let env = Environment::in_room(room)
+        .with_walls(Material::concrete(), &mut rng)
+        .unwrap();
     let anchors = vec![
         AnchorArray::centered(0, P2::new(2.5, 0.0), P2::new(1.0, 0.0), 2),
         AnchorArray::centered(1, P2::new(0.0, 3.0), P2::new(0.0, 1.0), 2),
@@ -143,7 +145,9 @@ fn end_to_end_localization_through_the_phy_chain() {
     // the actual GFSK IQ pipeline (few bands to keep runtime sane).
     let room = Room::new(5.0, 6.0);
     let mut rng = StdRng::seed_from_u64(5);
-    let env = Environment::in_room(room).with_walls(Material::concrete(), &mut rng);
+    let env = Environment::in_room(room)
+        .with_walls(Material::concrete(), &mut rng)
+        .unwrap();
     let anchors = bloc_testbed::scenario::standard_anchors(&room);
     let sounder = Sounder::new(
         &env,
