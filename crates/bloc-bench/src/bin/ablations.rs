@@ -55,17 +55,21 @@ fn main() {
         let localizer = BlocLocalizer::new(config);
         // Fan localization out across all cores; clones share the
         // localizer's steering-geometry cache.
-        let errs: Vec<f64> =
-            bloc_num::par::map(soundings.len(), bloc_num::par::max_threads(), |idx| {
+        let errs: Vec<f64> = bloc_num::par::map_named(
+            "ablation",
+            soundings.len(),
+            bloc_num::par::max_threads(),
+            |idx| {
                 let (truth, data) = &soundings[idx];
                 localizer
                     .localize(data)
                     .ok()
                     .map(|e| e.position.dist(*truth))
-            })
-            .into_iter()
-            .flatten()
-            .collect();
+            },
+        )
+        .into_iter()
+        .flatten()
+        .collect();
         stats::median(&errs)
     };
     let base = scenario.bloc_config();
@@ -160,7 +164,8 @@ fn main() {
             .collect();
         for (name, b) in [("entropy on (b=0.05)", 0.05), ("entropy off (b=0)", 0.0)] {
             let localizer = BlocLocalizer::new(base.with_score_weights(0.1, b));
-            let errs: Vec<f64> = bloc_num::par::map(
+            let errs: Vec<f64> = bloc_num::par::map_named(
+                "ablation",
                 mirror_soundings.len(),
                 bloc_num::par::max_threads(),
                 |idx| {

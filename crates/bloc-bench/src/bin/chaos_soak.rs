@@ -23,8 +23,12 @@
 //! this at 200 rounds.
 //!
 //! ```text
-//! cargo run --release -p bloc-bench --bin chaos_soak [rounds]
+//! cargo run --release -p bloc-bench --bin chaos_soak [rounds] [--trace]
 //! ```
+//!
+//! With `--trace` (or `BLOC_TRACE=1`) the run exports
+//! `target/reports/chaos_soak-trace.json`, a Perfetto-loadable timeline
+//! of the supervised rounds (spans + `par.*` worker shards).
 
 use std::sync::{Arc, Mutex};
 
@@ -149,6 +153,7 @@ fn main() {
     let events = Arc::new(Mutex::new(Vec::new()));
     let registry = bloc_obs::Registry::global();
     registry.add_sink(Box::new(BreakerEventLog(Arc::clone(&events))));
+    bloc_bench::maybe_start_trace();
     let before = registry.snapshot();
 
     // ---- Supervised path -------------------------------------------------
@@ -313,6 +318,7 @@ fn main() {
         ));
     }
 
+    bloc_bench::maybe_finish_trace("chaos_soak");
     if violations.is_empty() {
         println!("  chaos soak PASS: supervised runtime recovered every scheduled fault");
     } else {

@@ -1,0 +1,420 @@
+//! The observability self-audit: proves the performance observatory is
+//! cheap, honest, and regression-gated.
+//!
+//! ```text
+//! cargo run --release -p bloc-bench --bin obs_report [iters]
+//! ```
+//!
+//! Four gates (all printed, failures exit nonzero):
+//!
+//! 1. **Overhead** — best-of wall time of a warm likelihood + sounding
+//!    round with the global registry enabled vs disabled
+//!    ([`bloc_obs::Registry::set_enabled`]). Instrumentation must cost
+//!    ≤ 2% (enforced in release builds; debug timings are advisory).
+//! 2. **Executor coverage** — a controlled compute-bound calibration
+//!    region run through [`bloc_num::par::map_named`]: the `par.*` shard
+//!    busy histograms must account for ≥ 95% of `wall × threads`. The
+//!    *real* engine regions are printed too (busy vs wall at 1/2/4
+//!    threads) but not gated — their spawn-dominated utilization at small
+//!    grids is exactly the scaling regression the telemetry exists to
+//!    expose, not a defect of the telemetry.
+//! 3. **Trace export** — records one traced localization round, exports
+//!    Chrome trace-event JSON, re-parses it with the same hand-rolled
+//!    parser, and checks every thread lane has balanced, name-matched
+//!    begin/end pairs.
+//! 4. **Bench trend** — appends the warm throughputs from the committed
+//!    `BENCH_*.json` files (written by `perf_baseline` moments earlier in
+//!    `scripts/check.sh`) to the append-only
+//!    `target/reports/BENCH_history.jsonl`, and fails when the current
+//!    run regresses > 15% below the best recorded run. The first recorded
+//!    run (fresh clone — `target/` is not committed) only warns.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use bloc_chan::sounder::{all_data_channels, SounderConfig};
+use bloc_core::correction::correct;
+use bloc_core::engine::LikelihoodEngine;
+use bloc_core::likelihood::AntennaCombining;
+use bloc_core::localizer::BlocLocalizer;
+use bloc_num::P2;
+use bloc_obs::json::Json;
+use bloc_obs::{Registry, Tracer};
+use bloc_testbed::scenario::Scenario;
+use rand::{rngs::StdRng, SeedableRng};
+
+/// Best-of-N wall time of one call, seconds.
+fn time_best(iters: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..iters.max(1) {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Deterministic compute-bound work: `iters` dependent integer ops.
+fn spin(stream: usize, iters: u64) -> u64 {
+    let mut acc = stream as u64 ^ 0x9E37_79B9_7F4A_7C15;
+    for k in 0..iters {
+        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k | 1);
+    }
+    acc
+}
+
+/// Sum + count of a named histogram in a report delta (0s when absent).
+fn hist(delta: &bloc_obs::RunReport, name: &str) -> (u64, u64) {
+    delta
+        .histograms
+        .get(name)
+        .map(|h| (h.sum, h.count))
+        .unwrap_or((0, 0))
+}
+
+fn main() {
+    let iters: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(7);
+    let strict = !cfg!(debug_assertions);
+    let mut failures: Vec<String> = Vec::new();
+    println!("=== obs_report: instrumentation self-audit (best of {iters}) ===");
+    if !strict {
+        println!("debug build: timing gates advisory only");
+    }
+
+    // Shared fixture: the default testbed problem, same as perf_baseline.
+    let scenario = Scenario::paper_testbed(2018);
+    let channels = all_data_channels();
+    let tag = P2::new(2.1, 3.2);
+    let spec = scenario.bloc_config().grid;
+    let combining = AntennaCombining::Hybrid;
+
+    // ---- 1. Overhead gate ------------------------------------------------
+    // Warm engine + sounder built while ENABLED: real metric handles.
+    let round = |engine: &LikelihoodEngine, sounder: &bloc_chan::sounder::Sounder| {
+        let mut rng = StdRng::seed_from_u64(11);
+        let data = sounder.sound(tag, &channels, &mut rng);
+        let corrected = correct(&data, true).expect("clean sounding");
+        std::hint::black_box(engine.joint_likelihood(&corrected, spec, combining));
+    };
+    let engine_on = LikelihoodEngine::recurrence();
+    let sounder_on = scenario.sounder(SounderConfig::default());
+    round(&engine_on, &sounder_on); // warm caches
+    let t_on = time_best(iters, || round(&engine_on, &sounder_on));
+
+    // Disabled baseline: handles resolved in the disabled window are
+    // detached voids, so the same call sites run with recording elided.
+    Registry::global().set_enabled(false);
+    let engine_off = LikelihoodEngine::recurrence();
+    let sounder_off = scenario.sounder(SounderConfig::default());
+    round(&engine_off, &sounder_off); // warm caches
+    let t_off = time_best(iters, || round(&engine_off, &sounder_off));
+    Registry::global().set_enabled(true);
+
+    let overhead = (t_on - t_off) / t_off;
+    println!(
+        "overhead: enabled {:.3} ms, disabled {:.3} ms → {:+.2}% (gate ≤ 2%)",
+        t_on * 1e3,
+        t_off * 1e3,
+        overhead * 100.0
+    );
+    if strict && overhead > 0.02 {
+        failures.push(format!(
+            "instrumentation overhead {:.2}% exceeds 2%",
+            overhead * 100.0
+        ));
+    }
+
+    // ---- 2. Executor coverage gate --------------------------------------
+    // Calibrate at the host's *real* parallelism: oversubscribing a small
+    // box (threads > cores) makes worker start/stop stagger a scheduling
+    // artifact, not a telemetry gap. Best-of-N sheds one-off jitter the
+    // same way the overhead gate does.
+    let threads = bloc_num::par::max_threads().clamp(1, 4);
+    let spin_iters: u64 = 4_000_000;
+    let items = threads * 8;
+    let mut best = (0.0f64, 0u64, 0u64, 0u64); // coverage, busy, wall, samples
+    for _ in 0..5 {
+        let before = Registry::global().snapshot();
+        let out = bloc_num::par::map_named("calibration", items, threads, |i| spin(i, spin_iters));
+        std::hint::black_box(out);
+        let delta = Registry::global().snapshot().diff(&before);
+        let (busy_sum, busy_n) = hist(&delta, "par.calibration.busy_us");
+        let (wall_sum, _) = hist(&delta, "par.calibration.wall_us");
+        let coverage = busy_sum as f64 / (wall_sum as f64 * threads as f64).max(1.0);
+        if coverage > best.0 {
+            best = (coverage, busy_sum, wall_sum, busy_n);
+        }
+    }
+    let (coverage, busy_sum, wall_sum, busy_n) = best;
+    println!(
+        "par coverage (calibration, {threads} threads × {} items, best of 5): busy {busy_sum} µs over wall {wall_sum} µs ⇒ {:.1}% of wall×threads (gate ≥ 95%)",
+        items,
+        coverage * 100.0
+    );
+    if busy_n != threads as u64 {
+        failures.push(format!(
+            "calibration region recorded {busy_n} shard busy samples, expected {threads}"
+        ));
+    }
+    if strict && coverage < 0.95 {
+        failures.push(format!(
+            "par.* telemetry accounts for only {:.1}% of calibration wall time",
+            coverage * 100.0
+        ));
+    }
+
+    // ---- Engine breakdown (diagnosis, not a gate) -----------------------
+    println!("\nreal engine regions, busy vs wall (spawn/join overhead made visible):");
+    println!(
+        "  {:<14} {:>7} {:>7} {:>12} {:>12} {:>10}",
+        "region", "threads", "shards", "wall µs", "busy µs", "util"
+    );
+    for threads in [1usize, 2, 4] {
+        let engine = LikelihoodEngine::recurrence().with_threads(threads);
+        let sounder = scenario
+            .sounder(SounderConfig::default())
+            .with_threads(threads);
+        // Warm everything, then measure one steady-state round.
+        round(&engine, &sounder);
+        let before = Registry::global().snapshot();
+        round(&engine, &sounder);
+        let delta = Registry::global().snapshot().diff(&before);
+        for region in ["likelihood", "sound.links", "sound.bands"] {
+            let (wall, _) = hist(&delta, &format!("par.{region}.wall_us"));
+            let (busy, shards) = hist(&delta, &format!("par.{region}.busy_us"));
+            // A round may enter the same region several times (one
+            // likelihood fan-out per anchor); wall is summed across them,
+            // so utilization is Σbusy / (Σwall × threads).
+            let util = busy as f64 / (wall as f64 * threads as f64).max(1.0);
+            println!(
+                "  {region:<14} {threads:>7} {shards:>7} {wall:>12} {busy:>12} {:>9.0}%",
+                util * 100.0
+            );
+        }
+    }
+
+    // ---- 3. Trace export gate -------------------------------------------
+    let tracer = Tracer::global();
+    tracer.enable(bloc_obs::trace::DEFAULT_CAPACITY);
+    {
+        let sounder = scenario.sounder(SounderConfig::default()).with_threads(2);
+        let localizer = BlocLocalizer::new(scenario.bloc_config())
+            .with_engine(LikelihoodEngine::recurrence().with_threads(2));
+        let mut rng = StdRng::seed_from_u64(13);
+        let data = sounder.sound(tag, &channels, &mut rng);
+        let est = localizer.localize(&data).expect("traced round must fix");
+        std::hint::black_box(est);
+    }
+    tracer.disable();
+    let trace_path = bloc_bench::reports_dir().join("obs_report-trace.json");
+    match tracer.write_chrome_trace(&trace_path) {
+        Err(e) => failures.push(format!("trace export failed: {e}")),
+        Ok(stats) => {
+            println!(
+                "\ntrace: {} ({} spans, {} thread lanes, {} unmatched edges dropped)",
+                trace_path.display(),
+                stats.spans,
+                stats.threads,
+                stats.unmatched
+            );
+            if stats.spans == 0 {
+                failures.push("trace recorded no spans".into());
+            }
+            if stats.threads < 2 {
+                failures.push(format!(
+                    "traced 2-thread round produced {} thread lane(s); worker shards missing",
+                    stats.threads
+                ));
+            }
+            match std::fs::read_to_string(&trace_path)
+                .map_err(|e| e.to_string())
+                .and_then(|text| Json::parse(&text).map_err(|e| e.to_string()))
+            {
+                Err(e) => failures.push(format!("exported trace does not re-parse: {e}")),
+                Ok(doc) => match validate_trace(&doc, stats.spans) {
+                    Ok(events) => {
+                        println!("trace: re-parsed OK, {events} events, all lanes balanced")
+                    }
+                    Err(e) => failures.push(format!("trace validation: {e}")),
+                },
+            }
+        }
+    }
+
+    // ---- 4. Bench history + trend gate ----------------------------------
+    let history_path = bloc_bench::reports_dir().join("BENCH_history.jsonl");
+    let prior = read_history(&history_path);
+    let now = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let current = [
+        (
+            "joint_likelihood",
+            bench_value(
+                "BENCH_likelihood.json",
+                "recurrence_warm",
+                "cell_evals_per_sec",
+            ),
+        ),
+        (
+            "analytic_sounding",
+            bench_value("BENCH_sounding.json", "fast_warm", "measurements_per_sec"),
+        ),
+    ];
+    let mut lines = String::new();
+    println!();
+    for (bench, value) in current {
+        let Some(value) = value else {
+            println!("trend: {bench}: BENCH file missing or unparseable (run perf_baseline first) — skipped");
+            continue;
+        };
+        lines.push_str(
+            &Json::obj([
+                ("ts", Json::Num(now as f64)),
+                ("bench", Json::Str(bench.to_string())),
+                ("warm_throughput", Json::Num(value)),
+                ("overhead_pct", Json::Num(overhead * 100.0)),
+            ])
+            .render(),
+        );
+        lines.push('\n');
+        match prior.get(bench).copied() {
+            None => {
+                println!("trend: {bench}: {value:.0}/s — first recorded run, trend gate warn-only")
+            }
+            Some(best) if value < 0.85 * best => {
+                println!(
+                    "trend: {bench}: {value:.0}/s vs best {best:.0}/s — REGRESSION {:.1}%",
+                    (1.0 - value / best) * 100.0
+                );
+                failures.push(format!(
+                    "{bench} throughput {value:.0}/s regressed >15% below best recorded {best:.0}/s"
+                ));
+            }
+            Some(best) => {
+                println!("trend: {bench}: {value:.0}/s vs best {best:.0}/s — within 15% gate")
+            }
+        }
+    }
+    if !lines.is_empty() {
+        use std::io::Write;
+        let appended = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&history_path)
+            .and_then(|mut f| f.write_all(lines.as_bytes()));
+        match appended {
+            Ok(()) => println!("trend: appended to {}", history_path.display()),
+            Err(e) => eprintln!("warning: could not append history: {e}"),
+        }
+    }
+
+    // ---- Verdict ---------------------------------------------------------
+    if failures.is_empty() {
+        println!("\nobs_report PASS: overhead, coverage, trace and trend gates all green");
+    } else {
+        for f in &failures {
+            eprintln!("obs_report FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+}
+
+/// Walks the parsed Chrome trace: every event well-formed, every lane's
+/// B/E edges nested and name-matched, totals consistent with `spans`.
+fn validate_trace(doc: &Json, spans: usize) -> Result<usize, String> {
+    let events = doc
+        .get("traceEvents")
+        .and_then(|e| e.as_arr())
+        .ok_or("no traceEvents array")?;
+    let mut stacks: HashMap<u64, Vec<String>> = HashMap::new();
+    let mut begins = 0usize;
+    let mut ends = 0usize;
+    for (i, ev) in events.iter().enumerate() {
+        let ph = ev
+            .get("ph")
+            .and_then(|p| p.as_str())
+            .ok_or_else(|| format!("event {i}: missing ph"))?;
+        let tid = ev
+            .get("tid")
+            .and_then(|t| t.as_u64())
+            .ok_or_else(|| format!("event {i}: missing tid"))?;
+        let name = ev
+            .get("name")
+            .and_then(|n| n.as_str())
+            .ok_or_else(|| format!("event {i}: missing name"))?;
+        ev.get("ts")
+            .and_then(|t| t.as_f64())
+            .ok_or_else(|| format!("event {i}: missing ts"))?;
+        let stack = stacks.entry(tid).or_default();
+        match ph {
+            "B" => {
+                begins += 1;
+                stack.push(name.to_string());
+            }
+            "E" => {
+                ends += 1;
+                match stack.pop() {
+                    Some(open) if open == name => {}
+                    Some(open) => {
+                        return Err(format!(
+                            "event {i}: tid {tid} closes '{name}' but '{open}' is open"
+                        ))
+                    }
+                    None => {
+                        return Err(format!(
+                            "event {i}: tid {tid} closes '{name}' with empty stack"
+                        ))
+                    }
+                }
+            }
+            other => return Err(format!("event {i}: unexpected phase '{other}'")),
+        }
+    }
+    for (tid, stack) in &stacks {
+        if !stack.is_empty() {
+            return Err(format!(
+                "tid {tid} left {} span(s) open: {stack:?}",
+                stack.len()
+            ));
+        }
+    }
+    if begins != spans || ends != spans {
+        return Err(format!(
+            "exporter reported {spans} spans but JSON has {begins} begins / {ends} ends"
+        ));
+    }
+    Ok(events.len())
+}
+
+/// `warm` throughput out of a root `BENCH_*.json` file, if present.
+fn bench_value(path: &str, section: &str, field: &str) -> Option<f64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    Json::parse(&text).ok()?.get(section)?.get(field)?.as_f64()
+}
+
+/// Best recorded warm throughput per bench from the history log.
+fn read_history(path: &std::path::Path) -> HashMap<String, f64> {
+    let mut best: HashMap<String, f64> = HashMap::new();
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return best;
+    };
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        let Ok(doc) = Json::parse(line) else { continue };
+        let (Some(bench), Some(value)) = (
+            doc.get("bench").and_then(|b| b.as_str()),
+            doc.get("warm_throughput").and_then(|v| v.as_f64()),
+        ) else {
+            continue;
+        };
+        let slot = best.entry(bench.to_string()).or_insert(value);
+        if value > *slot {
+            *slot = value;
+        }
+    }
+    best
+}

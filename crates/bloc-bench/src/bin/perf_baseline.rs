@@ -5,8 +5,14 @@
 //! future PRs have a perf trajectory to move.
 //!
 //! ```text
-//! cargo run --release -p bloc-bench --bin perf_baseline [iters]
+//! cargo run --release -p bloc-bench --bin perf_baseline [iters] [--trace]
 //! ```
+//!
+//! With `--trace` (or `BLOC_TRACE=1`) the run also records span and
+//! executor-shard edges into the bounded trace ring and exports
+//! `target/reports/perf_baseline-trace.json` — Chrome trace-event JSON,
+//! loadable in Perfetto — showing the sound/correct/localize stages and
+//! the `par.*` worker lanes on a shared timeline.
 //!
 //! Exit status is nonzero when a sanity floor fails: fast/reference
 //! equivalence (always), nonzero throughput (always), and the
@@ -20,6 +26,7 @@ use bloc_chan::sounder::{all_data_channels, SounderConfig, TONE_OFFSET_HZ};
 use bloc_core::correction::correct;
 use bloc_core::engine::LikelihoodEngine;
 use bloc_core::likelihood::{joint_likelihood_reference, AntennaCombining};
+use bloc_core::localizer::BlocLocalizer;
 use bloc_num::P2;
 use bloc_testbed::scenario::Scenario;
 use rand::{rngs::StdRng, SeedableRng};
@@ -41,6 +48,7 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(5);
     println!("=== Likelihood engine perf baseline (best of {iters}) ===");
+    bloc_bench::maybe_start_trace();
     let obs_before = bloc_obs::Registry::global().snapshot();
 
     // The default testbed deployment: paper room, 4×4 anchors, 37 bands,
@@ -335,7 +343,27 @@ fn main() {
         Err(e) => eprintln!("warning: could not write {snd_path}: {e}"),
     }
 
+    // -- One end-to-end localization round, so the run report (and a
+    // `--trace` timeline) carries the full §5 pipeline spans — sound,
+    // localize/correct, localize/likelihood, localize/score_peaks — on
+    // top of the kernel microbench spans above.
+    {
+        let e2e_sounder = scenario.sounder(SounderConfig::default()).with_threads(2);
+        let localizer = BlocLocalizer::new(scenario.bloc_config())
+            .with_engine(LikelihoodEngine::recurrence().with_threads(2));
+        let mut rng = StdRng::seed_from_u64(27);
+        let e2e_data = e2e_sounder.sound(tag, &channels, &mut rng);
+        match localizer.localize(&e2e_data) {
+            Ok(est) => {
+                std::hint::black_box(&est);
+                println!("end-to-end round: localized (full pipeline spans recorded)");
+            }
+            Err(e) => eprintln!("warning: end-to-end round produced no fix: {e:?}"),
+        }
+    }
+
     bloc_bench::emit_run_report("perf_baseline", &obs_before);
+    bloc_bench::maybe_finish_trace("perf_baseline");
 
     // -- Sanity floors.
     let mut failed = false;

@@ -41,17 +41,72 @@ pub fn banner(fig: &str, size: &ExperimentSize) {
     );
 }
 
+/// The directory every bench artifact lands in (`target/reports/`),
+/// created on first use. Gitignored with the rest of `target/` — the
+/// committed perf trajectory stays in the root `BENCH_*.json` files; the
+/// per-run reports, traces and history live here.
+pub fn reports_dir() -> std::path::PathBuf {
+    let dir = std::path::Path::new("target").join("reports");
+    std::fs::create_dir_all(&dir).ok();
+    dir
+}
+
+/// True when the invocation asked for a Chrome-trace timeline: any
+/// `--trace` argument, or a non-empty `BLOC_TRACE` environment variable.
+pub fn trace_requested() -> bool {
+    std::env::args().any(|a| a == "--trace")
+        || std::env::var("BLOC_TRACE").is_ok_and(|v| !v.is_empty())
+}
+
+/// Switches the global [`bloc_obs::Tracer`] on (default ring capacity)
+/// when [`trace_requested`] — call once, before the timed work.
+pub fn maybe_start_trace() {
+    if trace_requested() {
+        bloc_obs::Tracer::global().enable(bloc_obs::trace::DEFAULT_CAPACITY);
+        println!("trace: recording span/shard edges (--trace)");
+    }
+}
+
+/// Exports the recorded timeline to `target/reports/<name>-trace.json`
+/// (Chrome trace-event format — load it in Perfetto or `chrome://tracing`)
+/// when tracing was requested. No-op otherwise.
+pub fn maybe_finish_trace(name: &str) {
+    let tracer = bloc_obs::Tracer::global();
+    if !tracer.is_enabled() {
+        return;
+    }
+    tracer.disable();
+    let path = reports_dir().join(format!("{name}-trace.json"));
+    match tracer.write_chrome_trace(&path) {
+        Ok(stats) => println!(
+            "trace: {} ({} spans on {} threads{}{})",
+            path.display(),
+            stats.spans,
+            stats.threads,
+            if stats.unmatched > 0 {
+                format!(", {} unmatched edges dropped", stats.unmatched)
+            } else {
+                String::new()
+            },
+            if stats.wrapped > 0 {
+                ", ring wrapped (oldest edges lost)"
+            } else {
+                ""
+            },
+        ),
+        Err(e) => eprintln!("warning: trace not written: {e}"),
+    }
+}
+
 /// Prints the per-stage timing/counter breakdown accrued on the global
-/// registry since `before`, writes it to `target/<name>-obs-report.jsonl`,
-/// and re-reads the file to prove the trail is parseable.
+/// registry since `before`, writes it to
+/// `target/reports/<name>-obs-report.jsonl`, and re-reads the file to
+/// prove the trail is parseable.
 pub fn emit_run_report(name: &str, before: &bloc_obs::RunReport) {
     let run = bloc_obs::Registry::global().snapshot().diff(before);
     println!("\n== observability: per-stage breakdown ({name}) ==");
     print!("{}", run.render());
-    let path = std::path::Path::new("target").join(format!("{name}-obs-report.jsonl"));
-    if let Some(parent) = path.parent() {
-        std::fs::create_dir_all(parent).ok();
-    }
+    let path = reports_dir().join(format!("{name}-obs-report.jsonl"));
     match run
         .write_jsonl(&path)
         .and_then(|()| bloc_obs::RunReport::read_jsonl(&path))

@@ -476,6 +476,7 @@ impl<'a> Sounder<'a> {
         seed: u64,
         ideal: bool,
     ) -> (SoundingData, crate::faults::FaultCensus) {
+        let _span = bloc_obs::span("sound");
         let n_anchors = self.anchors.len();
         let comb = FreqComb::for_channels(channels);
 
@@ -495,13 +496,14 @@ impl<'a> Sounder<'a> {
         }
 
         // Phase A: sweep every link across all bands × tones.
-        let clean: Vec<Vec<[C64; 2]>> = bloc_num::par::map(links.len(), self.threads, |l| {
-            let (tx, rx, class) = links[l];
-            let set = self.cache.path_set(self.env, tx, rx, class);
-            let mut out = vec![[bloc_num::complex::ZERO; 2]; channels.len()];
-            set.sweep_tones(&comb, &mut out);
-            out
-        });
+        let clean: Vec<Vec<[C64; 2]>> =
+            bloc_num::par::map_named("sound.links", links.len(), self.threads, |l| {
+                let (tx, rx, class) = links[l];
+                let set = self.cache.path_set(self.env, tx, rx, class);
+                let mut out = vec![[bloc_num::complex::ZERO; 2]; channels.len()];
+                set.sweep_tones(&comb, &mut out);
+                out
+            });
 
         // Phase B: per-band impairments, parallel over bands.
         let n_antennas: Vec<usize> = self.anchors.iter().map(|a| a.n_antennas).collect();
@@ -510,18 +512,19 @@ impl<'a> Sounder<'a> {
         } else {
             self.faults.as_ref().filter(|p| !p.is_empty())
         };
-        let mut bands = bloc_num::par::map(channels.len(), self.threads, |slot| {
-            self.assemble_band(
-                slot,
-                channels[slot],
-                &clean,
-                &n_antennas,
-                cfo,
-                seed,
-                ideal,
-                plan,
-            )
-        });
+        let mut bands =
+            bloc_num::par::map_named("sound.bands", channels.len(), self.threads, |slot| {
+                self.assemble_band(
+                    slot,
+                    channels[slot],
+                    &clean,
+                    &n_antennas,
+                    cfo,
+                    seed,
+                    ideal,
+                    plan,
+                )
+            });
 
         let mut census = crate::faults::FaultCensus::default();
         if !ideal {

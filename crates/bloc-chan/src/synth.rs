@@ -75,6 +75,12 @@ impl PathSet {
         self.lengths.is_empty()
     }
 
+    /// Approximate heap footprint of the path arrays; feeds the
+    /// `cache.path.resident_bytes` gauge.
+    pub fn approx_bytes(&self) -> usize {
+        self.lengths.len() * (8 + std::mem::size_of::<C64>())
+    }
+
     /// Empties the set, keeping the buffers.
     pub(crate) fn clear(&mut self) {
         self.lengths.clear();
@@ -275,6 +281,37 @@ struct CacheInner {
     /// The tag position `tag_links` was built for.
     tag_pos: Option<(u64, u64)>,
     tag_links: HashMap<[u64; 4], Arc<PathSet>>,
+    /// Running approximate payload bytes, split per class so a tag-move
+    /// eviction can subtract its share in O(1).
+    static_bytes: usize,
+    tag_bytes: usize,
+}
+
+impl CacheInner {
+    fn entries(&self) -> usize {
+        self.static_links.len() + self.tag_links.len()
+    }
+
+    fn bytes(&self) -> usize {
+        self.static_bytes + self.tag_bytes
+    }
+
+    fn clear_all(&mut self) -> usize {
+        let dropped = self.entries();
+        self.static_links.clear();
+        self.tag_links.clear();
+        self.tag_pos = None;
+        self.static_bytes = 0;
+        self.tag_bytes = 0;
+        dropped
+    }
+
+    fn clear_tag(&mut self) -> usize {
+        let dropped = self.tag_links.len();
+        self.tag_links.clear();
+        self.tag_bytes = 0;
+        dropped
+    }
 }
 
 /// A shared, thread-safe memo of [`PathSet`]s keyed by (environment
@@ -286,11 +323,27 @@ struct CacheInner {
 /// changes (any mutation bumps it), a tag-class query arrives from a new
 /// tag position (drops tag links only), or a supervisor calls
 /// [`PathCache::invalidate`] after swapping geometry (the PR 4 hook
-/// pattern). Hits and misses are counted on the global `bloc-obs`
-/// registry under `synth.path_cache.*`.
-#[derive(Debug, Clone, Default)]
+/// pattern).
+///
+/// Telemetry follows the workspace cache convention
+/// ([`bloc_obs::CacheStats`]): `cache.path.{hits,misses,invalidations,
+/// invalidations.<cause>,evicted}` counters plus
+/// `cache.path.resident_{entries,bytes}` gauges; invalidation causes are
+/// `revision`, `tag_move`, `manual` and (from the runtime supervisor)
+/// `breaker`.
+#[derive(Debug, Clone)]
 pub struct PathCache {
     inner: Arc<Mutex<CacheInner>>,
+    stats: bloc_obs::CacheStats,
+}
+
+impl Default for PathCache {
+    fn default() -> Self {
+        Self {
+            inner: Arc::default(),
+            stats: bloc_obs::CacheStats::global("path"),
+        }
+    }
 }
 
 fn link_key(tx: P2, rx: P2) -> [u64; 4] {
@@ -313,32 +366,49 @@ impl PathCache {
     pub fn path_set(&self, env: &Environment, tx: P2, rx: P2, class: LinkClass) -> Arc<PathSet> {
         let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         if inner.revision != env.revision() {
-            inner.static_links.clear();
-            inner.tag_links.clear();
-            inner.tag_pos = None;
+            // A revision-0 cache that has never stored anything is just
+            // cold, not invalidated — only count the event once warm.
+            if inner.entries() > 0 || inner.revision != 0 {
+                let dropped = inner.clear_all();
+                self.stats.invalidated("revision", dropped);
+            }
             inner.revision = env.revision();
         }
         if class == LinkClass::Tag {
             let pos = (tx.x.to_bits(), tx.y.to_bits());
             if inner.tag_pos != Some(pos) {
-                inner.tag_links.clear();
+                if inner.tag_pos.is_some() {
+                    let dropped = inner.clear_tag();
+                    self.stats.invalidated("tag_move", dropped);
+                }
                 inner.tag_pos = Some(pos);
             }
         }
-        let map = match class {
-            LinkClass::Static => &mut inner.static_links,
-            LinkClass::Tag => &mut inner.tag_links,
-        };
         let key = link_key(tx, rx);
+        let map = match class {
+            LinkClass::Static => &inner.static_links,
+            LinkClass::Tag => &inner.tag_links,
+        };
         if let Some(hit) = map.get(&key) {
-            bloc_obs::counter("synth.path_cache.hits").add(1);
+            self.stats.hit();
             return Arc::clone(hit);
         }
-        bloc_obs::counter("synth.path_cache.misses").add(1);
+        self.stats.miss();
         let mut set = PathSet::new();
         env.path_set_into(tx, rx, &mut set);
         let set = Arc::new(set);
-        map.insert(key, Arc::clone(&set));
+        let bytes = set.approx_bytes();
+        match class {
+            LinkClass::Static => {
+                inner.static_links.insert(key, Arc::clone(&set));
+                inner.static_bytes += bytes;
+            }
+            LinkClass::Tag => {
+                inner.tag_links.insert(key, Arc::clone(&set));
+                inner.tag_bytes += bytes;
+            }
+        }
+        self.stats.resident(inner.entries(), inner.bytes());
         set
     }
 
@@ -346,20 +416,24 @@ impl PathCache {
     /// dropped. Call after swapping anchor geometry or replacing the
     /// environment mid-session.
     pub fn invalidate(&self) -> usize {
+        self.invalidate_with_cause("manual")
+    }
+
+    /// [`PathCache::invalidate`] with the event attributed to `cause` in
+    /// `cache.path.invalidations.<cause>` (the runtime supervisor passes
+    /// `breaker` on membership changes).
+    pub fn invalidate_with_cause(&self, cause: &'static str) -> usize {
         let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
-        let dropped = inner.static_links.len() + inner.tag_links.len();
-        inner.static_links.clear();
-        inner.tag_links.clear();
-        inner.tag_pos = None;
-        bloc_obs::counter("synth.path_cache.invalidations").add(1);
-        bloc_obs::counter("synth.path_cache.dropped").add(dropped as u64);
+        let dropped = inner.clear_all();
+        self.stats.invalidated(cause, dropped);
+        self.stats.resident(0, 0);
         dropped
     }
 
     /// Number of cached link entries (both classes).
     pub fn len(&self) -> usize {
         let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
-        inner.static_links.len() + inner.tag_links.len()
+        inner.entries()
     }
 
     /// True when nothing is cached.

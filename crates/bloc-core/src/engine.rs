@@ -267,6 +267,20 @@ impl SteeringTables {
         self.spec
     }
 
+    /// Approximate heap footprint of the tables (the payload vectors; the
+    /// struct header is noise next to them). Feeds the
+    /// `cache.steering.resident_bytes` gauge.
+    pub fn approx_bytes(&self) -> usize {
+        let deltas: usize = self.delta.iter().map(|v| v.len() * 8).sum();
+        let phasors: usize = self
+            .seed
+            .iter()
+            .chain(self.step.iter())
+            .map(|v| v.len() * std::mem::size_of::<C64>())
+            .sum();
+        deltas + phasors
+    }
+
     /// The `Δ_ij` slice of one cell for anchor `i` (length = antennas of
     /// `i`, indexed by `j`).
     #[inline]
@@ -294,9 +308,24 @@ impl SteeringTables {
 /// anchor geometry, master-anchor distances). Clones share the underlying
 /// map, so a localizer cloned across sweep workers computes each
 /// deployment's geometry exactly once.
-#[derive(Debug, Clone, Default)]
+///
+/// Telemetry follows the workspace cache convention
+/// ([`bloc_obs::CacheStats`]): `cache.steering.{hits,misses,
+/// invalidations,invalidations.<cause>,evicted}` counters plus
+/// `cache.steering.resident_{entries,bytes}` gauges.
+#[derive(Debug, Clone)]
 pub struct SteeringCache {
     inner: Arc<Mutex<HashMap<Vec<u64>, Arc<SteeringTables>>>>,
+    stats: bloc_obs::CacheStats,
+}
+
+impl Default for SteeringCache {
+    fn default() -> Self {
+        Self {
+            inner: Arc::default(),
+            stats: bloc_obs::CacheStats::global("steering"),
+        }
+    }
 }
 
 fn push_f64(key: &mut Vec<u64>, v: f64) {
@@ -365,10 +394,10 @@ impl SteeringCache {
         let key = cache_key(spec, anchors, master_anchor_dist, base_hz, step_hz);
         let mut map = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         if let Some(hit) = map.get(&key) {
-            bloc_obs::counter("likelihood.steering_cache_hits").inc();
+            self.stats.hit();
             return Arc::clone(hit);
         }
-        bloc_obs::counter("likelihood.steering_cache_misses").inc();
+        self.stats.miss();
         let built = Arc::new(SteeringTables::build(
             spec,
             anchors,
@@ -377,7 +406,15 @@ impl SteeringCache {
             step_hz,
         ));
         map.insert(key, Arc::clone(&built));
+        self.publish_residency(&map);
         built
+    }
+
+    /// Pushes the current entry/byte residency to the gauges; callers
+    /// hold the map lock.
+    fn publish_residency(&self, map: &HashMap<Vec<u64>, Arc<SteeringTables>>) {
+        let bytes: usize = map.values().map(|t| t.approx_bytes()).sum();
+        self.stats.resident(map.len(), bytes);
     }
 
     /// Drops every cached deployment built for exactly this anchor
@@ -388,6 +425,18 @@ impl SteeringCache {
     /// no longer the one being localized against. Entries for *other*
     /// anchor subsets — including the new admitted set — are untouched.
     pub fn invalidate_geometry(&self, anchors: &[AnchorArray]) -> usize {
+        self.invalidate_geometry_with_cause(anchors, "geometry")
+    }
+
+    /// [`SteeringCache::invalidate_geometry`] with the invalidation
+    /// attributed to `cause` in `cache.steering.invalidations.<cause>`
+    /// (the runtime supervisor passes `breaker`; benches on a physical
+    /// geometry swap keep the default `geometry`).
+    pub fn invalidate_geometry_with_cause(
+        &self,
+        anchors: &[AnchorArray],
+        cause: &'static str,
+    ) -> usize {
         let fp = anchor_fingerprint(anchors);
         // Every key for an n-anchor deployment has 7 + 6n + n words
         // (master distances trail the geometry), so length + segment
@@ -400,9 +449,8 @@ impl SteeringCache {
                 || key[KEY_ANCHOR_OFFSET..KEY_ANCHOR_OFFSET + fp.len()] != fp[..]
         });
         let removed = before - map.len();
-        if removed > 0 {
-            bloc_obs::counter("likelihood.steering_cache_invalidated").add(removed as u64);
-        }
+        self.stats.invalidated(cause, removed);
+        self.publish_residency(&map);
         removed
     }
 
@@ -503,61 +551,67 @@ impl LikelihoodKernel for RecurrenceKernel {
 
         let mut out = Grid2D::zeros(spec);
         let nx = spec.nx.max(1);
-        bloc_num::par::for_each_chunk_mut(out.data_mut(), nx, threads, |start, row| {
-            // Per-row scratch: one rotation chain per antenna, advanced in
-            // lockstep across bands so the chains stay independent in the
-            // pipeline (a single chain serializes on complex-multiply
-            // latency).
-            let mut rot = vec![bloc_num::complex::ZERO; n_ant];
-            let mut acc = vec![bloc_num::complex::ZERO; n_ant];
-            for (off, v) in row.iter_mut().enumerate() {
-                let cell = start + off;
-                if uniform {
-                    // The cached seed/step phasors make this branch free
-                    // of transcendentals: pure complex multiply-adds.
-                    let steps = tables.cell_steps(i, cell);
-                    rot[..n_ant].copy_from_slice(tables.cell_seeds(i, cell));
-                    for a in acc[..n_ant].iter_mut() {
-                        *a = bloc_num::complex::ZERO;
-                    }
-                    for (slot, &gap) in plan.gaps.iter().enumerate() {
-                        for _ in 0..gap {
-                            for (r, &s) in rot[..n_ant].iter_mut().zip(steps) {
-                                *r *= s;
+        bloc_num::par::for_each_chunk_mut_named(
+            "likelihood",
+            out.data_mut(),
+            nx,
+            threads,
+            |start, row| {
+                // Per-row scratch: one rotation chain per antenna, advanced in
+                // lockstep across bands so the chains stay independent in the
+                // pipeline (a single chain serializes on complex-multiply
+                // latency).
+                let mut rot = vec![bloc_num::complex::ZERO; n_ant];
+                let mut acc = vec![bloc_num::complex::ZERO; n_ant];
+                for (off, v) in row.iter_mut().enumerate() {
+                    let cell = start + off;
+                    if uniform {
+                        // The cached seed/step phasors make this branch free
+                        // of transcendentals: pure complex multiply-adds.
+                        let steps = tables.cell_steps(i, cell);
+                        rot[..n_ant].copy_from_slice(tables.cell_seeds(i, cell));
+                        for a in acc[..n_ant].iter_mut() {
+                            *a = bloc_num::complex::ZERO;
+                        }
+                        for (slot, &gap) in plan.gaps.iter().enumerate() {
+                            for _ in 0..gap {
+                                for (r, &s) in rot[..n_ant].iter_mut().zip(steps) {
+                                    *r *= s;
+                                }
+                            }
+                            let a = &alpha_i[slot * n_ant..(slot + 1) * n_ant];
+                            for ((acc_j, &a_j), &r_j) in
+                                acc[..n_ant].iter_mut().zip(a).zip(&rot[..n_ant])
+                            {
+                                *acc_j += a_j * r_j;
                             }
                         }
-                        let a = &alpha_i[slot * n_ant..(slot + 1) * n_ant];
-                        for ((acc_j, &a_j), &r_j) in
-                            acc[..n_ant].iter_mut().zip(a).zip(&rot[..n_ant])
-                        {
-                            *acc_j += a_j * r_j;
+                    } else {
+                        let deltas = tables.cell_deltas(i, cell);
+                        for a in acc[..n_ant].iter_mut() {
+                            *a = bloc_num::complex::ZERO;
+                        }
+                        for (slot, &f) in plan.freqs.iter().enumerate() {
+                            let a = &alpha_i[slot * n_ant..(slot + 1) * n_ant];
+                            for (j, &delta) in deltas.iter().enumerate().take(n_ant) {
+                                acc[j] += a[j] * C64::cis(tau_over_c * delta * f);
+                            }
                         }
                     }
-                } else {
-                    let deltas = tables.cell_deltas(i, cell);
-                    for a in acc[..n_ant].iter_mut() {
-                        *a = bloc_num::complex::ZERO;
+                    let mut coherent = bloc_num::complex::ZERO;
+                    let mut noncoherent = 0.0;
+                    for &per_antenna in acc.iter().take(n_ant) {
+                        coherent += per_antenna;
+                        noncoherent += per_antenna.abs();
                     }
-                    for (slot, &f) in plan.freqs.iter().enumerate() {
-                        let a = &alpha_i[slot * n_ant..(slot + 1) * n_ant];
-                        for (j, &delta) in deltas.iter().enumerate().take(n_ant) {
-                            acc[j] += a[j] * C64::cis(tau_over_c * delta * f);
-                        }
-                    }
+                    *v = match combining {
+                        AntennaCombining::Coherent => coherent.abs(),
+                        AntennaCombining::NoncoherentAntennas => noncoherent,
+                        AntennaCombining::Hybrid => coherent.abs() + 0.5 * noncoherent,
+                    };
                 }
-                let mut coherent = bloc_num::complex::ZERO;
-                let mut noncoherent = 0.0;
-                for &per_antenna in acc.iter().take(n_ant) {
-                    coherent += per_antenna;
-                    noncoherent += per_antenna.abs();
-                }
-                *v = match combining {
-                    AntennaCombining::Coherent => coherent.abs(),
-                    AntennaCombining::NoncoherentAntennas => noncoherent,
-                    AntennaCombining::Hybrid => coherent.abs() + 0.5 * noncoherent,
-                };
-            }
-        });
+            },
+        );
         out
     }
 }

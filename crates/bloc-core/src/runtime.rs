@@ -631,10 +631,10 @@ impl SessionSupervisor {
                     .localizer()
                     .engine()
                     .cache()
-                    .invalidate_geometry(geometry);
+                    .invalidate_geometry_with_cause(geometry, "breaker");
             }
             if let Some(cache) = &self.path_cache {
-                cache.invalidate();
+                cache.invalidate_with_cause("breaker");
             }
         }
     }

@@ -97,7 +97,7 @@ fn healthy_rounds_fix_and_reuse_steering_tables() {
     let localizer = BlocLocalizer::new(BlocConfig::for_room(&room));
     let mut sup = SessionSupervisor::new(localizer, anchors.len(), RuntimeConfig::default());
 
-    let hits_name = "likelihood.steering_cache_hits";
+    let hits_name = "cache.steering.hits";
     let before = bloc_obs::counter(hits_name).get();
     let truth = P2::new(2.0, 2.5);
     for round in 0..8 {
@@ -154,7 +154,8 @@ fn chronically_bad_anchor_is_quarantined_probed_and_readmitted() {
         ..Default::default()
     };
     let clean = FaultPlan::default();
-    let invalidated = bloc_obs::counter("likelihood.steering_cache_invalidated").get();
+    let evicted = bloc_obs::counter("cache.steering.evicted").get();
+    let breaker_events = bloc_obs::counter("cache.steering.invalidations.breaker").get();
 
     let truth = P2::new(1.5, 3.0);
     let mut open_round = None;
@@ -211,10 +212,15 @@ fn chronically_bad_anchor_is_quarantined_probed_and_readmitted() {
     assert_eq!(sup.admitted(), vec![0, 1, 2, 3]);
 
     // Quarantine and probe each retired a geometry from the steering
-    // cache (4-anchor table on open, 3-anchor table on probe).
+    // cache (4-anchor table on open, 3-anchor table on probe), and both
+    // events are attributed to the breaker cause.
     assert!(
-        bloc_obs::counter("likelihood.steering_cache_invalidated").get() - invalidated >= 2,
+        bloc_obs::counter("cache.steering.evicted").get() - evicted >= 2,
         "membership changes must invalidate steering tables"
+    );
+    assert!(
+        bloc_obs::counter("cache.steering.invalidations.breaker").get() - breaker_events >= 2,
+        "supervisor invalidations must carry the breaker cause"
     );
 }
 
@@ -578,8 +584,8 @@ fn breaker_transitions_invalidate_the_sounder_path_cache() {
         ..Default::default()
     };
     let clean = FaultPlan::default();
-    let invalidations = bloc_obs::counter("synth.path_cache.invalidations").get();
-    let hits = bloc_obs::counter("synth.path_cache.hits").get();
+    let invalidations = bloc_obs::counter("cache.path.invalidations.breaker").get();
+    let hits = bloc_obs::counter("cache.path.hits").get();
 
     let truth = P2::new(1.5, 3.0);
     for round in 0..20u64 {
@@ -592,15 +598,16 @@ fn breaker_transitions_invalidate_the_sounder_path_cache() {
 
     // The full quarantine story played out (open → probe → readmit)…
     assert_eq!(sup.breaker_ledger().len(), 3);
-    // …and each membership change (open, probe) dropped the path cache.
+    // …and each membership change (open, probe) dropped the path cache,
+    // attributed to the breaker cause.
     assert!(
-        bloc_obs::counter("synth.path_cache.invalidations").get() - invalidations >= 2,
+        bloc_obs::counter("cache.path.invalidations.breaker").get() - invalidations >= 2,
         "membership changes must invalidate the path cache"
     );
     // Between invalidations the cache served warm PathSets: 20 rounds of
     // an identical deployment are far more hits than misses.
     assert!(
-        bloc_obs::counter("synth.path_cache.hits").get() - hits > 0,
+        bloc_obs::counter("cache.path.hits").get() - hits > 0,
         "steady rounds must reuse cached PathSets"
     );
     assert!(

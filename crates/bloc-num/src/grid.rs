@@ -122,12 +122,18 @@ impl Grid2D {
     pub fn from_fn_par(spec: GridSpec, threads: usize, f: impl Fn(P2) -> f64 + Sync) -> Self {
         let mut g = Self::zeros(spec);
         let nx = spec.nx.max(1);
-        crate::par::for_each_chunk_mut(&mut g.data, nx, threads, |start, row| {
-            for (off, v) in row.iter_mut().enumerate() {
-                let idx = start + off;
-                *v = f(spec.cell_center(idx % nx, idx / nx));
-            }
-        });
+        crate::par::for_each_chunk_mut_named(
+            "grid.fill",
+            &mut g.data,
+            nx,
+            threads,
+            |start, row| {
+                for (off, v) in row.iter_mut().enumerate() {
+                    let idx = start + off;
+                    *v = f(spec.cell_center(idx % nx, idx / nx));
+                }
+            },
+        );
         g
     }
 

@@ -12,6 +12,40 @@
 //! bit-identical floating-point results simply need per-item computations
 //! that don't depend on which thread runs them — which every caller in
 //! this workspace satisfies.
+//!
+//! # Telemetry (`par.*`)
+//!
+//! Each `*_named` entry point is a *region*: one fan-out with a stable
+//! name (`likelihood`, `sound.links`, …). While the global
+//! [`bloc_obs::Registry`] is enabled, every region records
+//!
+//! * `par.regions` / `par.chunks` / `par.items` — counters,
+//! * `par.region.wall_us`, `par.region.busy_max_us`,
+//!   `par.region.threads`, `par.shard.busy_us` — aggregate histograms
+//!   across all regions,
+//! * `par.<name>.wall_us`, `par.<name>.busy_us` — per-region-name
+//!   histograms (one busy sample per shard) so busy-vs-wall can be
+//!   compared per call site,
+//! * `par.imbalance` and `par.<name>.imbalance` — gauges holding the most
+//!   recent region's `(max − min) / max` shard-busy spread (0 = perfectly
+//!   balanced, → 1 = one worker did everything).
+//!
+//! Shard busy time is measured *inside* the worker, so the gap between
+//! `wall × threads` and `Σ busy` is exactly the spawn/join + scheduling
+//! overhead — the number that makes the inverted thread-scaling of the
+//! likelihood kernel diagnosable instead of mysterious. When the global
+//! [`bloc_obs::Tracer`] is also enabled, every shard additionally records
+//! `par.<name>` begin/end edges on its worker thread, which is what puts
+//! worker lanes into the exported Chrome trace.
+//!
+//! The unnamed entry points ([`map`], [`sharded_map`],
+//! [`for_each_chunk_mut`]) report under the reserved region name `other`.
+//! The names `region` and `shard` are reserved for the aggregate metrics
+//! and must not be used as region names.
+
+use std::time::Instant;
+
+use bloc_obs::{Registry, Tracer};
 
 /// The number of worker threads the host advertises (≥ 1).
 pub fn max_threads() -> usize {
@@ -20,6 +54,83 @@ pub fn max_threads() -> usize {
         .unwrap_or(1)
 }
 
+/// Region name used by the unnamed entry points.
+const UNNAMED: &str = "other";
+
+fn elapsed_us(start: Instant) -> u64 {
+    start.elapsed().as_micros().min(u64::MAX as u128) as u64
+}
+
+/// One instrumented fan-out. `open` is `None` while the global registry
+/// is disabled, collapsing every telemetry touch to a branch.
+struct Region {
+    name: &'static str,
+    /// Interned `par.<name>` trace id when the tracer is recording.
+    trace_id: Option<u32>,
+    start: Instant,
+}
+
+impl Region {
+    fn open(name: &'static str) -> Option<Region> {
+        if !Registry::global().is_enabled() {
+            return None;
+        }
+        let trace_id = Tracer::global().intern(&format!("par.{name}"));
+        Some(Region {
+            name,
+            trace_id,
+            start: Instant::now(),
+        })
+    }
+
+    /// Records the region's metrics; `busy_us` holds one entry per shard
+    /// that actually ran, `items` go to the `items_counter` counter
+    /// (`par.chunks` or `par.items`).
+    fn close(self, threads: usize, busy_us: &[u64], items: u64, items_counter: &'static str) {
+        let wall_us = elapsed_us(self.start);
+        let reg = Registry::global();
+        reg.counter("par.regions").inc();
+        reg.counter(items_counter).add(items);
+        reg.histogram("par.region.threads").record(threads as u64);
+        reg.histogram("par.region.wall_us").record(wall_us);
+        reg.histogram(&format!("par.{}.wall_us", self.name))
+            .record(wall_us);
+        let shard_busy = reg.histogram("par.shard.busy_us");
+        let named_busy = reg.histogram(&format!("par.{}.busy_us", self.name));
+        for &b in busy_us {
+            shard_busy.record(b);
+            named_busy.record(b);
+        }
+        let max = busy_us.iter().copied().max().unwrap_or(0);
+        let min = busy_us.iter().copied().min().unwrap_or(0);
+        reg.histogram("par.region.busy_max_us").record(max);
+        let imbalance = if max > 0 {
+            (max - min) as f64 / max as f64
+        } else {
+            0.0
+        };
+        reg.gauge("par.imbalance").set(imbalance);
+        reg.gauge(&format!("par.{}.imbalance", self.name))
+            .set(imbalance);
+    }
+}
+
+/// Runs one shard's body between trace edges, returning `(result, busy µs)`.
+fn timed_shard<R>(trace_id: Option<u32>, body: impl FnOnce() -> R) -> (R, u64) {
+    if let Some(id) = trace_id {
+        Tracer::global().begin_id(id);
+    }
+    let start = Instant::now();
+    let out = body();
+    let busy = elapsed_us(start);
+    if let Some(id) = trace_id {
+        Tracer::global().end(id);
+    }
+    (out, busy)
+}
+
+/// [`for_each_chunk_mut`] with a region name for the `par.*` telemetry.
+///
 /// Splits `data` into contiguous chunks of `chunk_len` elements and applies
 /// `f(start_offset, chunk)` to every chunk, distributing chunks round-robin
 /// across `threads` scoped threads.
@@ -27,17 +138,29 @@ pub fn max_threads() -> usize {
 /// With `threads <= 1` (or a single chunk) everything runs inline on the
 /// caller's thread — no spawn overhead, and the zero-thread case needs no
 /// special handling at call sites.
-pub fn for_each_chunk_mut<T, F>(data: &mut [T], chunk_len: usize, threads: usize, f: F)
-where
+pub fn for_each_chunk_mut_named<T, F>(
+    name: &'static str,
+    data: &mut [T],
+    chunk_len: usize,
+    threads: usize,
+    f: F,
+) where
     T: Send,
     F: Fn(usize, &mut [T]) + Sync,
 {
     let chunk_len = chunk_len.max(1);
     let n_chunks = data.len().div_ceil(chunk_len);
     let threads = threads.max(1).min(n_chunks.max(1));
+    let region = Region::open(name);
+    let trace_id = region.as_ref().and_then(|r| r.trace_id);
     if threads == 1 {
-        for (k, chunk) in data.chunks_mut(chunk_len).enumerate() {
-            f(k * chunk_len, chunk);
+        let ((), busy) = timed_shard(trace_id, || {
+            for (k, chunk) in data.chunks_mut(chunk_len).enumerate() {
+                f(k * chunk_len, chunk);
+            }
+        });
+        if let Some(region) = region {
+            region.close(1, &[busy], n_chunks as u64, "par.chunks");
         }
         return;
     }
@@ -45,18 +168,47 @@ where
     for (k, chunk) in data.chunks_mut(chunk_len).enumerate() {
         per_thread[k % threads].push((k * chunk_len, chunk));
     }
-    std::thread::scope(|scope| {
+    let busy: Vec<u64> = std::thread::scope(|scope| {
         let f = &f;
-        for work in per_thread {
-            scope.spawn(move || {
-                for (start, chunk) in work {
-                    f(start, chunk);
-                }
-            });
-        }
+        let handles: Vec<_> = per_thread
+            .into_iter()
+            .map(|work| {
+                scope.spawn(move || {
+                    let ((), busy) = timed_shard(trace_id, || {
+                        for (start, chunk) in work {
+                            f(start, chunk);
+                        }
+                    });
+                    busy
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(b) => b,
+                Err(e) => std::panic::resume_unwind(e),
+            })
+            .collect()
     });
+    if let Some(region) = region {
+        region.close(threads, &busy, n_chunks as u64, "par.chunks");
+    }
 }
 
+/// Splits `data` into contiguous chunks and applies `f` to each across
+/// `threads` scoped threads; telemetry lands under the `other` region
+/// (see [`for_each_chunk_mut_named`]).
+pub fn for_each_chunk_mut<T, F>(data: &mut [T], chunk_len: usize, threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    for_each_chunk_mut_named(UNNAMED, data, chunk_len, threads, f)
+}
+
+/// [`sharded_map`] with a region name for the `par.*` telemetry.
+///
 /// Evaluates `work` for every index in `0..n` across `threads` scoped
 /// threads, returning the results in index order.
 ///
@@ -69,7 +221,14 @@ where
 /// A panic in any worker is resumed on the calling thread after the scope
 /// joins, matching the behaviour of the hand-rolled sharding blocks this
 /// replaces.
-pub fn sharded_map<S, T, I, W, F>(n: usize, threads: usize, init: I, work: W, fini: F) -> Vec<T>
+pub fn sharded_map_named<S, T, I, W, F>(
+    name: &'static str,
+    n: usize,
+    threads: usize,
+    init: I,
+    work: W,
+    fini: F,
+) -> Vec<T>
 where
     T: Send,
     I: Fn(usize) -> S + Sync,
@@ -77,24 +236,34 @@ where
     F: Fn(S) + Sync,
 {
     let threads = threads.max(1).min(n.max(1));
+    let region = Region::open(name);
+    let trace_id = region.as_ref().and_then(|r| r.trace_id);
     if threads == 1 {
-        let mut state = init(0);
-        let out: Vec<T> = (0..n).map(|i| work(&mut state, i)).collect();
-        fini(state);
+        let (out, busy) = timed_shard(trace_id, || {
+            let mut state = init(0);
+            let out: Vec<T> = (0..n).map(|i| work(&mut state, i)).collect();
+            fini(state);
+            out
+        });
+        if let Some(region) = region {
+            region.close(1, &[busy], n as u64, "par.items");
+        }
         return out;
     }
-    let shards: Vec<Vec<T>> = std::thread::scope(|scope| {
+    let shards: Vec<(Vec<T>, u64)> = std::thread::scope(|scope| {
         let (init, work, fini) = (&init, &work, &fini);
         let handles: Vec<_> = (0..threads)
             .map(|t| {
                 scope.spawn(move || {
-                    let mut state = init(t);
-                    let out: Vec<T> = (t..n)
-                        .step_by(threads)
-                        .map(|i| work(&mut state, i))
-                        .collect();
-                    fini(state);
-                    out
+                    timed_shard(trace_id, || {
+                        let mut state = init(t);
+                        let out: Vec<T> = (t..n)
+                            .step_by(threads)
+                            .map(|i| work(&mut state, i))
+                            .collect();
+                        fini(state);
+                        out
+                    })
                 })
             })
             .collect();
@@ -106,15 +275,42 @@ where
             })
             .collect()
     });
+    if let Some(region) = region {
+        let busy: Vec<u64> = shards.iter().map(|(_, b)| *b).collect();
+        region.close(threads, &busy, n as u64, "par.items");
+    }
     let mut out: Vec<Option<T>> = Vec::with_capacity(n);
     out.resize_with(n, || None);
-    for (t, shard) in shards.into_iter().enumerate() {
+    for (t, (shard, _)) in shards.into_iter().enumerate() {
         for (k, item) in shard.into_iter().enumerate() {
             out[t + k * threads] = Some(item);
         }
     }
     debug_assert!(out.iter().all(Option::is_some));
     out.into_iter().flatten().collect()
+}
+
+/// Evaluates `work` for every index in `0..n` across `threads` scoped
+/// threads with per-worker state; telemetry lands under the `other`
+/// region (see [`sharded_map_named`]).
+pub fn sharded_map<S, T, I, W, F>(n: usize, threads: usize, init: I, work: W, fini: F) -> Vec<T>
+where
+    T: Send,
+    I: Fn(usize) -> S + Sync,
+    W: Fn(&mut S, usize) -> T + Sync,
+    F: Fn(S) + Sync,
+{
+    sharded_map_named(UNNAMED, n, threads, init, work, fini)
+}
+
+/// Stateless [`sharded_map_named`]: maps `f` over `0..n` in parallel,
+/// results in index order, telemetry under `par.<name>.*`.
+pub fn map_named<T, F>(name: &'static str, n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    sharded_map_named(name, n, threads, |_| (), |(), i| f(i), |()| ())
 }
 
 /// Stateless [`sharded_map`]: maps `f` over `0..n` in parallel, results in
@@ -124,7 +320,7 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    sharded_map(n, threads, |_| (), |(), i| f(i), |()| ())
+    map_named(UNNAMED, n, threads, f)
 }
 
 #[cfg(test)]
@@ -224,5 +420,69 @@ mod tests {
             })
         });
         assert!(caught.is_err());
+    }
+
+    /// Serializes the tests that read (or toggle) the global registry so
+    /// a concurrently running disable can't void a sibling's metrics.
+    fn telemetry_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Named regions must account their items, shard busy samples and
+    /// wall time under `par.<name>.*` on the global registry, with one
+    /// busy sample per shard that ran.
+    #[test]
+    fn named_region_records_par_metrics() {
+        let _serial = telemetry_lock();
+        let reg = Registry::global();
+        let before = reg.snapshot();
+        let out = map_named("par-selftest", 64, 4, |i| {
+            // Enough work per item that busy time is nonzero on every shard.
+            (0..400u64).fold(i as u64, |acc, k| acc.wrapping_mul(31).wrapping_add(k))
+        });
+        assert_eq!(out.len(), 64);
+        let delta = reg.snapshot().diff(&before);
+        assert!(delta.counters["par.regions"] >= 1);
+        assert!(delta.counters["par.items"] >= 64);
+        let wall = &delta.histograms["par.par-selftest.wall_us"];
+        assert_eq!(wall.count, 1);
+        let busy = &delta.histograms["par.par-selftest.busy_us"];
+        assert_eq!(busy.count, 4, "one busy sample per shard");
+        // Busy is measured inside the workers: it can never exceed the
+        // region wall per shard, so Σ busy ≤ wall × shards.
+        assert!(busy.sum <= wall.sum * 4 + 4); // +4 for µs rounding
+    }
+
+    /// The single-thread inline path is a region too: one shard whose
+    /// busy time equals (up to clock granularity) the region wall.
+    #[test]
+    fn inline_region_counts_one_shard() {
+        let _serial = telemetry_lock();
+        let reg = Registry::global();
+        let before = reg.snapshot();
+        let mut data = vec![1u64; 500];
+        for_each_chunk_mut_named("par-selftest-inline", &mut data, 64, 1, |_, chunk| {
+            for v in chunk.iter_mut() {
+                *v = v.wrapping_mul(3);
+            }
+        });
+        let delta = reg.snapshot().diff(&before);
+        assert!(delta.counters["par.chunks"] >= 8);
+        assert_eq!(delta.histograms["par.par-selftest-inline.busy_us"].count, 1);
+    }
+
+    /// With the global registry disabled, a named region records nothing.
+    #[test]
+    fn disabled_registry_skips_par_metrics() {
+        let _serial = telemetry_lock();
+        let reg = Registry::global();
+        reg.set_enabled(false);
+        let out = map_named("par-selftest-off", 16, 2, |i| i + 1);
+        reg.set_enabled(true);
+        assert_eq!(out[15], 16);
+        let snap = reg.snapshot();
+        assert!(!snap.histograms.contains_key("par.par-selftest-off.wall_us"));
+        assert!(!snap.histograms.contains_key("par.par-selftest-off.busy_us"));
     }
 }

@@ -18,6 +18,16 @@ use crate::span::SpanGuard;
 /// Metric handles are `Arc`s: call sites resolve a name once (read-locked
 /// map lookup) and then increment lock-free. The common fast path —
 /// emitting with no sinks attached — is one relaxed atomic load.
+///
+/// A registry can be switched off wholesale with
+/// [`Registry::set_enabled`]: name lookups then return detached "void"
+/// metrics that absorb increments without appearing in snapshots, spans
+/// become no-ops, and events are dropped. This is the honest baseline the
+/// `obs_report` overhead gate measures instrumentation against — the
+/// call sites still run, the recording does not. Handles resolved *while
+/// disabled* stay detached even after re-enabling; the workspace resolves
+/// hot-path handles per call or per construction, so nothing long-lived
+/// is resolved in the disabled window.
 #[derive(Default)]
 pub struct Registry {
     counters: RwLock<HashMap<String, Arc<Counter>>>,
@@ -26,6 +36,13 @@ pub struct Registry {
     sinks: Mutex<Vec<Box<dyn Sink>>>,
     /// Mirror of `sinks.len()` readable without the lock.
     n_sinks: AtomicUsize,
+    /// Inverted so `Default` (false) means enabled.
+    disabled: std::sync::atomic::AtomicBool,
+    /// Detached sinks for disabled-mode lookups, created lazily; never in
+    /// the maps, so snapshots cannot see anything recorded through them.
+    void_counter: OnceLock<Arc<Counter>>,
+    void_gauge: OnceLock<Arc<Gauge>>,
+    void_histogram: OnceLock<Arc<Histogram>>,
 }
 
 impl Registry {
@@ -40,8 +57,23 @@ impl Registry {
         GLOBAL.get_or_init(Registry::new)
     }
 
+    /// Turns recording on (the default) or off. Disabling swaps every
+    /// subsequent lookup to a detached void metric and makes spans and
+    /// events no-ops; metrics already recorded stay readable.
+    pub fn set_enabled(&self, on: bool) {
+        self.disabled.store(!on, Ordering::Release);
+    }
+
+    /// True while the registry is recording.
+    pub fn is_enabled(&self) -> bool {
+        !self.disabled.load(Ordering::Relaxed)
+    }
+
     /// The counter registered under `name`, created on first use.
     pub fn counter(&self, name: &str) -> Arc<Counter> {
+        if !self.is_enabled() {
+            return Arc::clone(self.void_counter.get_or_init(Default::default));
+        }
         if let Some(c) = self.counters.read().expect("counter map").get(name) {
             return Arc::clone(c);
         }
@@ -51,6 +83,9 @@ impl Registry {
 
     /// The gauge registered under `name`, created on first use (at 0.0).
     pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        if !self.is_enabled() {
+            return Arc::clone(self.void_gauge.get_or_init(Default::default));
+        }
         if let Some(g) = self.gauges.read().expect("gauge map").get(name) {
             return Arc::clone(g);
         }
@@ -60,6 +95,9 @@ impl Registry {
 
     /// The histogram registered under `name`, created on first use.
     pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        if !self.is_enabled() {
+            return Arc::clone(self.void_histogram.get_or_init(Default::default));
+        }
         if let Some(h) = self.histograms.read().expect("histogram map").get(name) {
             return Arc::clone(h);
         }
@@ -100,9 +138,10 @@ impl Registry {
         self.n_sinks.load(Ordering::Acquire) > 0
     }
 
-    /// Delivers `event` to every attached sink (no-op without sinks).
+    /// Delivers `event` to every attached sink (no-op without sinks or
+    /// while disabled).
     pub fn emit(&self, event: Event) {
-        if !self.has_sinks() {
+        if !self.has_sinks() || !self.is_enabled() {
             return;
         }
         let sinks = self.sinks.lock().expect("sink list");
@@ -225,6 +264,44 @@ mod tests {
         assert_eq!(reg.clear_sinks(), 1);
         reg.emit(Event::new("test", "dropped"));
         assert_eq!(sink.0.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn disabled_registry_records_nothing_and_reenables() {
+        let reg = Registry::new();
+        assert!(reg.is_enabled());
+        reg.counter("kept").inc();
+        reg.set_enabled(false);
+        assert!(!reg.is_enabled());
+        reg.counter("void").add(100);
+        reg.gauge("void").set(1.0);
+        reg.histogram("void").record(5);
+        {
+            let _s = reg.span("void_span");
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters.get("kept"), Some(&1));
+        assert!(!snap.counters.contains_key("void"));
+        assert!(!snap.gauges.contains_key("void"));
+        assert!(!snap.histograms.contains_key("void"));
+        assert!(!snap.histograms.contains_key("span.void_span"));
+        // Disabled-mode emits are dropped even with a sink attached.
+        let seen = Arc::new(AtomicU64::new(0));
+        struct CountFwd(Arc<AtomicU64>);
+        impl Sink for CountFwd {
+            fn record(&self, _event: &Event) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        reg.add_sink(Box::new(CountFwd(Arc::clone(&seen))));
+        reg.emit(Event::new("test", "dropped"));
+        assert_eq!(seen.load(Ordering::Relaxed), 0);
+        // Re-enabling restores recording into the named metrics.
+        reg.set_enabled(true);
+        reg.counter("kept").inc();
+        reg.emit(Event::new("test", "seen"));
+        assert_eq!(reg.snapshot().counters["kept"], 2);
+        assert_eq!(seen.load(Ordering::Relaxed), 1);
     }
 
     #[test]

@@ -75,8 +75,14 @@ impl RunReport {
     }
 
     /// Renders a human-readable breakdown: stage timings first (the
-    /// `span.*` histograms, as count / total / mean / p50 / p95), then
-    /// value histograms, then counters.
+    /// `span.*` histograms, as count / inclusive total / exclusive self /
+    /// mean / p50 / p95), then value histograms, then gauges and
+    /// counters.
+    ///
+    /// The `self` column is the *exclusive* stage time: the span's
+    /// inclusive total minus the inclusive totals of its direct children
+    /// (`localize` minus `localize/likelihood` + `localize/correct` + …),
+    /// so summing the column never double-counts nested stages.
     pub fn render(&self) -> String {
         let mut out = String::new();
         let spans: Vec<_> = self
@@ -88,16 +94,17 @@ impl RunReport {
             out.push_str("stage timings (µs):\n");
             let _ = writeln!(
                 out,
-                "  {:<40} {:>9} {:>12} {:>10} {:>10} {:>10}",
-                "span", "count", "total", "mean", "~p50", "~p95"
+                "  {:<40} {:>9} {:>12} {:>12} {:>10} {:>10} {:>10}",
+                "span", "count", "total", "self", "mean", "~p50", "~p95"
             );
             for (name, h) in &spans {
                 let _ = writeln!(
                     out,
-                    "  {:<40} {:>9} {:>12} {:>10.1} {:>10.0} {:>10.0}",
+                    "  {:<40} {:>9} {:>12} {:>12} {:>10.1} {:>10.0} {:>10.0}",
                     &name["span.".len()..],
                     h.count,
                     h.sum,
+                    self.span_self_time(name),
                     h.mean(),
                     h.quantile(0.5),
                     h.quantile(0.95),
@@ -145,6 +152,26 @@ impl RunReport {
             out.push_str("(no metrics recorded)\n");
         }
         out
+    }
+
+    /// Exclusive (self) time of the span histogram named `full_name`
+    /// (with its `span.` prefix): its inclusive sum minus the inclusive
+    /// sums of its *direct* children (`span.<path>/<leaf>` with no
+    /// further `/`). Saturates at zero — children recorded on worker
+    /// threads can overlap the parent's wall clock.
+    pub fn span_self_time(&self, full_name: &str) -> u64 {
+        let prefix = format!("{full_name}/");
+        let children: u64 = self
+            .histograms
+            .range(prefix.clone()..)
+            .take_while(|(n, _)| n.starts_with(&prefix))
+            .filter(|(n, _)| !n[prefix.len()..].contains('/'))
+            .map(|(_, h)| h.sum)
+            .sum();
+        self.histograms
+            .get(full_name)
+            .map(|h| h.sum.saturating_sub(children))
+            .unwrap_or(0)
     }
 
     /// Serializes to JSON Lines: one object per metric, sorted by name.
@@ -377,7 +404,39 @@ mod tests {
         assert!(text.contains("localize")); // span name with prefix stripped
         assert!(text.contains("likelihood.grid_cells"));
         assert!(text.contains("localize.latency_us"));
+        // Gauges get their own section, not a row in the stage table.
+        assert!(text.contains("gauges:"));
         assert!(text.contains("runtime.anchor_health.2"));
+    }
+
+    #[test]
+    fn self_time_subtracts_direct_children_only() {
+        let reg = Registry::new();
+        reg.histogram("span.localize").record(1000);
+        reg.histogram("span.localize/likelihood").record(700);
+        reg.histogram("span.localize/correct").record(100);
+        // A grandchild must not be subtracted from the grandparent (its
+        // time is already inside `localize/likelihood`).
+        reg.histogram("span.localize/likelihood/steering")
+            .record(600);
+        reg.histogram("span.other").record(50);
+        let snap = reg.snapshot();
+        assert_eq!(snap.span_self_time("span.localize"), 200);
+        assert_eq!(snap.span_self_time("span.localize/likelihood"), 100);
+        assert_eq!(snap.span_self_time("span.localize/correct"), 100);
+        assert_eq!(snap.span_self_time("span.other"), 50);
+        assert_eq!(snap.span_self_time("span.absent"), 0);
+        // Children bigger than the parent (parallel workers) saturate.
+        reg.histogram("span.par").record(10);
+        reg.histogram("span.par/shard").record(40);
+        assert_eq!(reg.snapshot().span_self_time("span.par"), 0);
+        // The rendered table carries the column.
+        let text = snap.render();
+        let localize_row = text
+            .lines()
+            .find(|l| l.trim_start().starts_with("localize "))
+            .expect("localize row");
+        assert!(localize_row.contains("200"), "self column: {localize_row}");
     }
 
     #[test]

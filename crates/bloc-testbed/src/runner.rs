@@ -164,7 +164,8 @@ pub fn sweep(spec: &SweepSpec<'_>) -> Vec<SweepOutcome> {
     // Per-worker state: a stats accumulator (samples hit the shared
     // registry once, at join) and a private sounder. Work is sharded by
     // stride and reassembled in dataset order by the executor.
-    let per_location: Vec<Vec<Option<Eval>>> = bloc_num::par::sharded_map(
+    let per_location: Vec<Vec<Option<Eval>>> = bloc_num::par::sharded_map_named(
+        "sweep",
         n,
         bloc_num::par::max_threads(),
         |_t| {

@@ -30,6 +30,14 @@ if [[ "${1:-}" != "quick" ]]; then
     # refreshes BENCH_likelihood.json and BENCH_sounding.json (see
     # crates/bloc-bench/src/bin/perf_baseline.rs).
     run cargo run --release -q -p bloc-bench --bin perf_baseline 15
+    # Observability gate: instrumentation overhead ≤ 2% vs a disabled
+    # registry, par.* shard telemetry covering ≥ 95% of a calibrated
+    # parallel region, Chrome-trace export re-parsed and balance-checked,
+    # and the BENCH_* warm throughputs appended to the append-only
+    # target/reports/BENCH_history.jsonl with a >15%-below-best regression
+    # gate (warn-only on the first recorded run; see
+    # crates/bloc-bench/src/bin/obs_report.rs).
+    run cargo run --release -q -p bloc-bench --bin obs_report
 fi
 run cargo test -q
 run cargo fmt --check
