@@ -185,6 +185,14 @@ fn main() {
             Ok(RoundOutcome::Fix(fix)) => {
                 sup_errs.push(fix.track.position.dist(truth_at(round)));
             }
+            Ok(RoundOutcome::Degraded(d)) => {
+                // No fallback stack is attached in this soak, so a
+                // degraded outcome would be a supervisor bug.
+                panic!(
+                    "round {round}: degraded outcome without a fallback stack: {}",
+                    d.reason
+                );
+            }
             Ok(RoundOutcome::Deferred(reason)) => {
                 deferred += 1;
                 println!("  round {round}: deferred — {reason}");

@@ -1,0 +1,312 @@
+//! Degraded-mode soak: the supervised runtime with the full fallback
+//! stack attached ([`bloc_core::fallback`]), driven through a fault ramp
+//! from a healthy deployment to 60% tag-packet loss with three of four
+//! anchors dark. The point of the exercise: **deferrals must become
+//! degraded fixes** — every round yields *some* estimate, with provenance
+//! flagged and accuracy falling off gracefully from the cm-class CSI
+//! regime into the metre-class RSSI regime, never off a cliff.
+//!
+//! The run **fails** (non-zero exit) unless all of the following hold:
+//!
+//! * zero panics across all rounds and stages;
+//! * zero "no fix" rounds: under the heaviest faults every round returns
+//!   `Fix` or `Degraded` — never a bare `Deferred`;
+//! * heavy-fault stages (≥ 50% loss + dropouts) actually exercise the
+//!   fallback: at least one `Degraded` outcome per such stage;
+//! * per-stage median error falls off monotonically within tolerance —
+//!   the CSI regime (sub-metre, paper Fig. 9a) while healthy, ≤ 3.7 m in
+//!   full fallback (the BLoc paper's RSSI-baseline median, Fig. 10);
+//! * the `fallback.census.*` counters reconcile **exactly** with the
+//!   fault plans' [`FaultPlan::predict_reception`] ledgers, and
+//!   `runtime.rounds.degraded` with the observed outcome tally.
+//!
+//! Fully deterministic: same seed, same verdict. `scripts/check.sh` runs
+//! this at 120 rounds.
+//!
+//! ```text
+//! cargo run --release -p bloc-bench --bin degraded_soak [rounds] [--trace]
+//! ```
+
+use bloc_chan::sounder::{all_data_channels, SoundingData};
+use bloc_chan::{AnchorDropout, FaultPlan, RangeLoss};
+use bloc_core::runtime::{RoundOutcome, RuntimeConfig, SessionSupervisor};
+use bloc_core::{BlocLocalizer, FallbackConfig, FallbackStack, PacketCountModel, RetryPolicy};
+use bloc_num::{stats, P2};
+use bloc_testbed::scenario::Scenario;
+use bloc_testbed::train_fingerprint_db;
+use rand::{rngs::StdRng, SeedableRng};
+
+/// One rung of the fault ramp.
+struct Stage {
+    /// Per-packet tag loss on every link (on top of range loss).
+    tag_loss: f64,
+    /// Slave anchors fully dark on every band (the master stays up —
+    /// losing it is a different failure class, covered by the fusion
+    /// contract tests).
+    dropped: &'static [usize],
+}
+
+const STAGES: [Stage; 6] = [
+    Stage {
+        tag_loss: 0.00,
+        dropped: &[],
+    },
+    Stage {
+        tag_loss: 0.20,
+        dropped: &[],
+    },
+    Stage {
+        tag_loss: 0.35,
+        dropped: &[2],
+    },
+    Stage {
+        tag_loss: 0.50,
+        dropped: &[1, 2],
+    },
+    Stage {
+        tag_loss: 0.60,
+        dropped: &[1, 2],
+    },
+    Stage {
+        tag_loss: 0.60,
+        dropped: &[1, 2, 3],
+    },
+];
+
+/// Median falloff tolerance between adjacent stages: error may dip this
+/// far below the previous stage (fault draws are stochastic per round)
+/// but a *larger* dip means the ramp is not actually ramping.
+const MONOTONE_TOL_M: f64 = 0.75;
+/// The healthy stage must stay in the CSI regime: the paper testbed's
+/// BLoc median is ~0.86 m (Fig. 9a), so 1.0 m separates it cleanly from
+/// the 3.7 m RSSI baseline.
+const HEALTHY_MEDIAN_M: f64 = 1.0;
+/// No stage may leave the RSSI-class regime (paper Fig. 10 baseline).
+const FALLBACK_MEDIAN_M: f64 = 3.7;
+
+fn main() {
+    let size = bloc_bench::size_from_args();
+    let rounds = (size.locations as u64).clamp(STAGES.len() as u64, 180);
+    let per_stage = rounds / STAGES.len() as u64;
+    bloc_bench::banner(
+        "Degraded-mode soak (fallback stack)",
+        &bloc_testbed::experiments::ExperimentSize {
+            locations: (per_stage as usize) * STAGES.len(),
+            seed: size.seed,
+        },
+    );
+
+    let scenario = Scenario::paper_testbed(size.seed);
+    let channels = all_data_channels();
+    let n_anchors = scenario.anchors.len();
+    let dt = 0.5;
+    let range = RangeLoss {
+        d0: 1.0,
+        per_m: 0.08,
+        max: 0.5,
+    };
+
+    // The offline survey pass: one fingerprint database, shared by every
+    // stage (a site survey is done once, not per failure).
+    let db = train_fingerprint_db(&scenario, 0.75, size.seed ^ 0xF1F0, 4);
+    println!("  fingerprint survey: {} positions", db.len());
+
+    let sounder = scenario.sounder(Default::default());
+    let plan_for = |stage: &Stage| FaultPlan {
+        tag_loss: stage.tag_loss,
+        range_loss: Some(range),
+        dropouts: stage
+            .dropped
+            .iter()
+            .map(|&anchor| AnchorDropout {
+                anchor,
+                bands: 0..channels.len(),
+            })
+            .collect(),
+        ..Default::default()
+    };
+    // The tag walks a slow diagonal; truth is indexed by global round so
+    // stage boundaries don't teleport it.
+    let truth_at = |r: u64| {
+        let f = r as f64 / (per_stage * STAGES.len() as u64 - 1).max(1) as f64;
+        P2::new(1.0 + 3.0 * f, 1.2 + 3.4 * f)
+    };
+    let seed_at = |round: u64, attempt: usize| {
+        size.seed
+            ^ round.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ (attempt as u64).wrapping_mul(0xA24B_AED4_963E_E407)
+    };
+
+    let registry = bloc_obs::Registry::global();
+    bloc_bench::maybe_start_trace();
+    let before = registry.snapshot();
+
+    let mut panics = 0usize;
+    let mut deferred = 0usize;
+    let mut degraded_total = 0usize;
+    let mut stage_medians = Vec::new();
+    let mut stage_degraded = Vec::new();
+    // Plan-side reconciliation ledger: for every round the supervisor
+    // took the degraded path (Degraded or post-census Deferred), the
+    // attempt-0 sounding's reception counts as the fault plan predicts
+    // them. Must match the observed `fallback.census.*` counters exactly.
+    let mut predicted_received = 0u64;
+    let mut predicted_expected = 0u64;
+
+    for (si, stage) in STAGES.iter().enumerate() {
+        let plan = plan_for(stage);
+        // Attempt 0 only: retries would re-draw the fault dice and break
+        // exact census reconciliation (and a degraded round must not cost
+        // extra airtime anyway — the whole point is to use what arrived).
+        let config = RuntimeConfig {
+            retry: RetryPolicy::with_retries(0),
+            ..Default::default()
+        };
+        let stack = FallbackStack::new(FallbackConfig::default())
+            .with_fingerprints(db.clone())
+            .with_counts(PacketCountModel::new(stage.tag_loss, range));
+        let localizer = BlocLocalizer::new(scenario.bloc_config());
+        let mut sup = SessionSupervisor::new(localizer, n_anchors, config).with_fallback(stack);
+
+        let mut errs = Vec::new();
+        let mut n_degraded = 0usize;
+        for local in 0..per_stage {
+            let round = si as u64 * per_stage + local;
+            let truth = truth_at(round);
+            let sound_at = |attempt: usize| -> SoundingData {
+                let s = seed_at(round, attempt);
+                let mut rng = StdRng::seed_from_u64(s);
+                sounder
+                    .clone()
+                    .with_faults(plan.with_seed(s))
+                    .sound(truth, &channels, &mut rng)
+            };
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                sup.run_round(dt, sound_at)
+            }));
+            let took_degraded_path = match &outcome {
+                Err(_) => {
+                    panics += 1;
+                    false
+                }
+                Ok(RoundOutcome::Fix(fix)) => {
+                    errs.push(fix.estimate.position.dist(truth));
+                    false
+                }
+                Ok(RoundOutcome::Degraded(d)) => {
+                    errs.push(d.estimate.position.dist(truth));
+                    n_degraded += 1;
+                    degraded_total += 1;
+                    true
+                }
+                Ok(RoundOutcome::Deferred(reason)) => {
+                    deferred += 1;
+                    println!("  stage {si} round {round}: DEFERRED — {reason}");
+                    // The stack always has estimators here, so the census
+                    // was recorded before the fallback gave up.
+                    true
+                }
+            };
+            if took_degraded_path {
+                let predicted = plan.with_seed(seed_at(round, 0)).predict_reception(
+                    &channels,
+                    &scenario.anchors,
+                    Some(truth),
+                );
+                predicted_received += predicted.total_received() as u64;
+                predicted_expected += (predicted.expected * n_anchors) as u64;
+            }
+        }
+        let median = stats::median(&errs);
+        println!(
+            "  stage {si}: loss {:>3.0}% + {} dark — median {:>6.3} m, p90 {:>6.3} m, {} fixed / {} degraded / {} rounds",
+            stage.tag_loss * 100.0,
+            stage.dropped.len(),
+            median,
+            stats::percentile(&errs, 90.0),
+            errs.len() - n_degraded,
+            n_degraded,
+            per_stage,
+        );
+        stage_medians.push(median);
+        stage_degraded.push(n_degraded);
+    }
+
+    // ---- Gates -----------------------------------------------------------
+    let run = registry.snapshot().diff(&before);
+    let counter = |name: &str| run.counters.get(name).copied().unwrap_or(0);
+    let mut violations = Vec::new();
+    if panics != 0 {
+        violations.push(format!("{panics} rounds panicked"));
+    }
+    if deferred != 0 {
+        violations.push(format!(
+            "{deferred} rounds returned bare Deferred with a fallback stack attached"
+        ));
+    }
+    if stage_medians[0] > HEALTHY_MEDIAN_M {
+        violations.push(format!(
+            "healthy stage median {:.3} m is not cm-class (limit {HEALTHY_MEDIAN_M} m)",
+            stage_medians[0]
+        ));
+    }
+    for (si, &m) in stage_medians.iter().enumerate() {
+        if !m.is_finite() || m > FALLBACK_MEDIAN_M {
+            violations.push(format!(
+                "stage {si} median {m:.3} m leaves the RSSI-class regime (limit {FALLBACK_MEDIAN_M} m)"
+            ));
+        }
+    }
+    for w in stage_medians.windows(2).enumerate() {
+        let (i, pair) = w;
+        if pair[1] < pair[0] - MONOTONE_TOL_M {
+            violations.push(format!(
+                "median fell {:.3} → {:.3} m between stages {i} and {} — the ramp is not ramping",
+                pair[0],
+                pair[1],
+                i + 1
+            ));
+        }
+    }
+    for (si, stage) in STAGES.iter().enumerate() {
+        if stage.tag_loss >= 0.5 && !stage.dropped.is_empty() && stage_degraded[si] == 0 {
+            violations.push(format!(
+                "heavy-fault stage {si} never took the degraded path"
+            ));
+        }
+    }
+    let observed_received = counter("fallback.census.received");
+    let observed_expected = counter("fallback.census.expected");
+    if observed_received != predicted_received || observed_expected != predicted_expected {
+        violations.push(format!(
+            "census ledger mismatch: observed {observed_received}/{observed_expected} \
+             vs predicted {predicted_received}/{predicted_expected} (received/expected)"
+        ));
+    }
+    if counter("runtime.rounds.degraded") != degraded_total as u64 {
+        violations.push(format!(
+            "runtime.rounds.degraded counter ({}) disagrees with the outcome tally ({degraded_total})",
+            counter("runtime.rounds.degraded")
+        ));
+    }
+    println!(
+        "  census: observed {observed_received}/{observed_expected} received/expected over {} degraded-path rounds (reconciled)",
+        degraded_total + deferred
+    );
+    println!(
+        "  fallback: {} knn queries, {} count localizations, {} refined fixes",
+        counter("fallback.knn.queries"),
+        counter("fallback.counts.localizations"),
+        counter("fallback.refined_fixes"),
+    );
+
+    bloc_bench::maybe_finish_trace("degraded_soak");
+    if violations.is_empty() {
+        println!("  degraded soak PASS: every round yielded an estimate across the fault ramp");
+    } else {
+        for v in &violations {
+            println!("  degraded soak FAIL: {v}");
+        }
+        std::process::exit(1);
+    }
+}

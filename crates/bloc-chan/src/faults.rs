@@ -27,9 +27,9 @@
 #![deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 
 use crate::array::AnchorArray;
-use crate::sounder::BandSounding;
+use crate::sounder::{BandSounding, SoundingData};
 use bloc_ble::channels::Channel;
-use bloc_num::C64;
+use bloc_num::{C64, P2};
 use std::ops::Range;
 
 /// A whole-anchor outage spanning a range of band slots: the anchor
@@ -70,6 +70,41 @@ impl InterferenceBurst {
     }
 }
 
+/// Distance-dependent tag-packet loss — the De/Vasisht reception-
+/// probability regime, where loss rate itself carries location
+/// information. The per-hop loss probability for an anchor at distance
+/// `d` from the tag is `min(max, per_m · max(0, d − d0))`: free below
+/// the reference distance `d0`, then climbing linearly with range. This
+/// is *on top of* the range-independent [`FaultPlan::tag_loss`].
+///
+/// Range loss needs the tag→anchor distances, which only the sounder
+/// knows. [`FaultPlan::census`] (no tag position) therefore cannot
+/// predict it — use [`FaultPlan::census_at`] with the true tag position
+/// for exact reconciliation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct RangeLoss {
+    /// Reference distance (m) below which range adds no loss.
+    pub d0: f64,
+    /// Added loss probability per metre beyond `d0`.
+    pub per_m: f64,
+    /// Ceiling on the range-induced loss probability.
+    pub max: f64,
+}
+
+impl RangeLoss {
+    /// Loss probability contributed by range `d` (metres).
+    pub fn p_loss(&self, d: f64) -> f64 {
+        (self.per_m * (d - self.d0).max(0.0)).clamp(0.0, self.max)
+    }
+
+    /// Reception probability at range `d` when composed with a
+    /// range-independent per-hop loss `base_loss` (losses independent).
+    pub fn p_receive(&self, d: f64, base_loss: f64) -> f64 {
+        (1.0 - base_loss.clamp(0.0, 1.0)) * (1.0 - self.p_loss(d))
+    }
+}
+
 /// A deterministic, seedable fault schedule applied to every sounding a
 /// [`crate::sounder::Sounder`] produces.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -97,6 +132,11 @@ pub struct FaultPlan {
     pub clip_level: Option<f64>,
     /// Interference bursts by frequency index.
     pub interference: Vec<InterferenceBurst>,
+    /// Optional distance-dependent tag-packet loss (the De/Vasisht
+    /// reception-probability regime). Only the sounder can apply it (it
+    /// knows the tag→anchor distances); [`FaultPlan::census`] without a
+    /// tag position ignores it — see [`FaultPlan::census_at`].
+    pub range_loss: Option<RangeLoss>,
 }
 
 /// What one plan application actually injected, by kind. Counts are in
@@ -159,6 +199,7 @@ enum Domain {
     TagLoss = 1,
     MasterLoss = 2,
     Noise = 3,
+    RangeLoss = 4,
 }
 
 impl FaultPlan {
@@ -190,6 +231,7 @@ impl FaultPlan {
             && self.dead_antennas.is_empty()
             && self.clip_level.is_none()
             && self.interference.is_empty()
+            && self.range_loss.is_none()
     }
 
     /// A uniform [0, 1) decision from the plan seed and a decision key —
@@ -216,11 +258,14 @@ impl FaultPlan {
     /// `n_antennas[i]` antennas per anchor at band slot `slot` on
     /// `channel`. This single function backs both [`Self::apply_to_band`]
     /// and [`Self::census`], so injection and prediction cannot diverge.
+    /// `link_dists[i]` is the tag→anchor-centre distance, needed only
+    /// when [`FaultPlan::range_loss`] is set; `None` skips range loss.
     pub(crate) fn band_masks(
         &self,
         slot: usize,
         channel: Channel,
         n_antennas: &[usize],
+        link_dists: Option<&[f64]>,
     ) -> BandMasks {
         let n = n_antennas.len();
         let mut tag: Vec<Vec<bool>> = n_antennas.iter().map(|&na| vec![false; na]).collect();
@@ -231,7 +276,11 @@ impl FaultPlan {
         for i in 0..n {
             let out = self.dropped_out(i, slot);
             let lost_tag = self.decide(Domain::TagLoss, slot, i, 0) < self.tag_loss;
-            if out || lost_tag {
+            let lost_range = match (self.range_loss, link_dists.and_then(|d| d.get(i))) {
+                (Some(rl), Some(&d)) => self.decide(Domain::RangeLoss, slot, i, 0) < rl.p_loss(d),
+                _ => false,
+            };
+            if out || lost_tag || lost_range {
                 for m in tag[i].iter_mut() {
                     *m = true;
                 }
@@ -280,10 +329,22 @@ impl FaultPlan {
 
     /// Injects this plan's faults into one band (at hop slot `slot`),
     /// mutating it in place, and returns the per-band census of what was
-    /// injected.
+    /// injected. Range loss (if configured) is skipped — the distances
+    /// are unknown here; use [`Self::apply_to_band_at`].
     pub fn apply_to_band(&self, slot: usize, band: &mut BandSounding) -> FaultCensus {
+        self.apply_to_band_at(slot, band, None)
+    }
+
+    /// [`Self::apply_to_band`] with the tag→anchor-centre distances
+    /// supplied, so distance-dependent [`RangeLoss`] decisions apply too.
+    pub fn apply_to_band_at(
+        &self,
+        slot: usize,
+        band: &mut BandSounding,
+        link_dists: Option<&[f64]>,
+    ) -> FaultCensus {
         let n_antennas: Vec<usize> = band.tag_to_anchor.iter().map(|r| r.len()).collect();
-        let masks = self.band_masks(slot, band.channel, &n_antennas);
+        let masks = self.band_masks(slot, band.channel, &n_antennas, link_dists);
         let mut census = FaultCensus::default();
 
         for (i, row) in band.tag_to_anchor.iter_mut().enumerate() {
@@ -369,12 +430,26 @@ impl FaultPlan {
     /// Predicts, without any measurement data, exactly which holes and
     /// interference hits this plan injects into a sounding of `channels`
     /// (in hop order) measured by `anchors`. `clipped` stays zero —
-    /// clipping depends on the measured amplitudes.
+    /// clipping depends on the measured amplitudes. [`RangeLoss`] is
+    /// ignored (the tag position is unknown); use [`Self::census_at`].
     pub fn census(&self, channels: &[Channel], anchors: &[AnchorArray]) -> FaultCensus {
+        self.census_at(channels, anchors, None)
+    }
+
+    /// [`Self::census`] with an optional true tag position, so
+    /// distance-dependent [`RangeLoss`] holes are predicted too. With
+    /// `tag = None` this is exactly [`Self::census`].
+    pub fn census_at(
+        &self,
+        channels: &[Channel],
+        anchors: &[AnchorArray],
+        tag: Option<P2>,
+    ) -> FaultCensus {
         let n_antennas: Vec<usize> = anchors.iter().map(|a| a.n_antennas).collect();
+        let dists = tag.map(|t| link_distances(anchors, t));
         let mut total = FaultCensus::default();
         for (slot, &channel) in channels.iter().enumerate() {
-            let masks = self.band_masks(slot, channel, &n_antennas);
+            let masks = self.band_masks(slot, channel, &n_antennas, dists.as_deref());
             let mut census = FaultCensus::default();
             for row in &masks.tag {
                 census.tag_holes += row.iter().filter(|&&m| m).count();
@@ -405,6 +480,101 @@ impl FaultPlan {
             .add(census.interference_bands as u64);
         bloc_obs::counter("fault.injected.interfered").add(census.interfered as u64);
         bloc_obs::counter("fault.injected.clipped").add(census.clipped as u64);
+    }
+
+    /// Predicts, per anchor, how many band slots lose the tag packet —
+    /// the plan-side ledger the packet-count fallback's observed
+    /// [`ReceptionCensus`] must reconcile with exactly. Supply the true
+    /// tag position when the plan carries [`RangeLoss`].
+    pub fn predict_reception(
+        &self,
+        channels: &[Channel],
+        anchors: &[AnchorArray],
+        tag: Option<P2>,
+    ) -> ReceptionCensus {
+        let n_antennas: Vec<usize> = anchors.iter().map(|a| a.n_antennas).collect();
+        let dists = tag.map(|t| link_distances(anchors, t));
+        let mut received = vec![0usize; anchors.len()];
+        let mut master_received = vec![0usize; anchors.len()];
+        for (slot, &channel) in channels.iter().enumerate() {
+            let masks = self.band_masks(slot, channel, &n_antennas, dists.as_deref());
+            for (i, row) in masks.tag.iter().enumerate() {
+                if !row.is_empty() && !row.iter().all(|&m| m) {
+                    received[i] += 1;
+                }
+            }
+            for (i, &m) in masks.master.iter().enumerate().skip(1) {
+                if !m {
+                    master_received[i] += 1;
+                }
+            }
+        }
+        ReceptionCensus {
+            expected: channels.len(),
+            received,
+            master_received,
+        }
+    }
+}
+
+/// Tag→anchor-centre distances, in anchor order.
+pub(crate) fn link_distances(anchors: &[AnchorArray], tag: P2) -> Vec<f64> {
+    anchors.iter().map(|a| a.center().dist(tag)).collect()
+}
+
+/// Per-anchor packet-reception tally over one sounding — the measurement
+/// the packet-count fallback localizes on, and the observable side of the
+/// fault ledger. An anchor "received" a band's tag packet iff its antenna
+/// row holds any nonzero entry (tag loss zeroes whole rows, and lost
+/// packets are exactly-zero by convention), so this tally reconciles
+/// exactly with [`FaultPlan::predict_reception`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ReceptionCensus {
+    /// Band slots sounded (the per-anchor expectation).
+    pub expected: usize,
+    /// Per anchor: slots whose tag packet was decoded (≥ 1 live entry).
+    pub received: Vec<usize>,
+    /// Per slave anchor: master responses heard (index 0 unused).
+    pub master_received: Vec<usize>,
+}
+
+impl ReceptionCensus {
+    /// Tallies the reception counts actually present in a sounding.
+    pub fn from_sounding(data: &SoundingData) -> ReceptionCensus {
+        let n = data.anchors.len();
+        let mut received = vec![0usize; n];
+        let mut master_received = vec![0usize; n];
+        for band in &data.bands {
+            for (i, row) in band.tag_to_anchor.iter().enumerate().take(n) {
+                if !row.is_empty() && row.iter().any(|h| h.norm_sq() != 0.0) {
+                    received[i] += 1;
+                }
+            }
+            for (i, h) in band.master_to_anchor.iter().enumerate().take(n).skip(1) {
+                if h.norm_sq() != 0.0 {
+                    master_received[i] += 1;
+                }
+            }
+        }
+        ReceptionCensus {
+            expected: data.bands.len(),
+            received,
+            master_received,
+        }
+    }
+
+    /// Total tag packets lost across all anchors.
+    pub fn lost(&self) -> usize {
+        self.received
+            .iter()
+            .map(|&r| self.expected.saturating_sub(r))
+            .sum()
+    }
+
+    /// Total tag packets received across all anchors.
+    pub fn total_received(&self) -> usize {
+        self.received.iter().sum()
     }
 }
 
@@ -497,6 +667,7 @@ mod tests {
                 freq_hi: 19,
                 noise_rel: 1.0,
             }],
+            range_loss: None,
         };
         let data = sound_with(&plan, 1);
         let (_, anchors) = deployment();
@@ -659,6 +830,57 @@ mod tests {
                 bc.channel.freq_index()
             );
         }
+    }
+
+    #[test]
+    fn range_loss_reception_reconciles_and_biases_with_distance() {
+        let (env, anchors) = deployment();
+        let plan = FaultPlan {
+            seed: 0xBEEF,
+            tag_loss: 0.1,
+            range_loss: Some(RangeLoss {
+                d0: 1.0,
+                per_m: 0.25,
+                max: 0.9,
+            }),
+            ..Default::default()
+        };
+        let tag = P2::new(0.7, 3.0); // near anchor 3 (west wall), far from 1
+        let sounder =
+            Sounder::new(&env, &anchors, SounderConfig::default()).with_faults(plan.clone());
+        let mut rng = StdRng::seed_from_u64(42);
+        let chans = all_data_channels();
+        let data = sounder.sound(tag, &chans, &mut rng);
+
+        let observed = ReceptionCensus::from_sounding(&data);
+        let predicted = plan.predict_reception(&chans, &anchors, Some(tag));
+        assert_eq!(observed, predicted, "reception ledger must reconcile");
+
+        // Without the tag position the census under-predicts the holes.
+        let blind = plan.census(&chans, &anchors);
+        let sighted = plan.census_at(&chans, &anchors, Some(tag));
+        assert!(sighted.tag_holes > blind.tag_holes);
+
+        // The near anchor must hear more than the farthest one.
+        let dists = link_distances(&anchors, tag);
+        let near = dists
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .unwrap();
+        let far = dists
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .unwrap();
+        assert!(
+            observed.received[near] > observed.received[far],
+            "range loss must bias reception with distance ({} vs {})",
+            observed.received[near],
+            observed.received[far]
+        );
     }
 
     #[test]

@@ -45,6 +45,8 @@ pub mod synth;
 
 pub use array::AnchorArray;
 pub use environment::{Environment, EnvironmentError, Path};
-pub use faults::{AnchorDropout, FaultCensus, FaultPlan, InterferenceBurst};
+pub use faults::{
+    AnchorDropout, FaultCensus, FaultPlan, InterferenceBurst, RangeLoss, ReceptionCensus,
+};
 pub use sounder::{BandSounding, Fidelity, Sounder, SounderConfig, SoundingData};
 pub use synth::{FreqComb, LinkClass, PathCache, PathSet};

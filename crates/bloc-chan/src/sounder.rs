@@ -378,8 +378,9 @@ impl<'a> Sounder<'a> {
             .collect();
         let mut census = crate::faults::FaultCensus::default();
         if let Some(plan) = &self.faults {
+            let dists = crate::faults::link_distances(self.anchors, tag);
             for (slot, band) in bands.iter_mut().enumerate() {
-                census.absorb(&plan.apply_to_band(slot, band));
+                census.absorb(&plan.apply_to_band_at(slot, band, Some(&dists)));
             }
             crate::faults::FaultPlan::record(&census);
         }
@@ -512,6 +513,10 @@ impl<'a> Sounder<'a> {
         } else {
             self.faults.as_ref().filter(|p| !p.is_empty())
         };
+        // Tag→anchor-centre distances, for distance-dependent range loss.
+        let dists = plan
+            .filter(|p| p.range_loss.is_some())
+            .map(|_| crate::faults::link_distances(self.anchors, tag));
         let mut bands =
             bloc_num::par::map_named("sound.bands", channels.len(), self.threads, |slot| {
                 self.assemble_band(
@@ -523,14 +528,16 @@ impl<'a> Sounder<'a> {
                     seed,
                     ideal,
                     plan,
+                    dists.as_deref(),
                 )
             });
 
         let mut census = crate::faults::FaultCensus::default();
         if !ideal {
             if let Some(p) = &self.faults {
+                let dists = crate::faults::link_distances(self.anchors, tag);
                 for (slot, band) in bands.iter_mut().enumerate() {
-                    census.absorb(&p.apply_to_band(slot, band));
+                    census.absorb(&p.apply_to_band_at(slot, band, Some(&dists)));
                 }
                 crate::faults::FaultPlan::record(&census);
             }
@@ -557,6 +564,7 @@ impl<'a> Sounder<'a> {
         seed: u64,
         ideal: bool,
         plan: Option<&crate::faults::FaultPlan>,
+        link_dists: Option<&[f64]>,
     ) -> BandSounding {
         let band_seed = splitmix(seed ^ (slot as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
         let (epoch, cfo_band) = if ideal {
@@ -569,7 +577,7 @@ impl<'a> Sounder<'a> {
             let cfo_band = cfo + self.config.tag_cfo_jitter_hz * gaussian_sample(&mut brng);
             (TuningEpoch::draw(n_antennas.len(), &mut brng), cfo_band)
         };
-        let masks = plan.map(|p| p.band_masks(slot, channel, n_antennas));
+        let masks = plan.map(|p| p.band_masks(slot, channel, n_antennas, link_dists));
         let cfo_rot = C64::cis(std::f64::consts::TAU * cfo_band * TONE_INTERVAL_S);
         let snr = self.config.csi_snr_db;
 

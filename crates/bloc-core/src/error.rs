@@ -196,6 +196,23 @@ impl DegradationReport {
     pub fn anchors_used(&self) -> usize {
         self.anchors_total - self.anchors_excluded.len()
     }
+
+    /// The fraction of the sounding's evidence that actually fed the
+    /// likelihood, in `[0, 1]`: (bands used / bands total) × (anchors
+    /// used / anchors total), with empty totals counting as fully
+    /// surviving. This is the health signal the degraded-mode fusion
+    /// weights ([`crate::fallback::FusionWeights`]) are derived from.
+    pub fn survival_fraction(&self) -> f64 {
+        let frac = |used: usize, total: usize| {
+            if total == 0 {
+                1.0
+            } else {
+                used as f64 / total as f64
+            }
+        };
+        (frac(self.bands_used(), self.bands_total) * frac(self.anchors_used(), self.anchors_total))
+            .clamp(0.0, 1.0)
+    }
 }
 
 #[cfg(test)]

@@ -79,6 +79,7 @@ pub mod correction;
 pub mod diagnostics;
 pub mod engine;
 pub mod error;
+pub mod fallback;
 pub mod likelihood;
 pub mod localizer;
 pub mod multipath;
@@ -86,6 +87,10 @@ pub mod runtime;
 pub mod tracker;
 
 pub use error::{DeferReason, DegradationReport, LocalizeError};
+pub use fallback::{
+    EstimateMode, FallbackConfig, FallbackError, FallbackStack, FingerprintDb, FusionPolicy,
+    FusionWeights, PacketCountModel,
+};
 pub use localizer::{BlocConfig, BlocLocalizer, Estimate};
 pub use runtime::{
     BreakerState, BreakerTransition, HopMonitor, RetryPolicy, RoundFix, RoundOutcome,

@@ -19,6 +19,7 @@ use bloc_num::{Grid2D, GridSpec, P2};
 use crate::correction::{correct, CorrectedChannels};
 use crate::engine::LikelihoodEngine;
 use crate::error::{DegradationReport, LocalizeError};
+use crate::fallback::{fusion, EstimateMode, FallbackStack, FusionWeights};
 use crate::likelihood::AntennaCombining;
 use crate::multipath::{score_peaks, ScoreConfig, ScoredPeak};
 
@@ -90,6 +91,18 @@ pub struct Estimate {
     /// What the pipeline discarded to produce this fix. `is_clean()` on a
     /// healthy sounding.
     pub degradation: DegradationReport,
+}
+
+/// A fix with degraded-mode provenance: which evidence produced it and
+/// at what convex weighting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FusedFix {
+    /// The estimate itself (pure CSI, refined, or fallback-synthesized).
+    pub estimate: Estimate,
+    /// Which evidence produced it.
+    pub mode: EstimateMode,
+    /// The convex weights actually used.
+    pub weights: FusionWeights,
 }
 
 impl Estimate {
@@ -377,6 +390,240 @@ impl BlocLocalizer {
         };
         est.degradation.confidence = est.confidence();
         Ok(est)
+    }
+
+    /// Blends an estimate's CSI likelihood with fallback prior surfaces
+    /// (each mass-normalized, convex `csi_weight` + prior weights) and
+    /// re-runs peak scoring on the fused surface. Keeps the original
+    /// degradation evidence; if the fused surface yields no peak the
+    /// original estimate is returned untouched (a prior must never turn
+    /// a fix into a no-fix).
+    pub fn refine_with_priors(
+        &self,
+        est: Estimate,
+        priors: &[(&Grid2D, f64)],
+        csi_weight: f64,
+        anchor_refs: &[P2],
+    ) -> Estimate {
+        let mut parts: Vec<(&Grid2D, f64)> = Vec::with_capacity(priors.len() + 1);
+        parts.push((&est.likelihood, csi_weight));
+        parts.extend_from_slice(priors);
+        let Some(fused) = fusion::fuse_mass(&parts) else {
+            return est;
+        };
+        let peaks = score_peaks(&fused, anchor_refs, &self.config.score);
+        if peaks.is_empty() {
+            return est;
+        }
+        let mut out = Estimate {
+            position: peaks[0].peak.position,
+            peaks,
+            likelihood: fused,
+            degradation: est.degradation,
+        };
+        out.degradation.confidence = out.confidence();
+        out
+    }
+
+    /// Degradation-aware localization: runs the CSI pipeline, derives
+    /// fusion weights from the resulting [`DegradationReport`] (plus the
+    /// caller's breaker `open_frac`), and — only when the round is below
+    /// the healthy threshold — blends in whatever priors `stack` can
+    /// produce. A healthy round short-circuits to the *identical*
+    /// pure-CSI estimate (weights snap to `csi = 1`). When CSI fails
+    /// outright, the stack's fallback-only estimate is dressed as an
+    /// [`Estimate`] (synthetic degradation report counting the sounding's
+    /// holes) so downstream consumers see one shape.
+    ///
+    /// # Errors
+    ///
+    /// The original [`LocalizeError`] when CSI failed *and* no fallback
+    /// estimator could produce anything either.
+    pub fn localize_with_fallback(
+        &self,
+        data: &SoundingData,
+        stack: &FallbackStack,
+        open_frac: f64,
+    ) -> Result<FusedFix, LocalizeError> {
+        match self.localize(data) {
+            Ok(est) => {
+                let weights = FusionWeights::from_degradation(
+                    &est.degradation,
+                    open_frac,
+                    &stack.config.policy,
+                );
+                if weights.csi >= 1.0 || !stack.has_estimators() {
+                    return Ok(FusedFix {
+                        estimate: est,
+                        mode: EstimateMode::Csi,
+                        weights: FusionWeights::pure_csi(),
+                    });
+                }
+                let (fp, counts) = stack.priors(data, self.config.grid);
+                let weights = weights.restrict(true, fp.is_some(), counts.is_some());
+                if weights.csi >= 1.0 {
+                    return Ok(FusedFix {
+                        estimate: est,
+                        mode: EstimateMode::Csi,
+                        weights,
+                    });
+                }
+                let mut priors: Vec<(&Grid2D, f64)> = Vec::new();
+                if let Some((bump, _)) = &fp {
+                    priors.push((bump, weights.fingerprint));
+                }
+                if let Some(c) = &counts {
+                    priors.push((&c.likelihood, weights.counts));
+                }
+                let anchor_refs: Vec<P2> = data.anchors.iter().map(|a| a.center()).collect();
+                let refined = self.refine_with_priors(est, &priors, weights.csi, &anchor_refs);
+                Ok(FusedFix {
+                    estimate: refined,
+                    mode: EstimateMode::CsiFused,
+                    weights,
+                })
+            }
+            Err(csi_err) => {
+                let Ok(fb) = stack.estimate(data, self.config.grid) else {
+                    return Err(csi_err);
+                };
+                Ok(FusedFix {
+                    estimate: self.estimate_from_fallback(data, &fb),
+                    mode: fb.mode,
+                    weights: fb.weights,
+                })
+            }
+        }
+    }
+
+    /// Dresses a fallback-only estimate as a pipeline [`Estimate`]: peak
+    /// scoring runs on the fallback likelihood (so confidence reflects
+    /// its — much broader — peak margin) and the degradation report is
+    /// reconstructed from the raw sounding.
+    pub fn estimate_from_fallback(
+        &self,
+        data: &SoundingData,
+        fb: &crate::fallback::FallbackEstimate,
+    ) -> Estimate {
+        let anchor_refs: Vec<P2> = data.anchors.iter().map(|a| a.center()).collect();
+        let peaks = score_peaks(&fb.likelihood, &anchor_refs, &self.config.score);
+        let position = peaks
+            .first()
+            .map(|p| p.peak.position)
+            .unwrap_or(fb.position);
+        let mut est = Estimate {
+            position,
+            peaks,
+            likelihood: fb.likelihood.clone(),
+            degradation: Self::synthetic_degradation(data),
+        };
+        est.degradation.confidence = est.confidence();
+        est
+    }
+
+    /// Multi-burst variant of [`Self::localize_with_fallback`]: fuses the
+    /// bursts' CSI evidence via [`Self::localize_fused`], with fallback
+    /// priors evaluated on the *last* burst (the freshest evidence).
+    ///
+    /// # Errors
+    ///
+    /// The [`Self::localize_fused`] error when CSI failed and no burst
+    /// supported a fallback estimate either.
+    pub fn localize_fused_with_fallback(
+        &self,
+        soundings: &[SoundingData],
+        stack: &FallbackStack,
+        open_frac: f64,
+    ) -> Result<FusedFix, LocalizeError> {
+        match self.localize_fused(soundings) {
+            Ok(est) => {
+                let weights = FusionWeights::from_degradation(
+                    &est.degradation,
+                    open_frac,
+                    &stack.config.policy,
+                );
+                let Some(last) = soundings.last() else {
+                    return Ok(FusedFix {
+                        estimate: est,
+                        mode: EstimateMode::Csi,
+                        weights: FusionWeights::pure_csi(),
+                    });
+                };
+                if weights.csi >= 1.0 || !stack.has_estimators() {
+                    return Ok(FusedFix {
+                        estimate: est,
+                        mode: EstimateMode::Csi,
+                        weights: FusionWeights::pure_csi(),
+                    });
+                }
+                let (fp, counts) = stack.priors(last, self.config.grid);
+                let weights = weights.restrict(true, fp.is_some(), counts.is_some());
+                if weights.csi >= 1.0 {
+                    return Ok(FusedFix {
+                        estimate: est,
+                        mode: EstimateMode::Csi,
+                        weights,
+                    });
+                }
+                let mut priors: Vec<(&Grid2D, f64)> = Vec::new();
+                if let Some((bump, _)) = &fp {
+                    priors.push((bump, weights.fingerprint));
+                }
+                if let Some(c) = &counts {
+                    priors.push((&c.likelihood, weights.counts));
+                }
+                let anchor_refs: Vec<P2> = last.anchors.iter().map(|a| a.center()).collect();
+                let refined = self.refine_with_priors(est, &priors, weights.csi, &anchor_refs);
+                Ok(FusedFix {
+                    estimate: refined,
+                    mode: EstimateMode::CsiFused,
+                    weights,
+                })
+            }
+            Err(csi_err) => {
+                for data in soundings.iter().rev() {
+                    if let Ok(fb) = stack.estimate(data, self.config.grid) {
+                        return Ok(FusedFix {
+                            estimate: self.estimate_from_fallback(data, &fb),
+                            mode: fb.mode,
+                            weights: fb.weights,
+                        });
+                    }
+                }
+                Err(csi_err)
+            }
+        }
+    }
+
+    /// A degradation report for a fallback-only estimate: CSI never ran,
+    /// so the report is reconstructed from the raw sounding — exact-zero
+    /// holes counted directly, anchors excluded when they decoded no tag
+    /// packet at all.
+    fn synthetic_degradation(data: &SoundingData) -> DegradationReport {
+        let census = bloc_chan::faults::ReceptionCensus::from_sounding(data);
+        let holes = data
+            .bands
+            .iter()
+            .flat_map(|b| b.tag_to_anchor.iter())
+            .flat_map(|row| row.iter())
+            .filter(|h| h.abs() == 0.0)
+            .count();
+        DegradationReport {
+            bands_total: data.bands.len(),
+            bands_dropped: data.bands.len(),
+            holes_masked: holes,
+            nonfinite_masked: 0,
+            anchors_total: data.anchors.len(),
+            anchors_excluded: census
+                .received
+                .iter()
+                .enumerate()
+                .filter(|(_, &r)| r == 0)
+                .map(|(i, _)| i)
+                .collect(),
+            effective_span_hz: 0.0,
+            confidence: 0.0,
+        }
     }
 
     /// Localization with multipath rejection replaced by the naive

@@ -38,11 +38,15 @@
 
 #![deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 
+use bloc_chan::faults::ReceptionCensus;
 use bloc_chan::sounder::SoundingData;
 use bloc_chan::AnchorArray;
 use bloc_num::complex::ZERO;
+use bloc_num::{Grid2D, P2};
+use bloc_obs::mode::ModeTracker;
 
 use crate::error::{DeferReason, LocalizeError};
+use crate::fallback::{EstimateMode, FallbackStack, FusionWeights};
 use crate::localizer::{BlocLocalizer, Estimate};
 use crate::tracker::{FixDisposition, TrackState, TrackerConfig, TrackingPipeline};
 
@@ -261,6 +265,38 @@ pub struct RoundFix {
     pub attempts: usize,
     /// Original anchor indices admitted this round.
     pub admitted: Vec<usize>,
+    /// Which evidence produced the fix (pure CSI unless a fallback stack
+    /// is attached and the round was below the healthy threshold).
+    pub mode: EstimateMode,
+    /// The convex evidence weights the fix was estimated under.
+    pub weights: FusionWeights,
+}
+
+/// A round the supervisor would have deferred, rescued by the fallback
+/// stack: the CSI pipeline produced nothing, but a coarse estimator
+/// (fingerprint / packet counts) still did — with explicit provenance
+/// and honestly widened uncertainty.
+#[derive(Debug, Clone)]
+pub struct DegradedRound {
+    /// The round index (0-based).
+    pub round: u64,
+    /// Why the round could not fix natively (what it *would* have
+    /// deferred with).
+    pub reason: DeferReason,
+    /// The fallback estimate, dressed as a pipeline [`Estimate`]
+    /// (synthetic degradation report, fallback-likelihood peak margin as
+    /// its — much lower — confidence).
+    pub estimate: Estimate,
+    /// Which fallback evidence produced it.
+    pub mode: EstimateMode,
+    /// The convex evidence weights (CSI weight is 0 here).
+    pub weights: FusionWeights,
+    /// The fallback's reported 1-σ uncertainty, metres.
+    pub sigma_m: f64,
+    /// The track state after the degraded fix was offered.
+    pub track: Option<TrackState>,
+    /// What the (variance-inflated) tracker gate did with it.
+    pub disposition: FixDisposition,
 }
 
 /// What one supervised round produced.
@@ -269,7 +305,11 @@ pub enum RoundOutcome {
     /// An estimate was produced (possibly gate-rejected at the track
     /// level — see [`RoundFix::disposition`]).
     Fix(Box<RoundFix>),
-    /// The supervisor declined the round; the tracker coasted.
+    /// The CSI pipeline produced nothing, but the fallback stack did: a
+    /// coarse estimate with mode provenance and widened uncertainty.
+    Degraded(Box<DegradedRound>),
+    /// The supervisor declined the round and no fallback could estimate;
+    /// the tracker coasted.
     Deferred(DeferReason),
 }
 
@@ -277,6 +317,21 @@ impl RoundOutcome {
     /// True for [`RoundOutcome::Fix`].
     pub fn is_fix(&self) -> bool {
         matches!(self, Self::Fix(_))
+    }
+
+    /// True whenever the round produced *some* position estimate —
+    /// native or degraded.
+    pub fn is_estimate(&self) -> bool {
+        matches!(self, Self::Fix(_) | Self::Degraded(_))
+    }
+
+    /// The round's position estimate, if it produced one.
+    pub fn position(&self) -> Option<P2> {
+        match self {
+            Self::Fix(f) => Some(f.estimate.position),
+            Self::Degraded(d) => Some(d.estimate.position),
+            Self::Deferred(_) => None,
+        }
     }
 }
 
@@ -359,6 +414,12 @@ pub struct SessionSupervisor {
     /// admitted set changes, the deployment the synthesis engine memoized
     /// its static anchor↔master links for is no longer the one sounded.
     path_cache: Option<bloc_chan::PathCache>,
+    /// Fallback estimators consulted when a round would otherwise defer
+    /// (and for prior-blending on unhealthy fixes).
+    fallback: Option<FallbackStack>,
+    /// Estimator-mode occupancy/transition bookkeeping (attached with the
+    /// fallback stack so non-degraded sessions' counters stay untouched).
+    mode_tracker: Option<ModeTracker>,
 }
 
 impl SessionSupervisor {
@@ -376,7 +437,20 @@ impl SessionSupervisor {
             round: 0,
             last_geometry: None,
             path_cache: None,
+            fallback: None,
+            mode_tracker: None,
         }
+    }
+
+    /// Attaches a fallback stack: rounds that would defer instead return
+    /// [`RoundOutcome::Degraded`] whenever a fallback estimator can still
+    /// produce a position, and unhealthy native fixes are refined with
+    /// degradation-weighted priors. Also attaches a
+    /// [`bloc_obs::mode::ModeTracker`] recording `runtime.mode.*`.
+    pub fn with_fallback(mut self, stack: FallbackStack) -> Self {
+        self.fallback = Some(stack);
+        self.mode_tracker = Some(ModeTracker::new("runtime"));
+        self
     }
 
     /// Attaches a hop monitor (see [`HopMonitor`]).
@@ -431,6 +505,30 @@ impl SessionSupervisor {
         &self.ledger
     }
 
+    /// Fraction of slave anchors currently *not* Closed (quarantined or
+    /// on probation), `[0, 1]` — the breaker half of the health signal
+    /// the fusion weights are derived from. The master does not count:
+    /// it is structurally required and never quarantined.
+    pub fn open_frac(&self) -> f64 {
+        let slaves = self.monitors.len().saturating_sub(1);
+        if slaves == 0 {
+            return 0.0;
+        }
+        let non_closed = self
+            .monitors
+            .iter()
+            .skip(1)
+            .filter(|m| m.state != BreakerState::Closed)
+            .count();
+        non_closed as f64 / slaves as f64
+    }
+
+    /// The estimator mode of the most recent round, when a fallback
+    /// stack (and with it the mode tracker) is attached.
+    pub fn current_mode(&self) -> Option<&str> {
+        self.mode_tracker.as_ref().and_then(|mt| mt.current())
+    }
+
     /// Original indices of anchors admitted to the next round: everything
     /// not quarantined (Open). Half-open anchors are admitted as probes.
     pub fn admitted(&self) -> Vec<usize> {
@@ -460,15 +558,18 @@ impl SessionSupervisor {
 
         let admitted = self.admitted();
         if admitted.len() < self.config.min_live_anchors {
-            return self.defer(
-                dt,
-                DeferReason::AnchorQuorum {
-                    live: admitted.len(),
-                    required: self.config.min_live_anchors,
-                },
-            );
+            let reason = DeferReason::AnchorQuorum {
+                live: admitted.len(),
+                required: self.config.min_live_anchors,
+            };
+            return self.degraded_or_defer(dt, reason, None, round, &mut sound);
         }
 
+        // The fallback estimators need the *full*-deployment sounding
+        // (the fingerprint feature shape is fixed at survey time; a
+        // quarantined anchor contributes masked holes, not a shape
+        // change), so attempt 0 is kept around when a stack is attached.
+        let mut fallback_sounding: Option<SoundingData> = None;
         let mut last_failure: Option<DeferReason> = None;
         for attempt in 0..self.config.retry.attempts() {
             let delay = self.config.retry.delay_us(round, attempt);
@@ -477,6 +578,9 @@ impl SessionSupervisor {
                 bloc_obs::histogram("runtime.backoff_us").record(delay);
             }
             let full = sound(attempt);
+            if attempt == 0 && self.fallback.is_some() {
+                fallback_sounding = Some(full.clone());
+            }
             let data = if admitted.len() == full.anchors.len() {
                 full
             } else {
@@ -510,6 +614,11 @@ impl SessionSupervisor {
                             bloc_obs::gauge(&format!("runtime.anchor_health.{orig}")).set(health);
                         }
                     }
+                    let (est, mode, weights) =
+                        self.maybe_refine(est, &data, fallback_sounding.as_ref());
+                    if let Some(mt) = &mut self.mode_tracker {
+                        mt.observe(mode.name());
+                    }
                     let disposition = self.pipeline.offer_fix(est.position, dt);
                     bloc_obs::counter("runtime.rounds.fixed").inc();
                     return RoundOutcome::Fix(Box::new(RoundFix {
@@ -519,6 +628,8 @@ impl SessionSupervisor {
                         estimate: est,
                         attempts: attempt + 1,
                         admitted,
+                        mode,
+                        weights,
                     }));
                 }
                 Err(e) => {
@@ -533,7 +644,112 @@ impl SessionSupervisor {
             attempts: 0,
             last: LocalizeError::EmptySounding,
         });
-        self.defer(dt, reason)
+        self.degraded_or_defer(dt, reason, fallback_sounding, round, &mut sound)
+    }
+
+    /// Refines a native fix with fallback priors when the round's health
+    /// is below the fusion policy's threshold. A healthy round (or a
+    /// session without a stack) returns the estimate untouched under
+    /// pure-CSI weights.
+    fn maybe_refine(
+        &self,
+        est: Estimate,
+        data: &SoundingData,
+        full: Option<&SoundingData>,
+    ) -> (Estimate, EstimateMode, FusionWeights) {
+        let Some(stack) = &self.fallback else {
+            return (est, EstimateMode::Csi, FusionWeights::pure_csi());
+        };
+        let weights = FusionWeights::from_degradation(
+            &est.degradation,
+            self.open_frac(),
+            &stack.config.policy,
+        );
+        if weights.csi >= 1.0 || !stack.has_estimators() {
+            return (est, EstimateMode::Csi, FusionWeights::pure_csi());
+        }
+        let grid = self.pipeline.localizer().config().grid;
+        let basis = full.unwrap_or(data);
+        let (fp, counts) = stack.priors(basis, grid);
+        let weights = weights.restrict(true, fp.is_some(), counts.is_some());
+        if weights.csi >= 1.0 {
+            return (est, EstimateMode::Csi, weights);
+        }
+        let mut priors: Vec<(&Grid2D, f64)> = Vec::new();
+        if let Some((bump, _)) = &fp {
+            priors.push((bump, weights.fingerprint));
+        }
+        if let Some(c) = &counts {
+            priors.push((&c.likelihood, weights.counts));
+        }
+        let anchor_refs: Vec<P2> = data.anchors.iter().map(|a| a.center()).collect();
+        let refined =
+            self.pipeline
+                .localizer()
+                .refine_with_priors(est, &priors, weights.csi, &anchor_refs);
+        bloc_obs::counter("fallback.refined_fixes").inc();
+        (refined, EstimateMode::CsiFused, weights)
+    }
+
+    /// The defer path with a fallback stack attached: try to rescue the
+    /// round with a coarse estimate before conceding. Sounds once (the
+    /// round's attempt 0) if quorum was denied before any sounding
+    /// happened; records the observed per-anchor reception tally under
+    /// `fallback.census.*` so soaks can reconcile it against the fault
+    /// plan's prediction ledger.
+    fn degraded_or_defer<F>(
+        &mut self,
+        dt: f64,
+        reason: DeferReason,
+        sounding: Option<SoundingData>,
+        round: u64,
+        sound: &mut F,
+    ) -> RoundOutcome
+    where
+        F: FnMut(usize) -> SoundingData,
+    {
+        let has_stack = self.fallback.as_ref().is_some_and(|s| s.has_estimators());
+        if !has_stack {
+            return self.defer(dt, reason);
+        }
+        let data = match sounding {
+            Some(d) => d,
+            None => sound(0),
+        };
+        let census = ReceptionCensus::from_sounding(&data);
+        bloc_obs::counter("fallback.census.received").add(census.total_received() as u64);
+        bloc_obs::counter("fallback.census.expected")
+            .add((census.expected * data.anchors.len()) as u64);
+        let grid = self.pipeline.localizer().config().grid;
+        let fb = match self.fallback.as_ref() {
+            Some(stack) => match stack.estimate(&data, grid) {
+                Ok(fb) => fb,
+                Err(e) => {
+                    bloc_obs::counter(&format!("fallback.failed.{}", e.reason())).inc();
+                    return self.defer(dt, reason);
+                }
+            },
+            None => return self.defer(dt, reason),
+        };
+        let estimate = self.pipeline.localizer().estimate_from_fallback(&data, &fb);
+        if let Some(mt) = &mut self.mode_tracker {
+            mt.observe(fb.mode.name());
+        }
+        let disposition = self
+            .pipeline
+            .offer_degraded_fix(estimate.position, dt, fb.sigma_m);
+        bloc_obs::counter("runtime.rounds.degraded").inc();
+        bloc_obs::counter(&format!("runtime.degraded.{}", reason.reason())).inc();
+        RoundOutcome::Degraded(Box::new(DegradedRound {
+            round,
+            reason,
+            estimate,
+            mode: fb.mode,
+            weights: fb.weights,
+            sigma_m: fb.sigma_m,
+            track: self.pipeline.state(),
+            disposition,
+        }))
     }
 
     /// Coasts the tracker through a declined round and records why.

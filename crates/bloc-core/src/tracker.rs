@@ -34,6 +34,21 @@ pub struct TrackerConfig {
     /// rejections, the tag is assumed to have genuinely moved and the
     /// filter re-initializes at the offending fix (re-acquisition).
     pub reacquire_after: usize,
+    /// Coasting horizon, in consecutive fix-less rounds (coasts and
+    /// degraded offers — anything that is not an accepted native fix).
+    /// Beyond it, every further coast multiplies the covariance by
+    /// [`TrackerConfig::coast_widen_factor`] on top of the CV prediction:
+    /// the motion model's own inflation understates how little we know
+    /// after seconds without evidence.
+    pub coast_widen_after: usize,
+    /// Per-coast covariance multiplier applied beyond the widening
+    /// horizon (> 1).
+    pub coast_widen_factor: f64,
+    /// Hard lock horizon: at this many consecutive fix-less rounds the
+    /// track is dropped entirely (`state()` becomes `None`, velocity is
+    /// forgotten) — a stale extrapolation is worse than an honest "no
+    /// track". The next fix re-initializes.
+    pub coast_drop_after: usize,
 }
 
 impl Default for TrackerConfig {
@@ -43,6 +58,9 @@ impl Default for TrackerConfig {
             fix_sigma_m: 0.9,
             gate_sigma: 4.0,
             reacquire_after: 3,
+            coast_widen_after: 25,
+            coast_widen_factor: 1.5,
+            coast_drop_after: 100,
         }
     }
 }
@@ -71,6 +89,9 @@ pub struct Tracker {
     /// Consecutive fixes rejected by the innovation gate (hysteresis
     /// state for re-acquisition).
     rejected_streak: usize,
+    /// Consecutive rounds without an accepted *native* fix (coasts and
+    /// degraded offers) — the bounded-coasting horizon state.
+    fixless_streak: usize,
 }
 
 /// What [`Tracker::offer`] did with one fix.
@@ -167,6 +188,7 @@ impl Tracker {
             config,
             axis: None,
             rejected_streak: 0,
+            fixless_streak: 0,
         }
     }
 
@@ -179,6 +201,7 @@ impl Tracker {
     /// hop/burst period; must be positive). Returns the filtered state.
     pub fn push(&mut self, fix: P2, dt: f64) -> TrackState {
         assert!(dt > 0.0, "time step must be positive");
+        self.fixless_streak = 0;
         let r = self.config.fix_sigma_m * self.config.fix_sigma_m;
         match &mut self.axis {
             None => {
@@ -233,6 +256,7 @@ impl Tracker {
                 f.update(z, r);
             }
             self.rejected_streak = 0;
+            self.fixless_streak = 0;
             return FixDisposition::Accepted(self.state().expect("initialized"));
         }
         self.rejected_streak += 1;
@@ -242,6 +266,7 @@ impl Tracker {
                 AxisFilter::init(fix.y, self.config.fix_sigma_m),
             ]);
             self.rejected_streak = 0;
+            self.fixless_streak = 0;
             return FixDisposition::Reacquired(self.state().expect("initialized"));
         }
         FixDisposition::Rejected {
@@ -257,14 +282,107 @@ impl Tracker {
     }
 
     /// Advances time without a fix (the tag's burst was lost): predict
-    /// only. No-op before initialization.
+    /// only, bounded by the coasting horizon — beyond
+    /// `coast_widen_after` consecutive fix-less rounds each coast also
+    /// multiplies the covariance by `coast_widen_factor`, and at
+    /// `coast_drop_after` the lock is dropped entirely (returns `None`;
+    /// the next fix re-initializes). No-op before initialization.
     pub fn coast(&mut self, dt: f64) -> Option<TrackState> {
         assert!(dt > 0.0, "time step must be positive");
-        let ax = self.axis.as_mut()?;
+        self.axis?;
+        self.fixless_streak += 1;
+        if self.fixless_streak >= self.config.coast_drop_after {
+            self.axis = None;
+            bloc_obs::counter("track.lock_dropped").inc();
+            return None;
+        }
+        let widen = self.fixless_streak >= self.config.coast_widen_after;
+        let factor = self.config.coast_widen_factor.max(1.0);
+        if let Some(ax) = self.axis.as_mut() {
+            for f in ax.iter_mut() {
+                f.predict(dt, self.config.accel_noise);
+                if widen {
+                    f.c00 *= factor;
+                    f.c01 *= factor;
+                    f.c11 *= factor;
+                }
+            }
+        }
+        self.state()
+    }
+
+    /// Feeds a *degraded* (fallback-estimated) fix: gated and fused like
+    /// [`Tracker::offer`], but with the measurement variance taken from
+    /// the fallback's own `sigma_m` (floored at `fix_sigma_m`) so a
+    /// metre-class estimate nudges the track instead of yanking it.
+    /// Degraded fixes do **not** reset the fix-less streak — the coasting
+    /// horizon keeps counting, and once it expires the track re-anchors
+    /// on the degraded fix with the wide sigma (reported as
+    /// [`FixDisposition::Reacquired`]: velocity is forgotten).
+    pub fn offer_degraded(&mut self, fix: P2, dt: f64, sigma_m: f64) -> FixDisposition {
+        assert!(dt > 0.0, "time step must be positive");
+        let sigma = if sigma_m.is_finite() {
+            sigma_m.max(self.config.fix_sigma_m)
+        } else {
+            self.config.fix_sigma_m
+        };
+        let r = sigma * sigma;
+        self.fixless_streak += 1;
+        if self.axis.is_none() {
+            // A degraded fix can start a track (with its wide sigma),
+            // but it is still not a native fix: the streak keeps counting.
+            self.axis = Some([
+                AxisFilter::init(fix.x, sigma),
+                AxisFilter::init(fix.y, sigma),
+            ]);
+            self.rejected_streak = 0;
+            return FixDisposition::Accepted(self.state().expect("initialized above"));
+        }
+        if self.fixless_streak >= self.config.coast_drop_after {
+            // Horizon expired under sustained degraded fixes: drop the
+            // stale velocity and re-anchor on this fix.
+            self.axis = Some([
+                AxisFilter::init(fix.x, sigma),
+                AxisFilter::init(fix.y, sigma),
+            ]);
+            self.rejected_streak = 0;
+            self.fixless_streak = 0;
+            bloc_obs::counter("track.lock_dropped").inc();
+            return FixDisposition::Reacquired(self.state().expect("initialized above"));
+        }
+        let Some(ax) = self.axis.as_mut() else {
+            return FixDisposition::Accepted(self.push(fix, dt));
+        };
         for f in ax.iter_mut() {
             f.predict(dt, self.config.accel_noise);
         }
-        self.state()
+        let mut d_sq = 0.0;
+        let mut speed_sq = 0.0;
+        for (f, z) in ax.iter().zip([fix.x, fix.y]) {
+            let s = f.c00 + r;
+            let innov = z - f.p;
+            d_sq += innov * innov / s;
+            speed_sq += f.v * f.v;
+        }
+        let mahalanobis = d_sq.sqrt();
+        let bound = self.config.gate_sigma * (1.0 + speed_sq.sqrt() * dt / sigma);
+        if mahalanobis <= bound {
+            for (f, z) in ax.iter_mut().zip([fix.x, fix.y]) {
+                f.update(z, r);
+            }
+            return FixDisposition::Accepted(self.state().expect("initialized"));
+        }
+        FixDisposition::Rejected {
+            state: self.state().expect("initialized"),
+            mahalanobis,
+            bound,
+        }
+    }
+
+    /// Consecutive rounds without an accepted native fix (the coasting
+    /// horizon state; resets on accepted/re-acquired native fixes).
+    pub fn fixless_streak(&self) -> usize {
+        self.fixless_streak
     }
 
     /// The current estimate, if initialized.
@@ -333,6 +451,18 @@ impl TrackingPipeline {
             FixDisposition::Rejected { .. } => bloc_obs::counter("track.gated").inc(),
             FixDisposition::Reacquired(_) => bloc_obs::counter("track.reacquired").inc(),
             FixDisposition::Accepted(_) => {}
+        }
+        disposition
+    }
+
+    /// Feeds a degraded (fallback-estimated) fix through
+    /// [`Tracker::offer_degraded`], recording `track.degraded` (and
+    /// `track.gated` on rejection) on the global registry.
+    pub fn offer_degraded_fix(&mut self, fix: P2, dt: f64, sigma_m: f64) -> FixDisposition {
+        bloc_obs::counter("track.degraded").inc();
+        let disposition = self.tracker.offer_degraded(fix, dt, sigma_m);
+        if matches!(disposition, FixDisposition::Rejected { .. }) {
+            bloc_obs::counter("track.gated").inc();
         }
         disposition
     }
@@ -498,6 +628,98 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_dt_rejected() {
         Tracker::new(TrackerConfig::default()).push(P2::ORIGIN, 0.0);
+    }
+
+    #[test]
+    fn coasting_horizon_widens_then_drops_the_lock() {
+        // Pin the horizon exactly: with drop_after = 6 the lock survives
+        // 5 consecutive coasts and dies on the 6th.
+        let cfg = TrackerConfig {
+            coast_widen_after: 3,
+            coast_widen_factor: 2.0,
+            coast_drop_after: 6,
+            ..Default::default()
+        };
+        let mut tracker = Tracker::new(cfg);
+        tracker.push(P2::new(2.0, 2.0), 0.1);
+
+        let mut sigmas = Vec::new();
+        for _ in 0..5 {
+            let s = tracker.coast(0.1);
+            assert!(s.is_some(), "lock must survive below the horizon");
+            sigmas.push(s.unwrap().position_sigma);
+        }
+        assert_eq!(tracker.fixless_streak(), 5);
+        // Beyond coast_widen_after the per-step inflation must exceed the
+        // plain CV prediction's: the widened step grows σ² by more than
+        // the factor alone would.
+        let plain_growth = sigmas[1] / sigmas[0]; // streak 1→2, unwidened
+        let widened_growth = sigmas[3] / sigmas[2]; // streak 3→4, widened
+        assert!(
+            widened_growth > plain_growth * 1.2,
+            "widening must accelerate σ growth: {plain_growth} vs {widened_growth}"
+        );
+
+        // The 6th consecutive coast hits the drop horizon.
+        assert!(tracker.coast(0.1).is_none(), "lock must drop at horizon");
+        assert!(tracker.is_initializing());
+
+        // A fresh fix re-initializes and resets the streak.
+        tracker.push(P2::new(2.0, 2.0), 0.1);
+        assert_eq!(tracker.fixless_streak(), 0);
+        assert!(tracker.coast(0.1).is_some());
+    }
+
+    #[test]
+    fn native_fix_resets_coasting_horizon() {
+        let cfg = TrackerConfig {
+            coast_drop_after: 4,
+            ..Default::default()
+        };
+        let mut tracker = Tracker::new(cfg);
+        tracker.push(P2::new(1.0, 1.0), 0.1);
+        for _ in 0..3 {
+            assert!(tracker.coast(0.1).is_some());
+        }
+        // An accepted native fix resets the horizon: 3 more coasts are
+        // again survivable.
+        assert!(matches!(
+            tracker.offer(P2::new(1.0, 1.0), 0.1),
+            FixDisposition::Accepted(_)
+        ));
+        assert_eq!(tracker.fixless_streak(), 0);
+        for _ in 0..3 {
+            assert!(tracker.coast(0.1).is_some());
+        }
+        assert!(tracker.coast(0.1).is_none());
+    }
+
+    #[test]
+    fn degraded_offers_count_toward_horizon_and_reanchor() {
+        let cfg = TrackerConfig {
+            coast_drop_after: 3,
+            ..Default::default()
+        };
+        let mut tracker = Tracker::new(cfg);
+
+        // Before initialization a degraded fix starts the track.
+        let d = tracker.offer_degraded(P2::new(1.0, 1.0), 0.1, 2.0);
+        assert!(matches!(d, FixDisposition::Accepted(_)));
+        // Its wide sigma must be reflected in the state.
+        assert!(tracker.state().unwrap().position_sigma > 1.5);
+
+        // Degraded fixes do not reset the horizon: the third fix-less
+        // round re-anchors (velocity forgotten → Reacquired).
+        assert!(matches!(
+            tracker.offer_degraded(P2::new(1.1, 1.0), 0.1, 2.0),
+            FixDisposition::Accepted(_) | FixDisposition::Rejected { .. }
+        ));
+        let d3 = tracker.offer_degraded(P2::new(1.2, 1.0), 0.1, 2.0);
+        assert!(
+            matches!(d3, FixDisposition::Reacquired(_)),
+            "horizon expiry under degraded fixes must re-anchor: {d3:?}"
+        );
+        assert_eq!(tracker.fixless_streak(), 0);
     }
 
     #[test]

@@ -119,6 +119,12 @@ fn healthy_rounds_fix_and_reuse_steering_tables() {
                 assert!(fix.estimate.position.dist(truth) < 0.6);
             }
             RoundOutcome::Deferred(r) => panic!("clean round {round} deferred: {r}"),
+            RoundOutcome::Degraded(d) => {
+                panic!(
+                    "clean round {round} degraded without a fallback stack: {}",
+                    d.reason
+                )
+            }
         }
     }
     // Unchanged admission ⇒ unchanged geometry ⇒ one steering table,
@@ -389,7 +395,7 @@ fn interference_burst_does_not_displace_the_track() {
         });
         let track = match &out {
             RoundOutcome::Fix(fix) => fix.track.position,
-            RoundOutcome::Deferred(_) => match sup.pipeline().state() {
+            RoundOutcome::Degraded(_) | RoundOutcome::Deferred(_) => match sup.pipeline().state() {
                 Some(s) => s.position,
                 None => continue,
             },

@@ -36,6 +36,7 @@ pub mod constants;
 pub mod entropy;
 pub mod fft;
 pub mod grid;
+pub mod knn;
 pub mod linalg;
 pub mod par;
 pub mod peaks;

@@ -65,6 +65,7 @@ pub mod event;
 pub mod json;
 pub mod local;
 pub mod metrics;
+pub mod mode;
 pub mod registry;
 pub mod report;
 pub mod span;

@@ -1,0 +1,95 @@
+//! Mode-transition tracking — small state machines whose occupancy and
+//! transitions should land on the registry.
+//!
+//! The degraded-localization runtime moves between estimator modes
+//! (`csi`, `csi_fused`, `fingerprint`, …) as faults ramp; soak gates
+//! reconcile *per-mode round counts* and *transition events* against the
+//! runtime's own ledger. A [`ModeTracker`] owns that bookkeeping under a
+//! fixed naming convention, mirroring [`crate::cache::CacheStats`]:
+//!
+//! * `<kind>.mode.<mode>` — counter, incremented once per [`ModeTracker::observe`]
+//!   call (occupancy: the per-mode counters sum to the number of observations);
+//! * `<kind>.mode.transitions` — counter, incremented when the mode changed;
+//! * a `<kind>.mode` [`Event`] with `from`/`to` fields on every change.
+
+#![deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use crate::{counter, emit, Event};
+
+/// Records mode occupancy and transitions on the global registry. The
+/// `kind` prefix is fixed at construction; mode names should come from a
+/// small closed set (each distinct name creates one counter).
+#[derive(Debug)]
+pub struct ModeTracker {
+    kind: &'static str,
+    current: Option<String>,
+    transitions: u64,
+}
+
+impl ModeTracker {
+    /// A tracker recording under `<kind>.mode.*`.
+    pub fn new(kind: &'static str) -> Self {
+        ModeTracker {
+            kind,
+            current: None,
+            transitions: 0,
+        }
+    }
+
+    /// Records one observation of `mode`: bumps the occupancy counter
+    /// always, and on a change bumps the transition counter and emits a
+    /// `<kind>.mode` event carrying `from`/`to`. Returns whether the
+    /// mode changed (the first observation counts as a change).
+    pub fn observe(&mut self, mode: &str) -> bool {
+        counter(&format!("{}.mode.{mode}", self.kind)).inc();
+        let changed = self.current.as_deref() != Some(mode);
+        if changed {
+            let from = self.current.as_deref().unwrap_or("none").to_owned();
+            counter(&format!("{}.mode.transitions", self.kind)).inc();
+            self.transitions += 1;
+            emit(
+                Event::new("fallback.mode", mode.to_owned())
+                    .field("kind", self.kind.to_owned())
+                    .field("from", from)
+                    .field("to", mode.to_owned()),
+            );
+            self.current = Some(mode.to_owned());
+        }
+        changed
+    }
+
+    /// The mode most recently observed.
+    pub fn current(&self) -> Option<&str> {
+        self.current.as_deref()
+    }
+
+    /// Transitions recorded so far (the tracker-side ledger the
+    /// `<kind>.mode.transitions` counter must agree with).
+    pub fn transitions(&self) -> u64 {
+        self.transitions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+    use super::*;
+    use crate::Registry;
+
+    #[test]
+    fn occupancy_and_transitions_reconcile() {
+        let before = Registry::global().snapshot();
+        let mut tracker = ModeTracker::new("test_runtime");
+        for m in ["csi", "csi", "fingerprint", "fingerprint", "csi"] {
+            tracker.observe(m);
+        }
+        let run = Registry::global().snapshot().diff(&before);
+        let c = |n: &str| run.counters.get(n).copied().unwrap_or(0);
+        assert_eq!(c("test_runtime.mode.csi"), 3);
+        assert_eq!(c("test_runtime.mode.fingerprint"), 2);
+        assert_eq!(c("test_runtime.mode.transitions"), 3);
+        assert_eq!(tracker.transitions(), 3);
+        assert_eq!(tracker.current(), Some("csi"));
+    }
+}

@@ -15,15 +15,20 @@
 //!   serializable result and renders the same rows/series the paper plots.
 //!   These are shared between `cargo test` (smoke sizes) and the
 //!   `bloc-bench` figure binaries (full sizes).
+//! * [`fingerprint`] — the offline RSSI survey pass that trains the
+//!   degraded-mode [`bloc_core::FingerprintDb`] (deterministic across
+//!   worker thread counts).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod dataset;
 pub mod experiments;
+pub mod fingerprint;
 pub mod metrics;
 pub mod runner;
 pub mod scenario;
 
+pub use fingerprint::train_fingerprint_db;
 pub use runner::{sweep, Method, SweepOutcome};
 pub use scenario::Scenario;

@@ -23,6 +23,14 @@ if [[ "${1:-}" != "quick" ]]; then
     # supervised track not beating the fixed-retry baseline (see
     # crates/bloc-bench/src/bin/chaos_soak.rs).
     run cargo run --release -q -p bloc-bench --bin chaos_soak 200
+    # Degraded-mode soak: fault ramp 0→60% tag loss × 0–3 anchor dropouts
+    # with the RSSI-fingerprint + packet-count fallback stack attached;
+    # fails on any panic, any bare Deferred round, a non-monotone or
+    # out-of-regime per-stage median falloff (sub-metre healthy → ≤ 3.7 m
+    # fallback), or a fallback.census.* counter that does not reconcile
+    # exactly with FaultPlan::predict_reception (see
+    # crates/bloc-bench/src/bin/degraded_soak.rs).
+    run cargo run --release -q -p bloc-bench --bin degraded_soak 120
     # Perf gate: verifies the fast likelihood kernels (≤ 1e-9) and the fast
     # channel-synthesis engine (≤ 1e-12) against their naive references and
     # enforces the single-thread speedup floors — ≥ 5× likelihood, ≥ 4×
