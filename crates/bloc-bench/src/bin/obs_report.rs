@@ -254,6 +254,7 @@ fn main() {
     let current = [
         (
             "joint_likelihood",
+            "BENCH_likelihood.json",
             bench_value(
                 "BENCH_likelihood.json",
                 "recurrence_warm",
@@ -262,21 +263,29 @@ fn main() {
         ),
         (
             "analytic_sounding",
+            "BENCH_sounding.json",
             bench_value("BENCH_sounding.json", "fast_warm", "measurements_per_sec"),
         ),
     ];
     let mut lines = String::new();
     println!();
-    for (bench, value) in current {
+    for (bench, path, value) in current {
         let Some(value) = value else {
             println!("trend: {bench}: BENCH file missing or unparseable (run perf_baseline first) — skipped");
             continue;
         };
+        // ISSUE 8 thread-scaling and dispatch context ride along in the
+        // history line, so a future regression can be attributed (did
+        // the kernel slow down, or did scaling/dispatch change?).
+        let scaling = bench_root_num(path, "scaling_4_threads").unwrap_or(1.0);
+        let simd = bench_root_str(path, "simd_level").unwrap_or_else(|| "unknown".to_string());
         lines.push_str(
             &Json::obj([
                 ("ts", Json::Num(now as f64)),
                 ("bench", Json::Str(bench.to_string())),
                 ("warm_throughput", Json::Num(value)),
+                ("scaling_4_threads", Json::Num(scaling)),
+                ("simd_level", Json::Str(simd)),
                 ("overhead_pct", Json::Num(overhead * 100.0)),
             ])
             .render(),
@@ -395,6 +404,18 @@ fn validate_trace(doc: &Json, spans: usize) -> Result<usize, String> {
 fn bench_value(path: &str, section: &str, field: &str) -> Option<f64> {
     let text = std::fs::read_to_string(path).ok()?;
     Json::parse(&text).ok()?.get(section)?.get(field)?.as_f64()
+}
+
+/// A top-level numeric field of a `BENCH_*.json` file, if present.
+fn bench_root_num(path: &str, field: &str) -> Option<f64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    Json::parse(&text).ok()?.get(field)?.as_f64()
+}
+
+/// A top-level string field of a `BENCH_*.json` file, if present.
+fn bench_root_str(path: &str, field: &str) -> Option<String> {
+    let text = std::fs::read_to_string(path).ok()?;
+    Some(Json::parse(&text).ok()?.get(field)?.as_str()?.to_string())
 }
 
 /// Best recorded warm throughput per bench from the history log.

@@ -496,15 +496,25 @@ impl<'a> Sounder<'a> {
             links.push((master0, anchor.antenna(0), LinkClass::Static));
         }
 
-        // Phase A: sweep every link across all bands × tones.
-        let clean: Vec<Vec<[C64; 2]>> =
-            bloc_num::par::map_named("sound.links", links.len(), self.threads, |l| {
+        // Phase A: sweep every link across all bands × tones. Links are
+        // the coarse unit here (each is a full comb sweep), and every
+        // worker holds one tone-sweep scratch so warm sweeps allocate no
+        // accumulators.
+        let link_threads = bloc_num::par::tuned_threads(links.len(), self.threads, 4);
+        let clean: Vec<Vec<[C64; 2]>> = bloc_num::par::sharded_map_named(
+            "sound.links",
+            links.len(),
+            link_threads,
+            |_t| bloc_num::sweep::ToneSweepScratch::new(),
+            |scratch, l| {
                 let (tx, rx, class) = links[l];
                 let set = self.cache.path_set(self.env, tx, rx, class);
                 let mut out = vec![[bloc_num::complex::ZERO; 2]; channels.len()];
-                set.sweep_tones(&comb, &mut out);
+                set.sweep_tones_with(&comb, scratch, &mut out);
                 out
-            });
+            },
+            |_scratch| {},
+        );
 
         // Phase B: per-band impairments, parallel over bands.
         let n_antennas: Vec<usize> = self.anchors.iter().map(|a| a.n_antennas).collect();
@@ -517,8 +527,11 @@ impl<'a> Sounder<'a> {
         let dists = plan
             .filter(|p| p.range_loss.is_some())
             .map(|_| crate::faults::link_distances(self.anchors, tag));
+        // One band's assembly covers every link's noise draws — a few
+        // bands per shard already amortizes the spawn.
+        let band_threads = bloc_num::par::tuned_threads(channels.len(), self.threads, 8);
         let mut bands =
-            bloc_num::par::map_named("sound.bands", channels.len(), self.threads, |slot| {
+            bloc_num::par::map_named("sound.bands", channels.len(), band_threads, |slot| {
                 self.assemble_band(
                     slot,
                     channels[slot],

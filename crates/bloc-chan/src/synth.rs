@@ -13,12 +13,13 @@
 //!   gains with the 1/d spreading folded in), filled by
 //!   [`crate::environment::Environment::path_set_into`] into reusable
 //!   buffers;
-//! * [`FreqComb`] — the evaluation plan over one sounding's bands: on
-//!   BLE's uniform 2 MHz comb each path's phasor advances by an exact
-//!   complex-rotation recurrence (one `cis` seed + one step per path
-//!   instead of 2 × 37 transcendentals), with the ±250 kHz GFSK tone
-//!   offset applied as one fixed rotation; off-comb frequencies fall back
-//!   to per-band `cis`;
+//! * [`FreqComb`] — the evaluation plan over one sounding's bands: a
+//!   [`bloc_num::sweep::CombPlan`] (the same comb detector the likelihood
+//!   engine uses) plus the ±250 kHz GFSK tone offset. On BLE's uniform
+//!   2 MHz comb each path's phasor advances by the exact SIMD rotation
+//!   recurrence in [`bloc_num::sweep::sweep_tones_into`] (one `cis`
+//!   seed plus one step per path instead of 2 × 37 transcendentals);
+//!   off-comb frequencies fall back to per-band `cis`;
 //! * [`PathCache`] — link-level memoization keyed by (environment
 //!   revision, tx, rx): anchor↔master PathSets (§5.2 — the anchors never
 //!   move) are computed once per deployment, tag links once per location,
@@ -33,15 +34,10 @@
 
 use crate::environment::Environment;
 use bloc_num::constants::SPEED_OF_LIGHT;
+use bloc_num::sweep::{self, CombPlan, ToneSweepScratch};
 use bloc_num::{complex, C64, P2};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
-
-/// How far (in hertz) a band may sit off the comb and still count as on
-/// it — same tolerance as `bloc_core::engine`'s likelihood comb. BLE
-/// channel centres are exact megahertz multiples, so any real deviation
-/// is a test fabrication, not noise.
-const COMB_TOLERANCE_HZ: f64 = 1.0;
 
 /// The frequency-independent path geometry of one directed link: the
 /// evaluation half of paper Eq. 2 after the geometry half has been
@@ -117,64 +113,53 @@ impl PathSet {
     /// the comb's original sounding order; `out.len()` must equal
     /// [`FreqComb::n_bands`]).
     ///
-    /// On a uniform comb each path costs three `cis` calls total — seed,
-    /// step and tone rotation — and then one complex multiply per comb
-    /// slot: the phase `−2πd f/c` is linear in `f`, so walking the bands
-    /// in ascending order multiplies the running phasor by an **exact**
-    /// step rotation (`gap` comb slots at a time), and the ±δ tone offset
-    /// is one fixed rotation applied symmetrically. Off-comb inputs fall
-    /// back to per-band `cis`.
+    /// On a uniform comb the shared SIMD kernel
+    /// ([`bloc_num::sweep::sweep_tones_into`]) costs three `cis` calls
+    /// per path — seed, step and tone rotation — and then one 4-slot
+    /// complex multiply per lane quad: the phase `−2πd f/c` is linear in
+    /// `f`, so the recurrence is **exact**, and the ±δ tone offset is one
+    /// fixed rotation applied symmetrically. Off-comb inputs fall back to
+    /// per-band `cis`.
+    ///
+    /// This convenience form allocates the dense accumulators per call;
+    /// warm paths should hold a [`ToneSweepScratch`] and use
+    /// [`PathSet::sweep_tones_with`].
     pub fn sweep_tones(&self, comb: &FreqComb, out: &mut [[C64; 2]]) {
+        let mut scratch = ToneSweepScratch::new();
+        self.sweep_tones_with(comb, &mut scratch, out);
+    }
+
+    /// [`PathSet::sweep_tones`] with caller-held scratch — the warm-path
+    /// form: steady-state sweeps allocate nothing.
+    pub fn sweep_tones_with(
+        &self,
+        comb: &FreqComb,
+        scratch: &mut ToneSweepScratch,
+        out: &mut [[C64; 2]],
+    ) {
         debug_assert_eq!(out.len(), comb.n_bands());
-        for v in out.iter_mut() {
-            *v = [complex::ZERO; 2];
-        }
-        if comb.is_uniform() {
-            for (&len, &gain) in self.lengths.iter().zip(&self.gains) {
-                // phase(f) = w·f with w = −2πd/c.
-                let w = -std::f64::consts::TAU * len / SPEED_OF_LIGHT;
-                let step = C64::cis(w * comb.step_hz);
-                let tone = C64::cis(w * comb.tone_offset_hz);
-                let mut rot = C64::cis(w * comb.base_hz);
-                let lo = gain * tone.conj();
-                let hi = gain * tone;
-                for (slot, &gap) in comb.gaps.iter().enumerate() {
-                    for _ in 0..gap {
-                        rot *= step;
-                    }
-                    let o = &mut out[comb.order[slot]];
-                    o[0] += lo * rot;
-                    o[1] += hi * rot;
-                }
-            }
-        } else {
-            for (&len, &gain) in self.lengths.iter().zip(&self.gains) {
-                let w = -std::f64::consts::TAU * len / SPEED_OF_LIGHT;
-                for (k, &f) in comb.freqs.iter().enumerate() {
-                    out[k][0] += gain * C64::cis(w * (f - comb.tone_offset_hz));
-                    out[k][1] += gain * C64::cis(w * (f + comb.tone_offset_hz));
-                }
-            }
-        }
+        // phase(f) = w·f with w = −2πd/c per metre of path length.
+        let phase_per_metre_hz = -std::f64::consts::TAU / SPEED_OF_LIGHT;
+        sweep::sweep_tones_into(
+            &comb.plan,
+            comb.tone_offset_hz,
+            phase_per_metre_hz,
+            &self.lengths,
+            &self.gains,
+            scratch,
+            out,
+        );
     }
 }
 
-/// The evaluation plan for one sounding's bands: centre frequencies (in
-/// sounding order) plus the uniform-comb walk that the recurrence follows
-/// (ascending order, integer comb gaps), mirroring `bloc_core::engine`'s
-/// `BandPlan` on the likelihood side.
+/// The evaluation plan for one sounding's bands: the workspace-wide
+/// [`CombPlan`] (the same detector `bloc_core::engine` uses for the
+/// likelihood comb — the former duplicate here is gone) plus the GFSK
+/// tone offset the sounding applies symmetrically around each centre.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FreqComb {
-    /// Centre frequencies in the caller's sounding (hop) order, hertz.
-    freqs: Vec<f64>,
-    /// Indices into `freqs`, ascending frequency — the walk order.
-    order: Vec<usize>,
-    /// Comb slots to advance per walked band; empty when off-comb.
-    gaps: Vec<u32>,
-    /// Lowest centre frequency, hertz.
-    base_hz: f64,
-    /// Comb pitch, hertz; 0 when the bands are not on a uniform comb.
-    step_hz: f64,
+    /// The uniform-comb walk (ascending order, integer comb gaps).
+    plan: CombPlan,
     /// GFSK tone offset from each band centre (±), hertz.
     tone_offset_hz: f64,
 }
@@ -183,62 +168,8 @@ impl FreqComb {
     /// Plans the sweep for band centres `freqs` (in sounding order) with
     /// the given ± tone offset.
     pub fn build(freqs_in_order: &[f64], tone_offset_hz: f64) -> Self {
-        let mut order: Vec<usize> = (0..freqs_in_order.len()).collect();
-        order.sort_by(|&a, &b| freqs_in_order[a].total_cmp(&freqs_in_order[b]));
-        let freqs = freqs_in_order.to_vec();
-        let base_hz = order.first().map_or(0.0, |&k| freqs[k]);
-
-        // Candidate comb pitch: the smallest positive adjacent gap.
-        let mut step_hz = f64::INFINITY;
-        for w in order.windows(2) {
-            let d = freqs[w[1]] - freqs[w[0]];
-            if d > 0.0 {
-                step_hz = step_hz.min(d);
-            }
-        }
-        if !step_hz.is_finite() {
-            // Zero or one distinct frequency: a degenerate (but valid)
-            // comb — every gap is zero slots.
-            let step_hz = if freqs.is_empty() { 0.0 } else { 1.0 };
-            return Self {
-                gaps: vec![0; freqs.len()],
-                order,
-                freqs,
-                base_hz,
-                step_hz,
-                tone_offset_hz,
-            };
-        }
-
-        let mut gaps = Vec::with_capacity(freqs.len());
-        let mut prev_slot: i64 = 0;
-        for &k in &order {
-            let slots = (freqs[k] - base_hz) / step_hz;
-            let rounded = slots.round();
-            if ((freqs[k] - base_hz) - rounded * step_hz).abs() > COMB_TOLERANCE_HZ
-                || rounded < 0.0
-                || rounded > u32::MAX as f64
-            {
-                // Off-comb band: no exact recurrence exists.
-                return Self {
-                    order,
-                    freqs,
-                    base_hz,
-                    step_hz: 0.0,
-                    gaps: Vec::new(),
-                    tone_offset_hz,
-                };
-            }
-            let slot = rounded as i64;
-            gaps.push((slot - prev_slot) as u32);
-            prev_slot = slot;
-        }
         Self {
-            order,
-            freqs,
-            base_hz,
-            step_hz,
-            gaps,
+            plan: CombPlan::build(freqs_in_order),
             tone_offset_hz,
         }
     }
@@ -252,12 +183,22 @@ impl FreqComb {
 
     /// Number of bands planned.
     pub fn n_bands(&self) -> usize {
-        self.freqs.len()
+        self.plan.n_bands()
     }
 
     /// True when the exact rotation recurrence applies.
     pub fn is_uniform(&self) -> bool {
-        self.step_hz > 0.0 && self.gaps.len() == self.freqs.len()
+        self.plan.is_uniform_comb()
+    }
+
+    /// The underlying comb walk.
+    pub fn plan(&self) -> &CombPlan {
+        &self.plan
+    }
+
+    /// The ± GFSK tone offset, hertz.
+    pub fn tone_offset_hz(&self) -> f64 {
+        self.tone_offset_hz
     }
 }
 

@@ -8,22 +8,27 @@
 //! three optimizations on top, each independently verified against the
 //! reference (see `tests/kernel_equivalence.rs`):
 //!
-//! 1. **Phasor recurrence** ([`RecurrenceKernel`]): BLE's data channels
-//!    sit on a uniform 2 MHz comb, so `f_k = f_base + n_k·s` with integer
-//!    `n_k`, and
+//! 1. **Phasor recurrence**: BLE's data channels sit on a uniform 2 MHz
+//!    comb, so `f_k = f_base + n_k·s` with integer `n_k`, and
 //!    `e^{ι2πf_kΔ/c} = e^{ι2πf_baseΔ/c} · (e^{ι2πsΔ/c})^{n_k}` —
 //!    two `cis` calls per (cell, antenna) seed a complex-rotation
 //!    recurrence across all bands. The identity is *exact* (no small-angle
-//!    approximation); [`BandPlan`] detects the comb and falls back to
-//!    per-band `cis` when surviving bands don't sit on one.
+//!    approximation); [`BandPlan`] detects the comb and the kernel falls
+//!    back to per-band `cis` when surviving bands don't sit on one. The
+//!    recurrence itself lives in [`bloc_num::sweep`] — one SIMD
+//!    implementation shared with the channel synthesizer — and
+//!    [`RecurrenceKernel`] is the thin adapter that feeds it.
 //! 2. **SoA layout + geometry cache**: [`SoaChannels`] re-packs the
-//!    per-band `alpha[i][j]` tensor into contiguous per-(anchor, antenna)
-//!    band slices, and [`SteeringCache`] memoizes the per-cell relative
-//!    distances `Δ_ij(x)` (Eq. 14) keyed by (grid, anchor geometry) — a
-//!    deployment sounds thousands of times against the same grid, and the
-//!    geometry never changes.
-//! 3. **Parallel rows**: both kernels evaluate grid rows through
-//!    [`bloc_num::par`], bit-identically for every thread count.
+//!    per-band `alpha[i][j]` tensor into the kernel's split re/im
+//!    lane-padded layout, and [`SteeringCache`] memoizes the per-cell
+//!    relative distances `Δ_ij(x)` (Eq. 14) and their seed/step phasors
+//!    keyed by (grid, anchor geometry) — a deployment sounds thousands of
+//!    times against the same grid, and the geometry never changes.
+//! 3. **Coarse parallelism**: the joint likelihood fans out across
+//!    *anchors* and single-anchor maps across row *chunks*, both through
+//!    [`bloc_num::par`] with work-size thresholding
+//!    ([`bloc_num::par::tuned_threads`]) so small problems never pay
+//!    spawn overhead — bit-identically for every thread count.
 
 #![deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 
@@ -32,144 +37,152 @@ use std::sync::{Arc, Mutex};
 
 use bloc_chan::AnchorArray;
 use bloc_num::constants::SPEED_OF_LIGHT;
+use bloc_num::sweep::{self, CellSweep, Combine, OffCombSweep};
 use bloc_num::{Grid2D, GridSpec, C64, P2};
 
 use crate::correction::CorrectedChannels;
 use crate::likelihood::AntennaCombining;
 
-/// The frequency walk a recurrence kernel takes across surviving bands.
+/// The frequency walk a recurrence kernel takes across surviving bands —
+/// now the workspace-wide [`bloc_num::sweep::CombPlan`]; the alias keeps
+/// the engine's public vocabulary (`order` indexes
+/// `CorrectedChannels::bands`).
+pub use bloc_num::sweep::CombPlan as BandPlan;
+
+/// Rounds an antenna count up to the kernel's 4-wide lane stride.
+#[inline]
+fn lane_stride(n_antennas: usize) -> usize {
+    n_antennas.div_ceil(4).max(1) * 4
+}
+
+fn combine_of(combining: AntennaCombining) -> Combine {
+    match combining {
+        AntennaCombining::Coherent => Combine::Coherent,
+        AntennaCombining::NoncoherentAntennas => Combine::Noncoherent,
+        AntennaCombining::Hybrid => Combine::Hybrid,
+    }
+}
+
+/// Corrected channels re-packed for the sweep kernel: per anchor, split
+/// re/im row-major tensors padded to the 4-wide lane stride
+/// (`alpha_re[i][row·n_lanes[i] + j]`, padding lanes exactly zero so
+/// they contribute nothing). All antennas of a row sit adjacent, so the
+/// kernel advances every antenna's rotation chain in lockstep — one SIMD
+/// lane per antenna.
 ///
-/// Bands are visited in ascending frequency. When every band offset from
-/// the lowest frequency is an integer multiple of one comb spacing (BLE:
-/// 2 MHz), `gaps[k]` holds how many comb slots to advance from band
-/// `k−1` to band `k` (first entry 0) and the rotation recurrence is
-/// exact. Otherwise `step_hz` is 0 and kernels fall back to per-band
-/// `cis`.
-#[derive(Debug, Clone, PartialEq)]
-pub struct BandPlan {
-    /// Indices into `CorrectedChannels::bands`, ascending frequency.
-    pub order: Vec<usize>,
-    /// Frequencies in plan order, hertz.
-    pub freqs: Vec<f64>,
-    /// The lowest surviving frequency, hertz.
-    pub base_hz: f64,
-    /// Comb spacing, hertz; 0 when the bands are not on a uniform comb.
-    pub step_hz: f64,
-    /// Comb slots to advance per planned band; empty when `step_hz == 0`.
-    pub gaps: Vec<u32>,
-}
-
-/// How far (in hertz) a band may sit off the comb and still count as on
-/// it. BLE channel centres are exact multiples of 1 MHz, so any real
-/// deviation is a unit-test fabrication, not measurement noise.
-const COMB_TOLERANCE_HZ: f64 = 1.0;
-
-impl BandPlan {
-    /// Plans the walk for bands with the given centre frequencies (in
-    /// their stored order).
-    pub fn build(freqs_in_order: &[f64]) -> Self {
-        let mut order: Vec<usize> = (0..freqs_in_order.len()).collect();
-        order.sort_by(|&a, &b| freqs_in_order[a].total_cmp(&freqs_in_order[b]));
-        let freqs: Vec<f64> = order.iter().map(|&k| freqs_in_order[k]).collect();
-        let base_hz = freqs.first().copied().unwrap_or(0.0);
-
-        // Candidate comb spacing: the smallest positive adjacent gap.
-        let mut step_hz = f64::INFINITY;
-        for w in freqs.windows(2) {
-            let d = w[1] - w[0];
-            if d > 0.0 {
-                step_hz = step_hz.min(d);
-            }
-        }
-        if !step_hz.is_finite() {
-            // Zero or one distinct frequency: a degenerate (but valid)
-            // comb — every gap is zero slots.
-            return Self {
-                gaps: vec![0; freqs.len()],
-                order,
-                freqs,
-                base_hz,
-                step_hz: 0.0,
-            };
-        }
-
-        let mut gaps = Vec::with_capacity(freqs.len());
-        let mut prev_slot: i64 = 0;
-        for &f in &freqs {
-            let slots = (f - base_hz) / step_hz;
-            let rounded = slots.round();
-            if ((f - base_hz) - rounded * step_hz).abs() > COMB_TOLERANCE_HZ
-                || rounded < 0.0
-                || rounded > u32::MAX as f64
-            {
-                // Off-comb band: no exact recurrence exists.
-                return Self {
-                    order,
-                    freqs,
-                    base_hz,
-                    step_hz: 0.0,
-                    gaps: Vec::new(),
-                };
-            }
-            let slot = rounded as i64;
-            gaps.push((slot - prev_slot) as u32);
-            prev_slot = slot;
-        }
-        Self {
-            order,
-            freqs,
-            base_hz,
-            step_hz,
-            gaps,
-        }
-    }
-
-    /// True when the exact rotation recurrence applies.
-    pub fn is_uniform_comb(&self) -> bool {
-        self.step_hz > 0.0 && !self.gaps.is_empty()
-    }
-}
-
-/// Corrected channels re-packed structure-of-arrays: per anchor, one
-/// contiguous band-major tensor (`alpha[slot·n_ant + j]` in [`BandPlan`]
-/// order), so the per-cell inner loop walks memory linearly *and* all
-/// antennas of a band sit adjacent — the recurrence kernel advances every
-/// antenna's rotation chain in lockstep, giving the CPU independent
-/// dependency chains to pipeline instead of one serial chain per antenna.
+/// On a uniform comb whose occupied slots nearly fill its span (the BLE
+/// data comb: 37 bands over 38 slots, one hole at the skipped
+/// advertising channel), rows are laid out per **absolute comb slot**
+/// with all-zero rows at the holes. The zero rows cost one multiply-add
+/// each but let the kernel walk a gapless comb, which engages its
+/// two-chain dense recurrence — worth far more than the holes cost.
+/// Sparse survivor sets (heavy dropout) and off-comb bands keep the
+/// compact planned-order layout.
 #[derive(Debug, Clone)]
 pub struct SoaChannels {
     /// The band walk shared by every slice.
     pub plan: BandPlan,
     /// Antennas per anchor.
     pub n_antennas: Vec<usize>,
-    /// `alpha[i][slot·n_antennas[i] + j]` — band-major per anchor.
-    alpha: Vec<Vec<C64>>,
+    /// Lane stride per anchor (`n_antennas` rounded up to 4).
+    n_lanes: Vec<usize>,
+    /// `alpha_re[i][row·n_lanes[i] + j]` — row-major per anchor.
+    alpha_re: Vec<Vec<f64>>,
+    /// Imaginary parts, same indexing.
+    alpha_im: Vec<Vec<f64>>,
+    /// True when alpha rows are absolute comb slots (holes zero-filled)
+    /// rather than planned-band order.
+    slot_rows: bool,
+    /// The slot advances handed to the kernel — `[0, 1, 1, …]` over the
+    /// span under slot layout, [`CombPlan::gaps`] otherwise.
+    kernel_gaps: Vec<u32>,
+    /// Scratch for the band frequencies handed to the planner.
+    freqs_scratch: Vec<f64>,
 }
 
 impl SoaChannels {
+    /// An empty re-pack, ready for [`SoaChannels::rebuild`] — what the
+    /// engine's scratch arena holds between calls.
+    pub fn empty() -> Self {
+        Self {
+            plan: BandPlan::build(&[]),
+            n_antennas: Vec::new(),
+            n_lanes: Vec::new(),
+            alpha_re: Vec::new(),
+            alpha_im: Vec::new(),
+            slot_rows: false,
+            kernel_gaps: Vec::new(),
+            freqs_scratch: Vec::new(),
+        }
+    }
+
     /// Re-packs `corrected` (masked entries stay exact zeros, so they
     /// still contribute nothing to the correlation sums).
     pub fn build(corrected: &CorrectedChannels) -> Self {
-        let freqs: Vec<f64> = corrected.bands.iter().map(|b| b.freq_hz).collect();
-        let plan = BandPlan::build(&freqs);
+        let mut soa = Self::empty();
+        soa.rebuild(corrected);
+        soa
+    }
+
+    /// [`SoaChannels::build`] into `self`, reusing the tensor buffers —
+    /// the warm-path entry: after the first sounding of a deployment no
+    /// per-call tensor allocation remains.
+    pub fn rebuild(&mut self, corrected: &CorrectedChannels) {
+        self.freqs_scratch.clear();
+        self.freqs_scratch
+            .extend(corrected.bands.iter().map(|b| b.freq_hz));
+        self.plan = BandPlan::build(&self.freqs_scratch);
         let nb = corrected.bands.len();
-        let n_antennas: Vec<usize> = corrected.anchors.iter().map(|a| a.n_antennas).collect();
-        let alpha = (0..corrected.n_anchors())
-            .map(|i| {
-                let nj = n_antennas[i];
-                let mut v = vec![bloc_num::complex::ZERO; nj * nb];
-                for (slot, &b) in plan.order.iter().enumerate() {
-                    for j in 0..nj {
-                        v[slot * nj + j] = corrected.bands[b].alpha[i][j];
-                    }
+        let n = corrected.n_anchors();
+        self.n_antennas.clear();
+        self.n_antennas
+            .extend(corrected.anchors.iter().map(|a| a.n_antennas));
+        self.n_lanes.clear();
+        self.n_lanes
+            .extend(self.n_antennas.iter().map(|&nj| lane_stride(nj)));
+        // Slot layout pays one zero row per comb hole; cap the overhead
+        // at 25% extra rows before falling back to the compact walk.
+        let span = self.plan.span();
+        self.slot_rows = self.plan.is_uniform_comb() && span <= nb + nb / 4;
+        let rows = if self.slot_rows { span } else { nb };
+        self.kernel_gaps.clear();
+        if self.slot_rows {
+            self.kernel_gaps.extend((0..rows).map(|r| u32::from(r > 0)));
+        } else {
+            self.kernel_gaps.extend_from_slice(&self.plan.gaps);
+        }
+        self.alpha_re.resize_with(n, Vec::new);
+        self.alpha_im.resize_with(n, Vec::new);
+        for i in 0..n {
+            let nj = self.n_antennas[i];
+            let nl = self.n_lanes[i];
+            let re = &mut self.alpha_re[i];
+            let im = &mut self.alpha_im[i];
+            re.clear();
+            re.resize(rows * nl, 0.0);
+            im.clear();
+            im.resize(rows * nl, 0.0);
+            for (k, &b) in self.plan.order.iter().enumerate() {
+                let row = if self.slot_rows {
+                    self.plan.slots[k] as usize
+                } else {
+                    k
+                } * nl;
+                for j in 0..nj {
+                    let a = corrected.bands[b].alpha[i][j];
+                    re[row + j] = a.re;
+                    im[row + j] = a.im;
                 }
-                v
-            })
-            .collect();
-        Self {
-            plan,
-            n_antennas,
-            alpha,
+            }
+        }
+    }
+
+    /// The alpha tensor row holding planned band `k`.
+    fn alpha_row(&self, k: usize) -> usize {
+        if self.slot_rows {
+            self.plan.slots[k] as usize
+        } else {
+            k
         }
     }
 
@@ -178,10 +191,16 @@ impl SoaChannels {
         self.plan.freqs.len()
     }
 
-    /// The contiguous antenna slice of anchor `i` at planned band `slot`.
-    pub fn band_antennas(&self, i: usize, slot: usize) -> &[C64] {
+    /// The antennas of anchor `i` at planned band `slot`, re-assembled
+    /// from the split layout (a copy — layout inspection, not a hot
+    /// path).
+    pub fn band_antennas(&self, i: usize, slot: usize) -> Vec<C64> {
         let nj = self.n_antennas[i];
-        &self.alpha[i][slot * nj..(slot + 1) * nj]
+        let nl = self.n_lanes[i];
+        let row = self.alpha_row(slot) * nl;
+        (0..nj)
+            .map(|j| C64::new(self.alpha_re[i][row + j], self.alpha_im[i][row + j]))
+            .collect()
     }
 }
 
@@ -196,14 +215,20 @@ impl SoaChannels {
 #[derive(Debug)]
 pub struct SteeringTables {
     spec: GridSpec,
-    /// `delta[i][cell·n_antennas[i] + j]`, cell-major so the per-cell
-    /// antenna loop reads contiguously.
+    /// `delta[i][cell·n_lanes[i] + j]`, cell-major, lane-padded with 0.
     delta: Vec<Vec<f64>>,
-    /// `e^{ι2πf_baseΔ/c}`, same indexing as `delta`.
-    seed: Vec<Vec<C64>>,
-    /// `e^{ι2πsΔ/c}` (comb-step rotation), same indexing as `delta`.
-    step: Vec<Vec<C64>>,
+    /// `e^{ι2πf_baseΔ/c}` real parts, same indexing; padding lanes hold
+    /// the neutral phasor `1 + 0ι` (finite, so a zero alpha annihilates
+    /// it exactly — garbage here could produce `0 × ∞ = NaN`).
+    seed_re: Vec<Vec<f64>>,
+    /// Seed imaginary parts.
+    seed_im: Vec<Vec<f64>>,
+    /// `e^{ι2πsΔ/c}` (comb-step rotation) real parts, same indexing.
+    step_re: Vec<Vec<f64>>,
+    /// Step imaginary parts.
+    step_im: Vec<Vec<f64>>,
     n_antennas: Vec<usize>,
+    n_lanes: Vec<usize>,
 }
 
 impl SteeringTables {
@@ -220,21 +245,26 @@ impl SteeringTables {
     ) -> Self {
         let n_cells = spec.len();
         let n_antennas: Vec<usize> = anchors.iter().map(|a| a.n_antennas).collect();
+        let n_lanes: Vec<usize> = n_antennas.iter().map(|&nj| lane_stride(nj)).collect();
         let master0 = anchors
             .first()
             .map(|a| a.antenna(0))
             .unwrap_or(P2::new(0.0, 0.0));
         let tau_over_c = std::f64::consts::TAU / SPEED_OF_LIGHT;
         let mut delta = Vec::with_capacity(anchors.len());
-        let mut seed = Vec::with_capacity(anchors.len());
-        let mut step = Vec::with_capacity(anchors.len());
+        let mut seed_re = Vec::with_capacity(anchors.len());
+        let mut seed_im = Vec::with_capacity(anchors.len());
+        let mut step_re = Vec::with_capacity(anchors.len());
+        let mut step_im = Vec::with_capacity(anchors.len());
         for (i, anchor) in anchors.iter().enumerate() {
             let positions = anchor.antennas();
             let d_i0 = master_anchor_dist[i];
-            let nj = positions.len();
-            let mut d_table = vec![0.0; n_cells * nj];
-            let mut s_table = vec![bloc_num::complex::ZERO; n_cells * nj];
-            let mut r_table = vec![bloc_num::complex::ZERO; n_cells * nj];
+            let nl = n_lanes[i];
+            let mut d_table = vec![0.0; n_cells * nl];
+            let mut sre = vec![1.0; n_cells * nl];
+            let mut sim = vec![0.0; n_cells * nl];
+            let mut rre = vec![1.0; n_cells * nl];
+            let mut rim = vec![0.0; n_cells * nl];
             for iy in 0..spec.ny {
                 for ix in 0..spec.nx {
                     let x = spec.cell_center(ix, iy);
@@ -243,22 +273,32 @@ impl SteeringTables {
                     for (j, &p) in positions.iter().enumerate() {
                         let d = x.dist(p) - d_00 - d_i0;
                         let w = tau_over_c * d;
-                        d_table[cell * nj + j] = d;
-                        s_table[cell * nj + j] = C64::cis(w * base_hz);
-                        r_table[cell * nj + j] = C64::cis(w * step_hz);
+                        let k = cell * nl + j;
+                        d_table[k] = d;
+                        let s = C64::cis(w * base_hz);
+                        let r = C64::cis(w * step_hz);
+                        sre[k] = s.re;
+                        sim[k] = s.im;
+                        rre[k] = r.re;
+                        rim[k] = r.im;
                     }
                 }
             }
             delta.push(d_table);
-            seed.push(s_table);
-            step.push(r_table);
+            seed_re.push(sre);
+            seed_im.push(sim);
+            step_re.push(rre);
+            step_im.push(rim);
         }
         Self {
             spec,
             delta,
-            seed,
-            step,
+            seed_re,
+            seed_im,
+            step_re,
+            step_im,
             n_antennas,
+            n_lanes,
         }
     }
 
@@ -271,36 +311,51 @@ impl SteeringTables {
     /// struct header is noise next to them). Feeds the
     /// `cache.steering.resident_bytes` gauge.
     pub fn approx_bytes(&self) -> usize {
-        let deltas: usize = self.delta.iter().map(|v| v.len() * 8).sum();
-        let phasors: usize = self
-            .seed
+        self.delta
             .iter()
-            .chain(self.step.iter())
-            .map(|v| v.len() * std::mem::size_of::<C64>())
-            .sum();
-        deltas + phasors
+            .chain(&self.seed_re)
+            .chain(&self.seed_im)
+            .chain(&self.step_re)
+            .chain(&self.step_im)
+            .map(|v| v.len() * 8)
+            .sum()
     }
 
     /// The `Δ_ij` slice of one cell for anchor `i` (length = antennas of
-    /// `i`, indexed by `j`).
+    /// `i`, indexed by `j` — padding lanes excluded).
     #[inline]
     pub fn cell_deltas(&self, i: usize, cell: usize) -> &[f64] {
-        let nj = self.n_antennas[i];
-        &self.delta[i][cell * nj..(cell + 1) * nj]
+        let nl = self.n_lanes[i];
+        &self.delta[i][cell * nl..cell * nl + self.n_antennas[i]]
     }
 
-    /// The base-frequency phasor slice of one cell for anchor `i`.
-    #[inline]
-    pub fn cell_seeds(&self, i: usize, cell: usize) -> &[C64] {
-        let nj = self.n_antennas[i];
-        &self.seed[i][cell * nj..(cell + 1) * nj]
+    /// The kernel-ready sweep view of anchor `i`: the cached phasor
+    /// tables zipped with `soa`'s matching alpha tensor.
+    fn cell_sweep<'a>(&'a self, soa: &'a SoaChannels, i: usize) -> CellSweep<'a> {
+        debug_assert_eq!(self.n_lanes[i], soa.n_lanes[i]);
+        CellSweep {
+            seed_re: &self.seed_re[i],
+            seed_im: &self.seed_im[i],
+            step_re: &self.step_re[i],
+            step_im: &self.step_im[i],
+            alpha_re: &soa.alpha_re[i],
+            alpha_im: &soa.alpha_im[i],
+            n_lanes: self.n_lanes[i],
+            gaps: &soa.kernel_gaps,
+        }
     }
 
-    /// The comb-step rotation slice of one cell for anchor `i`.
-    #[inline]
-    pub fn cell_steps(&self, i: usize, cell: usize) -> &[C64] {
-        let nj = self.n_antennas[i];
-        &self.step[i][cell * nj..(cell + 1) * nj]
+    /// The off-comb fallback view of anchor `i`.
+    fn offcomb_sweep<'a>(&'a self, soa: &'a SoaChannels, i: usize) -> OffCombSweep<'a> {
+        debug_assert_eq!(self.n_lanes[i], soa.n_lanes[i]);
+        OffCombSweep {
+            delta: &self.delta[i],
+            alpha_re: &soa.alpha_re[i],
+            alpha_im: &soa.alpha_im[i],
+            n_lanes: self.n_lanes[i],
+            freqs: &soa.plan.freqs,
+            phase_per_hz: std::f64::consts::TAU / SPEED_OF_LIGHT,
+        }
     }
 }
 
@@ -519,14 +574,20 @@ impl LikelihoodKernel for ReferenceKernel {
     }
 }
 
-/// The phasor-recurrence kernel over the SoA layout and cached geometry:
-/// per (cell, antenna) it seeds `e^{ι2πf_baseΔ/c}` and the comb rotation
-/// `e^{ι2πsΔ/c}` with two `cis` calls, then advances across bands by
-/// complex multiplication (`gaps[k]` multiplies per band — one for
-/// adjacent comb slots). Off-comb band sets fall back to per-band `cis`
-/// over the same SoA slices.
+/// The phasor-recurrence kernel: a thin adapter over
+/// [`bloc_num::sweep::write_comb_cells`]. Per (cell, antenna) the cached
+/// steering tables hold `e^{ι2πf_baseΔ/c}` and the comb rotation
+/// `e^{ι2πsΔ/c}`; the shared SIMD kernel advances every antenna's chain
+/// in 4-wide lanes across bands by complex multiplication. Off-comb band
+/// sets fall back to per-band `cis` ([`sweep::write_offcomb_cells`]) with
+/// identical combining semantics.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct RecurrenceKernel;
+
+/// Minimum cells per shard before an anchor map fans out: one cell costs
+/// ~150 ns warm, so this keeps each spawn amortized to well under a
+/// percent.
+const MIN_CELLS_PER_SHARD: usize = 4096;
 
 impl LikelihoodKernel for RecurrenceKernel {
     fn name(&self) -> &'static str {
@@ -543,72 +604,26 @@ impl LikelihoodKernel for RecurrenceKernel {
         let soa = inputs.soa;
         let tables = inputs.tables;
         let spec = tables.spec();
-        let plan = &soa.plan;
-        let n_ant = soa.n_antennas[i];
-        let alpha_i: &[C64] = &soa.alpha[i];
-        let tau_over_c = std::f64::consts::TAU / SPEED_OF_LIGHT;
-        let uniform = plan.is_uniform_comb();
+        let uniform = soa.plan.is_uniform_comb();
+        let combine = combine_of(combining);
 
         let mut out = Grid2D::zeros(spec);
+        let n_cells = out.data().len();
         let nx = spec.nx.max(1);
+        let threads = bloc_num::par::tuned_threads(n_cells, threads, MIN_CELLS_PER_SHARD);
+        let chunk = bloc_num::par::auto_chunk_len(n_cells, nx, threads);
         bloc_num::par::for_each_chunk_mut_named(
             "likelihood",
             out.data_mut(),
-            nx,
+            chunk,
             threads,
             |start, row| {
-                // Per-row scratch: one rotation chain per antenna, advanced in
-                // lockstep across bands so the chains stay independent in the
-                // pipeline (a single chain serializes on complex-multiply
-                // latency).
-                let mut rot = vec![bloc_num::complex::ZERO; n_ant];
-                let mut acc = vec![bloc_num::complex::ZERO; n_ant];
-                for (off, v) in row.iter_mut().enumerate() {
-                    let cell = start + off;
-                    if uniform {
-                        // The cached seed/step phasors make this branch free
-                        // of transcendentals: pure complex multiply-adds.
-                        let steps = tables.cell_steps(i, cell);
-                        rot[..n_ant].copy_from_slice(tables.cell_seeds(i, cell));
-                        for a in acc[..n_ant].iter_mut() {
-                            *a = bloc_num::complex::ZERO;
-                        }
-                        for (slot, &gap) in plan.gaps.iter().enumerate() {
-                            for _ in 0..gap {
-                                for (r, &s) in rot[..n_ant].iter_mut().zip(steps) {
-                                    *r *= s;
-                                }
-                            }
-                            let a = &alpha_i[slot * n_ant..(slot + 1) * n_ant];
-                            for ((acc_j, &a_j), &r_j) in
-                                acc[..n_ant].iter_mut().zip(a).zip(&rot[..n_ant])
-                            {
-                                *acc_j += a_j * r_j;
-                            }
-                        }
-                    } else {
-                        let deltas = tables.cell_deltas(i, cell);
-                        for a in acc[..n_ant].iter_mut() {
-                            *a = bloc_num::complex::ZERO;
-                        }
-                        for (slot, &f) in plan.freqs.iter().enumerate() {
-                            let a = &alpha_i[slot * n_ant..(slot + 1) * n_ant];
-                            for (j, &delta) in deltas.iter().enumerate().take(n_ant) {
-                                acc[j] += a[j] * C64::cis(tau_over_c * delta * f);
-                            }
-                        }
-                    }
-                    let mut coherent = bloc_num::complex::ZERO;
-                    let mut noncoherent = 0.0;
-                    for &per_antenna in acc.iter().take(n_ant) {
-                        coherent += per_antenna;
-                        noncoherent += per_antenna.abs();
-                    }
-                    *v = match combining {
-                        AntennaCombining::Coherent => coherent.abs(),
-                        AntennaCombining::NoncoherentAntennas => noncoherent,
-                        AntennaCombining::Hybrid => coherent.abs() + 0.5 * noncoherent,
-                    };
+                if uniform {
+                    // The cached seed/step phasors make this branch free
+                    // of transcendentals: pure complex multiply-adds.
+                    sweep::write_comb_cells(&tables.cell_sweep(soa, i), combine, start, row);
+                } else {
+                    sweep::write_offcomb_cells(&tables.offcomb_sweep(soa, i), combine, start, row);
                 }
             },
         );
@@ -625,6 +640,11 @@ pub struct LikelihoodEngine {
     kernel: Arc<dyn LikelihoodKernel>,
     threads: usize,
     cache: SteeringCache,
+    /// Warm-path scratch: the SoA re-pack of the previous call, reused so
+    /// steady-state soundings allocate no channel tensors. Shared (like
+    /// the cache) across clones; `take`/`put` keeps the lock out of the
+    /// compute, and a concurrent second caller simply builds fresh.
+    soa_arena: Arc<Mutex<Option<Box<SoaChannels>>>>,
 }
 
 impl Default for LikelihoodEngine {
@@ -643,6 +663,7 @@ impl LikelihoodEngine {
             kernel: Arc::new(RecurrenceKernel),
             threads: 1,
             cache: SteeringCache::new(),
+            soa_arena: Arc::default(),
         }
     }
 
@@ -652,7 +673,26 @@ impl LikelihoodEngine {
             kernel: Arc::new(ReferenceKernel),
             threads: 1,
             cache: SteeringCache::new(),
+            soa_arena: Arc::default(),
         }
+    }
+
+    /// Takes the arena's SoA scratch (or a fresh one) rebuilt for
+    /// `corrected`.
+    fn soa_for(&self, corrected: &CorrectedChannels) -> Box<SoaChannels> {
+        let taken = self
+            .soa_arena
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take();
+        let mut soa = taken.unwrap_or_else(|| Box::new(SoaChannels::empty()));
+        soa.rebuild(corrected);
+        soa
+    }
+
+    /// Returns SoA scratch to the arena for the next call.
+    fn release_soa(&self, soa: Box<SoaChannels>) {
+        *self.soa_arena.lock().unwrap_or_else(|e| e.into_inner()) = Some(soa);
     }
 
     /// Replaces the kernel.
@@ -691,7 +731,7 @@ impl LikelihoodEngine {
         spec: GridSpec,
         combining: AntennaCombining,
     ) -> Grid2D {
-        let soa = SoaChannels::build(corrected);
+        let soa = self.soa_for(corrected);
         let tables = self.cache.tables(
             spec,
             &corrected.anchors,
@@ -704,20 +744,29 @@ impl LikelihoodEngine {
             soa: &soa,
             tables: &tables,
         };
-        self.kernel.anchor_map(&inputs, i, combining, self.threads)
+        let map = self.kernel.anchor_map(&inputs, i, combining, self.threads);
+        self.release_soa(soa);
+        map
     }
 
     /// The joint likelihood (per-anchor maps normalized, degradation-
     /// weighted, summed — see [`crate::likelihood::joint_likelihood`] for
     /// the weighting contract) with the SoA build and geometry lookup
     /// amortized across anchors.
+    ///
+    /// With more than one thread configured, parallelism fans out across
+    /// *anchors* — whole independent maps, the coarsest unit available —
+    /// rather than intra-map row shards: each worker computes one
+    /// anchor's map serially, and the weighted sum then consumes them in
+    /// anchor order, so the result stays bit-identical to the serial
+    /// path.
     pub fn joint_likelihood(
         &self,
         corrected: &CorrectedChannels,
         spec: GridSpec,
         combining: AntennaCombining,
     ) -> Grid2D {
-        let soa = SoaChannels::build(corrected);
+        let soa = self.soa_for(corrected);
         let tables = self.cache.tables(
             spec,
             &corrected.anchors,
@@ -730,9 +779,35 @@ impl LikelihoodEngine {
             soa: &soa,
             tables: &tables,
         };
-        crate::likelihood::weighted_joint(corrected, spec, |i| {
-            self.kernel.anchor_map(&inputs, i, combining, self.threads)
-        })
+        let n = corrected.n_anchors();
+        // Only anchors with surviving evidence get maps (the weighting
+        // skips the rest), and each map is a full grid of kernel work —
+        // one item per shard is already coarse enough to pay for itself.
+        let alive: Vec<usize> = (0..n)
+            .filter(|&i| corrected.surviving_fraction(i) > 0.0)
+            .collect();
+        let anchor_threads = bloc_num::par::tuned_threads(alive.len(), self.threads, 1);
+        let joint = if anchor_threads > 1 {
+            let maps =
+                bloc_num::par::map_named("likelihood.anchors", alive.len(), anchor_threads, |k| {
+                    self.kernel.anchor_map(&inputs, alive[k], combining, 1)
+                });
+            let mut by_anchor: Vec<Option<Grid2D>> = (0..n).map(|_| None).collect();
+            for (&i, map) in alive.iter().zip(maps) {
+                by_anchor[i] = Some(map);
+            }
+            crate::likelihood::weighted_joint(corrected, spec, |i| {
+                by_anchor[i]
+                    .take()
+                    .unwrap_or_else(|| self.kernel.anchor_map(&inputs, i, combining, 1))
+            })
+        } else {
+            crate::likelihood::weighted_joint(corrected, spec, |i| {
+                self.kernel.anchor_map(&inputs, i, combining, self.threads)
+            })
+        };
+        self.release_soa(soa);
+        joint
     }
 }
 
@@ -835,14 +910,30 @@ mod tests {
                 let cell = spec.flat(ix, iy);
                 for (i, a) in anchors.iter().enumerate() {
                     let ds = tables.cell_deltas(i, cell);
-                    let seeds = tables.cell_seeds(i, cell);
-                    let steps = tables.cell_steps(i, cell);
+                    let nl = tables.n_lanes[i];
                     assert_eq!(ds.len(), a.n_antennas);
                     for (j, &d) in ds.iter().enumerate() {
                         let manual = x.dist(a.antenna(j)) - x.dist(master0) - dists[i];
                         assert_eq!(d, manual, "cell ({ix},{iy}) anchor {i} ant {j}");
-                        assert_eq!(seeds[j], C64::cis(tau_over_c * d * base));
-                        assert_eq!(steps[j], C64::cis(tau_over_c * d * step));
+                        let k = cell * nl + j;
+                        let seed = C64::new(tables.seed_re[i][k], tables.seed_im[i][k]);
+                        let rot = C64::new(tables.step_re[i][k], tables.step_im[i][k]);
+                        assert_eq!(seed, C64::cis(tau_over_c * d * base));
+                        assert_eq!(rot, C64::cis(tau_over_c * d * step));
+                    }
+                    // Padding lanes stay neutral: zero delta, unit phasor
+                    // — a zero alpha annihilates them exactly.
+                    for j in a.n_antennas..nl {
+                        let k = cell * nl + j;
+                        assert_eq!(tables.delta[i][k], 0.0);
+                        assert_eq!(
+                            C64::new(tables.seed_re[i][k], tables.seed_im[i][k]),
+                            C64::new(1.0, 0.0)
+                        );
+                        assert_eq!(
+                            C64::new(tables.step_re[i][k], tables.step_im[i][k]),
+                            C64::new(1.0, 0.0)
+                        );
                     }
                 }
             }

@@ -321,3 +321,118 @@ fn band_plan_handles_the_full_ble_data_comb() {
     assert_eq!(plan.gaps.len(), freqs.len());
     assert_eq!(plan.step_hz, 2.0e6);
 }
+
+#[test]
+fn simd_dispatch_paths_are_bit_identical_on_degraded_inputs() {
+    // ISSUE 8: every compiled kernel backend (scalar always, AVX2 when
+    // the host has it) must produce byte-for-byte identical sweeps, not
+    // merely close ones — including on FaultPlan-degraded alpha tensors
+    // whose dead antennas and dropped bands exercise the zero-weight
+    // lanes. The backends share one generic body over IEEE
+    // correctly-rounded ops, so this is exact, and `BLOC_NO_SIMD=1`
+    // (which forces the scalar level at dispatch) can never change a
+    // result.
+    use bloc_num::sweep::{self, CellSweep, Combine};
+
+    let levels = sweep::levels_to_test();
+    let corrected = corrected_for(
+        &Environment::free_space(),
+        P2::new(2.4, 3.1),
+        1100,
+        Some(FaultPlan {
+            seed: 13,
+            tag_loss: 0.4,
+            dead_antennas: vec![(0, 1), (2, 3)],
+            dropouts: vec![AnchorDropout {
+                anchor: 1,
+                bands: 8..17,
+            }],
+            ..Default::default()
+        }),
+    );
+    let soa = SoaChannels::build(&corrected);
+    assert!(soa.plan.is_uniform_comb(), "degraded comb stays uniform");
+    let n_cells = 64usize;
+    const C: f64 = 299_792_458.0;
+    for i in 0..corrected.n_anchors() {
+        let nj = corrected.anchors[i].n_antennas;
+        let nl = nj.div_ceil(4).max(1) * 4;
+        let nb = soa.plan.freqs.len();
+        // Synthetic but deterministic per-(cell, antenna) path deltas:
+        // the kernel is the unit under test here, not the steering
+        // geometry (the engine-level equivalence tests cover that).
+        let mut seed_re = vec![1.0; n_cells * nl];
+        let mut seed_im = vec![0.0; n_cells * nl];
+        let mut step_re = vec![1.0; n_cells * nl];
+        let mut step_im = vec![0.0; n_cells * nl];
+        for cell in 0..n_cells {
+            for j in 0..nj {
+                let delta = 0.31 + 0.073 * cell as f64 + 0.0117 * j as f64;
+                let ws = std::f64::consts::TAU * soa.plan.base_hz * delta / C;
+                let wd = std::f64::consts::TAU * soa.plan.step_hz * delta / C;
+                seed_re[cell * nl + j] = ws.cos();
+                seed_im[cell * nl + j] = ws.sin();
+                step_re[cell * nl + j] = wd.cos();
+                step_im[cell * nl + j] = wd.sin();
+            }
+        }
+        // Degraded alpha tensor in slot-major padded layout, straight
+        // from the corrected sounding (dead lanes stay exactly zero).
+        let mut alpha_re = vec![0.0; nb * nl];
+        let mut alpha_im = vec![0.0; nb * nl];
+        for (slot, &b) in soa.plan.order.iter().enumerate() {
+            for (j, &a) in corrected.bands[b].alpha[i].iter().enumerate() {
+                alpha_re[slot * nl + j] = a.re;
+                alpha_im[slot * nl + j] = a.im;
+            }
+        }
+        let s = CellSweep {
+            seed_re: &seed_re,
+            seed_im: &seed_im,
+            step_re: &step_re,
+            step_im: &step_im,
+            alpha_re: &alpha_re,
+            alpha_im: &alpha_im,
+            n_lanes: nl,
+            gaps: &soa.plan.gaps,
+        };
+        for combine in [Combine::Coherent, Combine::Noncoherent, Combine::Hybrid] {
+            let mut baseline = vec![0.0; n_cells];
+            sweep::write_comb_cells_at(levels[0], &s, combine, 0, &mut baseline);
+            assert!(baseline.iter().all(|v| v.is_finite() && *v >= 0.0));
+            for &level in &levels[1..] {
+                let mut out = vec![0.0; n_cells];
+                sweep::write_comb_cells_at(level, &s, combine, 0, &mut out);
+                let a: Vec<u64> = baseline.iter().map(|v| v.to_bits()).collect();
+                let b: Vec<u64> = out.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(
+                    a, b,
+                    "anchor {i} {combine:?}: {level:?} diverged from {:?}",
+                    levels[0]
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn freq_comb_and_band_plan_share_one_comb_implementation() {
+    // ISSUE 8 unification: the likelihood engine's `BandPlan` and the
+    // synthesizer's `FreqComb` are the *same* `bloc_num::sweep::CombPlan`
+    // — identical ordering, base, step and slot assignment from one
+    // shared comb detector, no drift possible between the two engines.
+    let channels = all_data_channels();
+    let freqs: Vec<f64> = channels.iter().map(|c| c.freq_hz()).collect();
+    let via_synth = bloc_chan::FreqComb::for_channels(&channels);
+    let via_engine = BandPlan::build(&freqs);
+    assert_eq!(via_synth.plan(), &via_engine);
+    assert!(via_engine.is_uniform_comb());
+    // Scrambled input order plans the same comb (order is per-input).
+    let mut shuffled = freqs.clone();
+    shuffled.reverse();
+    shuffled.swap(3, 17);
+    let replanned = BandPlan::build(&shuffled);
+    assert_eq!(replanned.freqs, via_engine.freqs);
+    assert_eq!(replanned.step_hz, via_engine.step_hz);
+    assert_eq!(replanned.gaps, via_engine.gaps);
+}

@@ -119,13 +119,23 @@ impl Grid2D {
     /// be shared across workers. Cell values are a pure function of the
     /// cell centre, so the result is bit-identical for every thread count;
     /// `threads <= 1` runs inline with no spawn overhead.
+    ///
+    /// The thread count is tuned down ([`crate::par::tuned_threads`])
+    /// when the grid is too small to amortize spawns, and rows are
+    /// grouped into multi-row chunks ([`crate::par::auto_chunk_len`]) so
+    /// large grids hand each worker a few coarse pieces instead of one
+    /// row at a time.
     pub fn from_fn_par(spec: GridSpec, threads: usize, f: impl Fn(P2) -> f64 + Sync) -> Self {
         let mut g = Self::zeros(spec);
         let nx = spec.nx.max(1);
+        // A cell evaluation is ~a few hundred ns worst case; 4096 cells
+        // per shard keeps the spawn cost under a percent.
+        let threads = crate::par::tuned_threads(g.data.len(), threads, 4096);
+        let chunk = crate::par::auto_chunk_len(g.data.len(), nx, threads);
         crate::par::for_each_chunk_mut_named(
             "grid.fill",
             &mut g.data,
-            nx,
+            chunk,
             threads,
             |start, row| {
                 for (off, v) in row.iter_mut().enumerate() {

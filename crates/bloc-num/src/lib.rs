@@ -21,13 +21,19 @@
 //!   modulator.
 //! * [`par`] — a std-only scoped-thread work splitter shared by every
 //!   CPU-bound fan-out in the workspace (grid rows, location sweeps,
-//!   ablation batteries).
+//!   ablation batteries), with work-size thresholding so tiny calls stay
+//!   serial.
+//! * [`simd`], [`sweep`] — the 4-wide complex phasor-sweep kernels behind
+//!   both hot loops (likelihood Eq. 17 and channel synthesis Eq. 2), with
+//!   runtime AVX2 dispatch and a bit-identical scalar fallback.
 //! * [`angle`], [`constants`] — angle hygiene and physical constants.
 //!
-//! The crate is deliberately free of `unsafe` and of any global state; all
-//! functions are pure and deterministic.
+//! All functions are pure and deterministic. `unsafe` is denied
+//! crate-wide except inside [`simd`]/[`sweep`], whose narrow allowances
+//! exist solely for CPU-feature-gated intrinsics and are documented at
+//! each site.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod angle;
@@ -41,7 +47,9 @@ pub mod linalg;
 pub mod par;
 pub mod peaks;
 pub mod point;
+pub mod simd;
 pub mod stats;
+pub mod sweep;
 
 pub use complex::C64;
 pub use grid::{Grid2D, GridSpec};

@@ -54,6 +54,42 @@ pub fn max_threads() -> usize {
         .unwrap_or(1)
 }
 
+/// Clamps a requested thread count to what the work can feed.
+///
+/// `items / min_items_per_shard` bounds how many workers get at least one
+/// meaningful shard; below one shard's worth the call runs serial (`1`).
+/// This is the fix for the "2 threads slower than 1" benches: spawn +
+/// join on a scoped thread costs tens of microseconds, so a shard must
+/// carry at least that much arithmetic to pay for itself.
+///
+/// An explicit request above [`max_threads`] is honored, not clamped —
+/// oversubscription is the caller's call (the observability gates rely
+/// on a requested `N`-thread round producing `N` worker lanes even on a
+/// smaller host).
+///
+/// Thread-count-*dependent* results are the caller's bug, not this
+/// function's: every executor in this module is deterministic per thread
+/// count, and the workspace's kernels are bit-identical across counts,
+/// so tuning down never changes output.
+pub fn tuned_threads(items: usize, requested: usize, min_items_per_shard: usize) -> usize {
+    let cap = items / min_items_per_shard.max(1);
+    requested.max(1).min(cap.max(1))
+}
+
+/// Picks a chunk length (in multiples of `unit`) so a chunked fan-out
+/// over `total` elements yields roughly three chunks per worker — enough
+/// slack for round-robin balancing without per-chunk overhead dominating.
+pub fn auto_chunk_len(total: usize, unit: usize, threads: usize) -> usize {
+    let unit = unit.max(1);
+    if threads <= 1 {
+        return total.max(unit);
+    }
+    let n_units = total.div_ceil(unit);
+    let target_chunks = threads * 3;
+    let units_per_chunk = n_units.div_ceil(target_chunks).max(1);
+    units_per_chunk * unit
+}
+
 /// Region name used by the unnamed entry points.
 const UNNAMED: &str = "other";
 
@@ -327,6 +363,41 @@ where
 mod tests {
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn tuned_threads_falls_back_to_serial_below_threshold() {
+        // 100 items at ≥1000 per shard: not worth one spawn.
+        assert_eq!(tuned_threads(100, 8, 1000), 1);
+        // Exactly two shards' worth caps at two workers.
+        assert_eq!(
+            tuned_threads(2000, 8, 1000).min(2),
+            tuned_threads(2000, 8, 1000)
+        );
+        assert!(tuned_threads(2000, 8, 1000) <= 2);
+        // Zero items still returns a valid serial count.
+        assert_eq!(tuned_threads(0, 4, 64), 1);
+        // A zero threshold must not divide by zero.
+        assert!(tuned_threads(10, 4, 0) >= 1);
+        // Never exceeds the request; an explicit request above the host
+        // core count is honored (oversubscription is the caller's call).
+        assert!(tuned_threads(usize::MAX / 2, 3, 1) <= 3);
+        assert_eq!(tuned_threads(usize::MAX / 2, 64, 1), 64);
+    }
+
+    #[test]
+    fn auto_chunk_len_respects_unit_and_covers_total() {
+        for (total, unit, threads) in [(6600, 66, 4), (100, 10, 1), (7, 3, 2), (0, 5, 4)] {
+            let len = auto_chunk_len(total, unit, threads);
+            assert!(len >= unit.min(len.max(1)));
+            assert_eq!(len % unit, 0, "chunk len {len} not a multiple of {unit}");
+            if threads > 1 && total > 0 {
+                let chunks = total.div_ceil(len);
+                assert!(chunks <= threads * 3 + threads, "too many chunks: {chunks}");
+            }
+        }
+        // Serial calls get one chunk.
+        assert!(auto_chunk_len(500, 10, 1) >= 500);
+    }
 
     #[test]
     fn map_preserves_index_order() {

@@ -1,0 +1,371 @@
+//! Hand-rolled 4-wide `f64` SIMD with a runtime-dispatched scalar twin.
+//!
+//! The workspace's two hot loops — the Eq. 17 likelihood recurrence in
+//! `bloc-core` and the Eq. 2 channel sweep in `bloc-chan` — are both
+//! complex phasor multiply-add chains over structure-of-arrays data. This
+//! module gives them one vector substrate with **no** external
+//! dependencies: a [`F64x4`] operations trait with two implementations,
+//!
+//! * [`ScalarX4`] — plain `[f64; 4]` element-wise arithmetic, compiled for
+//!   the baseline target, and
+//! * [`AvxX4`] (x86-64 only) — the same operations as explicit AVX2
+//!   `__m256d` intrinsics.
+//!
+//! # Bit-identical dispatch
+//!
+//! Every kernel in [`crate::sweep`] is written once as a generic body and
+//! instantiated for both implementations, and every trait operation is
+//! IEEE-754 correctly rounded (`add`/`sub`/`mul`/`sqrt`) or has a fixed,
+//! documented reduction order ([`F64x4::hsum`]). Consequently the two
+//! dispatch paths produce **bit-identical** results — the equivalence
+//! suites assert this, and it is why no result in the workspace depends
+//! on which CPU ran it. Fused multiply-add is deliberately never used:
+//! FMA contracts the intermediate rounding and would break the
+//! scalar/vector identity.
+//!
+//! # Choosing a path
+//!
+//! [`active_level`] picks AVX2 when the host supports it, unless the
+//! `BLOC_NO_SIMD` environment variable is set (any value) — the scalar
+//! leg CI runs under exactly that switch. Kernels that need an explicit
+//! path (the equivalence tests) take a [`SimdLevel`] argument instead of
+//! consulting the global, so tests never mutate process state.
+//!
+//! # Safety
+//!
+//! This is the one module in `bloc-num` that uses `unsafe`: the AVX2
+//! intrinsics, plus the `#[target_feature]` kernel twins in
+//! [`crate::sweep`]. The containment argument is narrow and checkable:
+//! [`AvxX4`] methods are only reachable from kernels that were dispatched
+//! through [`active_level`] (or an explicit [`SimdLevel::Avx2`] handed to
+//! a test), and [`SimdLevel::Avx2`] is only constructed behind
+//! `is_x86_feature_detected!("avx2")`.
+
+#![allow(unsafe_code)]
+
+/// Which vector implementation a kernel should run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimdLevel {
+    /// Plain `[f64; 4]` arithmetic — always available.
+    Scalar,
+    /// 256-bit AVX2 `__m256d` arithmetic (x86-64 hosts that advertise it).
+    Avx2,
+}
+
+impl SimdLevel {
+    /// A short label for benchmark reports (`"avx2"` / `"scalar"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            SimdLevel::Scalar => "scalar",
+            SimdLevel::Avx2 => "avx2",
+        }
+    }
+}
+
+/// The vector level the host should run, computed once: AVX2 when the CPU
+/// supports it and `BLOC_NO_SIMD` is not set, scalar otherwise.
+pub fn active_level() -> SimdLevel {
+    static LEVEL: std::sync::OnceLock<SimdLevel> = std::sync::OnceLock::new();
+    *LEVEL.get_or_init(detect_level)
+}
+
+fn detect_level() -> SimdLevel {
+    if std::env::var_os("BLOC_NO_SIMD").is_some() {
+        return SimdLevel::Scalar;
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            return SimdLevel::Avx2;
+        }
+    }
+    SimdLevel::Scalar
+}
+
+/// Four `f64` lanes with the operations the sweep kernels need.
+///
+/// Implementations must be IEEE-754 correctly rounded per lane and must
+/// use the exact [`F64x4::hsum`] reduction order, so that any generic
+/// kernel instantiated over two implementations produces bit-identical
+/// results (the dispatch-equivalence contract of this module).
+pub trait F64x4: Copy {
+    /// All four lanes set to `v`.
+    fn splat(v: f64) -> Self;
+    /// Loads lanes from `s[0..4]` (panics if shorter).
+    fn load(s: &[f64]) -> Self;
+    /// Stores lanes into `out[0..4]` (panics if shorter).
+    fn store(self, out: &mut [f64]);
+    /// Lane-wise sum.
+    fn add(self, o: Self) -> Self;
+    /// Lane-wise difference.
+    fn sub(self, o: Self) -> Self;
+    /// Lane-wise product.
+    fn mul(self, o: Self) -> Self;
+    /// Lane-wise square root.
+    fn sqrt(self) -> Self;
+    /// Horizontal sum with the fixed association `(l0 + l2) + (l1 + l3)`
+    /// — the order a 256-bit high/low fold produces naturally, adopted by
+    /// the scalar twin so both paths agree bitwise.
+    fn hsum(self) -> f64;
+}
+
+/// The scalar fallback: `[f64; 4]` element-wise arithmetic.
+#[derive(Debug, Clone, Copy)]
+pub struct ScalarX4([f64; 4]);
+
+impl F64x4 for ScalarX4 {
+    #[inline(always)]
+    fn splat(v: f64) -> Self {
+        ScalarX4([v; 4])
+    }
+    #[inline(always)]
+    fn load(s: &[f64]) -> Self {
+        ScalarX4([s[0], s[1], s[2], s[3]])
+    }
+    #[inline(always)]
+    fn store(self, out: &mut [f64]) {
+        out[..4].copy_from_slice(&self.0);
+    }
+    #[inline(always)]
+    fn add(self, o: Self) -> Self {
+        ScalarX4([
+            self.0[0] + o.0[0],
+            self.0[1] + o.0[1],
+            self.0[2] + o.0[2],
+            self.0[3] + o.0[3],
+        ])
+    }
+    #[inline(always)]
+    fn sub(self, o: Self) -> Self {
+        ScalarX4([
+            self.0[0] - o.0[0],
+            self.0[1] - o.0[1],
+            self.0[2] - o.0[2],
+            self.0[3] - o.0[3],
+        ])
+    }
+    #[inline(always)]
+    fn mul(self, o: Self) -> Self {
+        ScalarX4([
+            self.0[0] * o.0[0],
+            self.0[1] * o.0[1],
+            self.0[2] * o.0[2],
+            self.0[3] * o.0[3],
+        ])
+    }
+    #[inline(always)]
+    fn sqrt(self) -> Self {
+        ScalarX4([
+            self.0[0].sqrt(),
+            self.0[1].sqrt(),
+            self.0[2].sqrt(),
+            self.0[3].sqrt(),
+        ])
+    }
+    #[inline(always)]
+    fn hsum(self) -> f64 {
+        (self.0[0] + self.0[2]) + (self.0[1] + self.0[3])
+    }
+}
+
+/// The AVX2 implementation: one `__m256d` per value.
+#[cfg(target_arch = "x86_64")]
+#[derive(Debug, Clone, Copy)]
+pub struct AvxX4(std::arch::x86_64::__m256d);
+
+// SAFETY CONTRACT (module-level): every intrinsic below is only executed
+// on hosts where AVX2 was detected — callers reach `AvxX4` exclusively
+// through `SimdLevel::Avx2`, which `detect_level` only constructs behind
+// `is_x86_feature_detected!("avx2")` (tests passing an explicit level
+// inherit the same check through `sweep::levels_to_test`). The methods
+// are `#[inline(always)]` so they fold into the `#[target_feature]`
+// kernel twins.
+#[cfg(target_arch = "x86_64")]
+impl F64x4 for AvxX4 {
+    #[inline(always)]
+    fn splat(v: f64) -> Self {
+        // SAFETY: see module safety contract above.
+        unsafe { AvxX4(std::arch::x86_64::_mm256_set1_pd(v)) }
+    }
+    #[inline(always)]
+    fn load(s: &[f64]) -> Self {
+        assert!(s.len() >= 4);
+        // SAFETY: length checked above; see module safety contract.
+        unsafe { AvxX4(std::arch::x86_64::_mm256_loadu_pd(s.as_ptr())) }
+    }
+    #[inline(always)]
+    fn store(self, out: &mut [f64]) {
+        assert!(out.len() >= 4);
+        // SAFETY: length checked above; see module safety contract.
+        unsafe { std::arch::x86_64::_mm256_storeu_pd(out.as_mut_ptr(), self.0) }
+    }
+    #[inline(always)]
+    fn add(self, o: Self) -> Self {
+        // SAFETY: see module safety contract.
+        unsafe { AvxX4(std::arch::x86_64::_mm256_add_pd(self.0, o.0)) }
+    }
+    #[inline(always)]
+    fn sub(self, o: Self) -> Self {
+        // SAFETY: see module safety contract.
+        unsafe { AvxX4(std::arch::x86_64::_mm256_sub_pd(self.0, o.0)) }
+    }
+    #[inline(always)]
+    fn mul(self, o: Self) -> Self {
+        // SAFETY: see module safety contract.
+        unsafe { AvxX4(std::arch::x86_64::_mm256_mul_pd(self.0, o.0)) }
+    }
+    #[inline(always)]
+    fn sqrt(self) -> Self {
+        // SAFETY: see module safety contract.
+        unsafe { AvxX4(std::arch::x86_64::_mm256_sqrt_pd(self.0)) }
+    }
+    #[inline(always)]
+    fn hsum(self) -> f64 {
+        // SAFETY: see module safety contract.
+        unsafe {
+            use std::arch::x86_64::*;
+            let lo = _mm256_castpd256_pd128(self.0); // [l0, l1]
+            let hi = _mm256_extractf128_pd::<1>(self.0); // [l2, l3]
+            let s = _mm_add_pd(lo, hi); // [l0+l2, l1+l3]
+            let odd = _mm_unpackhi_pd(s, s);
+            _mm_cvtsd_f64(_mm_add_sd(s, odd)) // (l0+l2)+(l1+l3)
+        }
+    }
+}
+
+/// A 4-lane complex value in split (structure-of-arrays) form.
+#[derive(Debug, Clone, Copy)]
+pub struct Cx4<V: F64x4> {
+    /// Real lanes.
+    pub re: V,
+    /// Imaginary lanes.
+    pub im: V,
+}
+
+impl<V: F64x4> Cx4<V> {
+    /// All lanes zero.
+    #[inline(always)]
+    pub fn zero() -> Self {
+        Cx4 {
+            re: V::splat(0.0),
+            im: V::splat(0.0),
+        }
+    }
+
+    /// One complex value broadcast across all four lanes.
+    #[inline(always)]
+    pub fn broadcast(re: f64, im: f64) -> Self {
+        Cx4 {
+            re: V::splat(re),
+            im: V::splat(im),
+        }
+    }
+
+    /// Lane-wise complex product, expanded with separate multiplies and
+    /// adds (never FMA — see the module docs on bit-identity).
+    ///
+    /// Named like the [`F64x4`] element ops rather than via `std::ops`:
+    /// operator impls would force `V: Copy + …` bounds on every generic
+    /// kernel signature for no call-site gain.
+    #[allow(clippy::should_implement_trait)]
+    #[inline(always)]
+    pub fn mul(self, o: Self) -> Self {
+        Cx4 {
+            re: self.re.mul(o.re).sub(self.im.mul(o.im)),
+            im: self.re.mul(o.im).add(self.im.mul(o.re)),
+        }
+    }
+
+    /// Lane-wise complex sum.
+    #[allow(clippy::should_implement_trait)]
+    #[inline(always)]
+    pub fn add(self, o: Self) -> Self {
+        Cx4 {
+            re: self.re.add(o.re),
+            im: self.im.add(o.im),
+        }
+    }
+
+    /// Lane-wise magnitude `sqrt(re² + im²)`.
+    #[inline(always)]
+    pub fn abs(self) -> V {
+        self.re.mul(self.re).add(self.im.mul(self.im)).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mix(mut x: u64) -> u64 {
+        x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^ (x >> 31)
+    }
+
+    fn rand_f64(seed: u64) -> f64 {
+        (mix(seed) >> 11) as f64 / (1u64 << 53) as f64 * 4.0 - 2.0
+    }
+
+    fn check_ops<V: F64x4>(seed: u64) -> [u64; 6] {
+        let a: Vec<f64> = (0..4).map(|k| rand_f64(seed ^ k)).collect();
+        let b: Vec<f64> = (0..4).map(|k| rand_f64(seed ^ (k + 7))).collect();
+        let va = V::load(&a);
+        let vb = V::load(&b);
+        let mut out = [0.0; 4];
+        va.mul(vb).add(va).sub(vb).store(&mut out);
+        let abs2 = va.mul(va).add(vb.mul(vb)).sqrt();
+        [
+            out[0].to_bits(),
+            out[1].to_bits(),
+            out[2].to_bits(),
+            out[3].to_bits(),
+            va.hsum().to_bits(),
+            abs2.hsum().to_bits(),
+        ]
+    }
+
+    #[test]
+    fn scalar_ops_match_plain_arithmetic() {
+        let a = [1.5, -2.25, 0.5, 3.0];
+        let v = ScalarX4::load(&a);
+        assert_eq!(v.hsum(), (1.5 + 0.5) + (-2.25 + 3.0));
+        let mut out = [0.0; 4];
+        v.mul(v).store(&mut out);
+        assert_eq!(out, [2.25, 5.0625, 0.25, 9.0]);
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn avx2_is_bit_identical_to_scalar() {
+        if !std::arch::is_x86_feature_detected!("avx2") {
+            return;
+        }
+        for seed in 0..256u64 {
+            assert_eq!(
+                check_ops::<ScalarX4>(seed),
+                check_ops::<AvxX4>(seed),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn active_level_is_stable() {
+        assert_eq!(active_level(), active_level());
+    }
+
+    #[test]
+    fn complex_mul_matches_expansion() {
+        let a = Cx4::<ScalarX4>::broadcast(1.25, -0.5);
+        let b = Cx4::<ScalarX4>::broadcast(0.75, 2.0);
+        let p = a.mul(b);
+        let mut re = [0.0; 4];
+        let mut im = [0.0; 4];
+        p.re.store(&mut re);
+        p.im.store(&mut im);
+        assert_eq!(re[0], 1.25 * 0.75 - (-0.5) * 2.0);
+        assert_eq!(im[0], 1.25 * 2.0 + (-0.5) * 0.75);
+    }
+}

@@ -60,6 +60,9 @@ pub fn train_fingerprint_db(
     let channels = all_data_channels();
     let positions = survey_positions(&scenario.room, spacing, 0.5);
     let sounder = scenario.sounder(SounderConfig::default());
+    // A survey point is one full sounding; two per shard amortizes the
+    // spawn while keeping small surveys serial.
+    let threads = par::tuned_threads(positions.len(), threads, 2);
     let rows = par::map_named("fingerprint.survey", positions.len(), threads, |i| {
         let mut rng = StdRng::seed_from_u64(splitmix(
             seed ^ (i as u64).wrapping_mul(0xA24B_AED4_963E_E407),

@@ -164,10 +164,14 @@ pub fn sweep(spec: &SweepSpec<'_>) -> Vec<SweepOutcome> {
     // Per-worker state: a stats accumulator (samples hit the shared
     // registry once, at join) and a private sounder. Work is sharded by
     // stride and reassembled in dataset order by the executor.
+    // One location is a full sounding + localization — coarse enough
+    // that a single item justifies a worker, but tiny sweeps (a handful
+    // of locations) stay serial rather than paying spawns.
+    let threads = bloc_num::par::tuned_threads(n, bloc_num::par::max_threads(), 2);
     let per_location: Vec<Vec<Option<Eval>>> = bloc_num::par::sharded_map_named(
         "sweep",
         n,
-        bloc_num::par::max_threads(),
+        threads,
         |_t| {
             (
                 LocalStats::new(),

@@ -33,10 +33,12 @@ if [[ "${1:-}" != "quick" ]]; then
     run cargo run --release -q -p bloc-bench --bin degraded_soak 120
     # Perf gate: verifies the fast likelihood kernels (≤ 1e-9) and the fast
     # channel-synthesis engine (≤ 1e-12) against their naive references and
-    # enforces the single-thread speedup floors — ≥ 5× likelihood, ≥ 4×
-    # sounding. Best-of-15 keeps the gate stable on noisy shared hosts;
-    # refreshes BENCH_likelihood.json and BENCH_sounding.json (see
-    # crates/bloc-bench/src/bin/perf_baseline.rs).
+    # enforces the speedup floors — ≥ 5× likelihood, ≥ 4× sounding single
+    # thread, a warm single-thread absolute floor of ≥ 8M cell-evals/s for
+    # the SIMD sweep kernel, and the thread-scaling gate (≥ 2× at 4
+    # threads on hosts with ≥ 4 cores). Best-of-15 keeps the gate stable
+    # on noisy shared hosts; refreshes BENCH_likelihood.json and
+    # BENCH_sounding.json (see crates/bloc-bench/src/bin/perf_baseline.rs).
     run cargo run --release -q -p bloc-bench --bin perf_baseline 15
     # Observability gate: instrumentation overhead ≤ 2% vs a disabled
     # registry, par.* shard telemetry covering ≥ 95% of a calibrated
@@ -48,6 +50,16 @@ if [[ "${1:-}" != "quick" ]]; then
     run cargo run --release -q -p bloc-bench --bin obs_report
 fi
 run cargo test -q
+# Scalar-fallback leg: BLOC_NO_SIMD=1 forces the portable kernel at
+# dispatch, and the equivalence suites re-verify the sweep core, the
+# likelihood engine and the synthesizer through it. The results are
+# bit-identical to the vectorized path by construction (one generic
+# kernel body, IEEE correctly-rounded ops, no FMA), so the same
+# tolerances apply unchanged.
+echo "==> BLOC_NO_SIMD=1 scalar-fallback leg"
+run env BLOC_NO_SIMD=1 cargo test -q -p bloc-num -- simd sweep
+run env BLOC_NO_SIMD=1 cargo test -q -p bloc-core --test kernel_equivalence
+run env BLOC_NO_SIMD=1 cargo test -q -p bloc-chan --test synth_equivalence
 run cargo fmt --check
 run cargo clippy -- -D warnings
 
