@@ -266,6 +266,11 @@ fn main() {
             "BENCH_sounding.json",
             bench_value("BENCH_sounding.json", "fast_warm", "measurements_per_sec"),
         ),
+        (
+            "fleet_serving",
+            "BENCH_fleet.json",
+            bench_value("BENCH_fleet.json", "fleet", "tags_per_sec"),
+        ),
     ];
     let mut lines = String::new();
     println!();
@@ -279,17 +284,21 @@ fn main() {
         // the kernel slow down, or did scaling/dispatch change?).
         let scaling = bench_root_num(path, "scaling_4_threads").unwrap_or(1.0);
         let simd = bench_root_str(path, "simd_level").unwrap_or_else(|| "unknown".to_string());
-        lines.push_str(
-            &Json::obj([
-                ("ts", Json::Num(now as f64)),
-                ("bench", Json::Str(bench.to_string())),
-                ("warm_throughput", Json::Num(value)),
-                ("scaling_4_threads", Json::Num(scaling)),
-                ("simd_level", Json::Str(simd)),
-                ("overhead_pct", Json::Num(overhead * 100.0)),
-            ])
-            .render(),
-        );
+        let mut fields = vec![
+            ("ts", Json::Num(now as f64)),
+            ("bench", Json::Str(bench.to_string())),
+            ("warm_throughput", Json::Num(value)),
+            ("scaling_4_threads", Json::Num(scaling)),
+            ("simd_level", Json::Str(simd)),
+            ("overhead_pct", Json::Num(overhead * 100.0)),
+        ];
+        // The fleet bench carries its tail latency alongside throughput,
+        // so a future tags/s regression can be attributed (did serving
+        // slow uniformly, or did the p99 blow out?).
+        if let Some(p99) = bench_root_num(path, "p99_round_us") {
+            fields.push(("p99_round_us", Json::Num(p99)));
+        }
+        lines.push_str(&Json::obj(fields).render());
         lines.push('\n');
         match prior.get(bench).copied() {
             None => {

@@ -112,6 +112,16 @@ pub enum DeferReason {
         /// The failure of the final attempt.
         last: LocalizeError,
     },
+    /// The round's time budget ([`bloc_num::par::Deadline`]) ran out
+    /// before an estimate was produced: the round defers itself instead
+    /// of stalling the batch it is part of (fleet serving's per-round
+    /// deadline bulkhead).
+    DeadlineExceeded {
+        /// The configured budget, µs.
+        budget_us: u64,
+        /// Cost charged by the time the deadline was observed, µs.
+        spent_us: u64,
+    },
 }
 
 impl fmt::Display for DeferReason {
@@ -130,6 +140,13 @@ impl fmt::Display for DeferReason {
             Self::RetriesExhausted { attempts, last } => {
                 write!(f, "all {attempts} attempts failed; last: {last}")
             }
+            Self::DeadlineExceeded {
+                budget_us,
+                spent_us,
+            } => write!(
+                f,
+                "round deadline exceeded: {spent_us} µs spent of a {budget_us} µs budget"
+            ),
         }
     }
 }
@@ -142,6 +159,7 @@ impl DeferReason {
             Self::AnchorQuorum { .. } => "anchor_quorum",
             Self::BandQuorum { .. } => "band_quorum",
             Self::RetriesExhausted { .. } => "retries_exhausted",
+            Self::DeadlineExceeded { .. } => "deadline",
         }
     }
 }

@@ -80,6 +80,7 @@ pub mod diagnostics;
 pub mod engine;
 pub mod error;
 pub mod fallback;
+pub mod fleet;
 pub mod likelihood;
 pub mod localizer;
 pub mod multipath;
@@ -90,6 +91,10 @@ pub use error::{DeferReason, DegradationReport, LocalizeError};
 pub use fallback::{
     EstimateMode, FallbackConfig, FallbackError, FallbackStack, FingerprintDb, FusionPolicy,
     FusionWeights, PacketCountModel,
+};
+pub use fleet::{
+    BatchReport, FleetConfig, FleetDriver, FleetSupervisor, ShedReason, ShedRound, SiteId,
+    SiteSpec, SiteTransition, TagId, TagRound, TagRoundOutcome, TagTransition,
 };
 pub use localizer::{BlocConfig, BlocLocalizer, Estimate};
 pub use runtime::{

@@ -42,23 +42,18 @@ use bloc_chan::faults::ReceptionCensus;
 use bloc_chan::sounder::SoundingData;
 use bloc_chan::AnchorArray;
 use bloc_num::complex::ZERO;
+use bloc_num::par::Deadline;
+// All runtime "randomness" (backoff jitter) is the same pure splitmix64
+// hash of seeds the fault plan uses, so reruns are bit-identical.
+use bloc_num::seed::splitmix64 as splitmix;
 use bloc_num::{Grid2D, P2};
 use bloc_obs::mode::ModeTracker;
+use bloc_obs::BoundedLedger;
 
 use crate::error::{DeferReason, LocalizeError};
 use crate::fallback::{EstimateMode, FallbackStack, FusionWeights};
 use crate::localizer::{BlocLocalizer, Estimate};
 use crate::tracker::{FixDisposition, TrackState, TrackerConfig, TrackingPipeline};
-
-/// The same splitmix64 finalizer the fault plan uses: all runtime
-/// "randomness" (backoff jitter) is a pure hash of seeds, so reruns are
-/// bit-identical.
-fn splitmix(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    x ^ (x >> 31)
-}
 
 /// Deterministic jittered exponential backoff between sounding attempts.
 ///
@@ -209,6 +204,11 @@ pub struct RuntimeConfig {
     pub retry: RetryPolicy,
     /// Tracker (innovation gate) tuning.
     pub tracker: TrackerConfig,
+    /// Resident capacity of the breaker-transition ledger. Older entries
+    /// are evicted and counted ([`SessionSupervisor::breaker_ledger`]'s
+    /// [`BoundedLedger::evicted`]), so `total()` still reconciles with
+    /// the `runtime.breaker.*` counters on sessions that run forever.
+    pub ledger_capacity: usize,
 }
 
 impl Default for RuntimeConfig {
@@ -224,6 +224,7 @@ impl Default for RuntimeConfig {
             min_surviving_bands: 8,
             retry: RetryPolicy::default(),
             tracker: TrackerConfig::default(),
+            ledger_capacity: 4096,
         }
     }
 }
@@ -404,9 +405,13 @@ pub struct SessionSupervisor {
     config: RuntimeConfig,
     pipeline: TrackingPipeline,
     monitors: Vec<AnchorMonitor>,
-    ledger: Vec<BreakerTransition>,
+    ledger: BoundedLedger<BreakerTransition>,
     hop: Option<HopMonitor>,
     round: u64,
+    /// When true, breaker transitions do NOT invalidate the shared
+    /// steering/path caches: a site-level aggregator (the fleet layer)
+    /// owns the one invalidation path across all tags sharing the caches.
+    site_managed_caches: bool,
     /// Geometry of the last admitted subset that built steering tables,
     /// invalidated when admission changes.
     last_geometry: Option<Vec<AnchorArray>>,
@@ -428,13 +433,15 @@ impl SessionSupervisor {
     pub fn new(localizer: BlocLocalizer, n_anchors: usize, config: RuntimeConfig) -> Self {
         assert!(n_anchors > 0, "a deployment needs at least the master");
         let pipeline = TrackingPipeline::new(localizer, config.tracker);
+        let ledger = BoundedLedger::new(config.ledger_capacity);
         Self {
             config,
             pipeline,
             monitors: vec![AnchorMonitor::new(); n_anchors],
-            ledger: Vec::new(),
+            ledger,
             hop: None,
             round: 0,
+            site_managed_caches: false,
             last_geometry: None,
             path_cache: None,
             fallback: None,
@@ -469,6 +476,19 @@ impl SessionSupervisor {
         self
     }
 
+    /// Marks this session's engine/path caches as *site-managed*: breaker
+    /// transitions still land in the ledger and on the registry, but no
+    /// longer invalidate the steering or path caches. A fleet shares one
+    /// cache pair across many tags, and per-tag invalidation would let
+    /// one flapping tag thrash every other tag's warm tables; instead the
+    /// fleet's site-health aggregator performs *one* invalidation per
+    /// site-level membership change (cause `site`). Solo sessions should
+    /// not call this.
+    pub fn with_site_managed_caches(mut self) -> Self {
+        self.site_managed_caches = true;
+        self
+    }
+
     /// The hop monitor, if attached.
     pub fn hop_monitor_mut(&mut self) -> Option<&mut HopMonitor> {
         self.hop.as_mut()
@@ -499,9 +519,11 @@ impl SessionSupervisor {
         self.monitors[i].state
     }
 
-    /// Every breaker transition so far, in order. Reconciles exactly
-    /// with the `runtime.breaker` obs events emitted along the way.
-    pub fn breaker_ledger(&self) -> &[BreakerTransition] {
+    /// The breaker-transition ledger, in order: a bounded ring
+    /// ([`RuntimeConfig::ledger_capacity`]) whose `total()` — resident
+    /// plus evicted — reconciles exactly with the `runtime.breaker` obs
+    /// events and counters emitted along the way.
+    pub fn breaker_ledger(&self) -> &BoundedLedger<BreakerTransition> {
         &self.ledger
     }
 
@@ -547,7 +569,29 @@ impl SessionSupervisor {
     /// and feeds any fix through the innovation-gated tracker. `dt` is
     /// the round period in seconds — exactly one tracker step elapses
     /// per round whether the round fixes, defers, or exhausts retries.
-    pub fn run_round<F>(&mut self, dt: f64, mut sound: F) -> RoundOutcome
+    pub fn run_round<F>(&mut self, dt: f64, sound: F) -> RoundOutcome
+    where
+        F: FnMut(usize) -> SoundingData,
+    {
+        self.run_round_with_deadline(dt, None, sound)
+    }
+
+    /// [`SessionSupervisor::run_round`] under a time budget: before every
+    /// attempt the deadline is polled (with that attempt's backoff delay
+    /// already charged), and an exceeded budget returns a typed
+    /// [`DeferReason::DeadlineExceeded`] deferral immediately — the
+    /// tracker coasts, the batch the round belongs to is never stalled,
+    /// and no fallback estimation is attempted (a round out of budget has
+    /// no budget for coarse estimation either). The caller charges any
+    /// externally known cost (injected latency, queueing delay) before
+    /// the call; a budget exhausted on entry skips the round's work
+    /// entirely.
+    pub fn run_round_with_deadline<F>(
+        &mut self,
+        dt: f64,
+        mut deadline: Option<&mut Deadline>,
+        mut sound: F,
+    ) -> RoundOutcome
     where
         F: FnMut(usize) -> SoundingData,
     {
@@ -576,6 +620,17 @@ impl SessionSupervisor {
             if delay > 0 {
                 bloc_obs::counter("runtime.retries").inc();
                 bloc_obs::histogram("runtime.backoff_us").record(delay);
+            }
+            if let Some(d) = deadline.as_deref_mut() {
+                d.charge(delay);
+                if d.exceeded() {
+                    bloc_obs::counter("runtime.rounds.timed_out").inc();
+                    let reason = DeferReason::DeadlineExceeded {
+                        budget_us: d.budget_us(),
+                        spent_us: d.spent_us(),
+                    };
+                    return self.defer(dt, reason);
+                }
             }
             let full = sound(attempt);
             if attempt == 0 && self.fallback.is_some() {
@@ -840,8 +895,10 @@ impl SessionSupervisor {
         );
         // Closed→Open, Open→HalfOpen and HalfOpen→Open all change the
         // admitted set; HalfOpen→Closed does not (probes already sound).
+        // Under site-managed caches the fleet's aggregator owns the (one)
+        // invalidation path instead.
         let membership_changed = !(from == BreakerState::HalfOpen && to == BreakerState::Closed);
-        if membership_changed {
+        if membership_changed && !self.site_managed_caches {
             if let Some(geometry) = &self.last_geometry {
                 self.pipeline
                     .localizer()

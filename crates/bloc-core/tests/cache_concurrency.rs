@@ -1,0 +1,127 @@
+//! Shared steering-cache concurrency: the fleet serves many tags off
+//! one `SteeringCache`, so warm reads must survive breaker-driven
+//! invalidation racing them, a cold key must be built exactly once no
+//! matter how many tags ask at once, and the `cache.steering.*`
+//! counters must conserve across the storm.
+//!
+//! This binary is the only one asserting *exact* `cache.steering`
+//! hit/miss conservation, so it keeps a single test touching those
+//! counters (tests within one binary share the process-global
+//! registry).
+
+use std::sync::{Arc, Barrier};
+use std::thread;
+
+use bloc_chan::geometry::Room;
+use bloc_chan::AnchorArray;
+use bloc_core::engine::SteeringCache;
+use bloc_core::BlocConfig;
+
+fn deployment() -> (Room, Vec<AnchorArray>) {
+    let room = Room::new(5.0, 6.0);
+    let anchors: Vec<AnchorArray> = room
+        .wall_midpoints()
+        .iter()
+        .zip(room.walls().iter())
+        .enumerate()
+        .map(|(i, (&m, w))| AnchorArray::centered(i, m, w.direction(), 4))
+        .collect();
+    (room, anchors)
+}
+
+#[test]
+fn warm_reads_survive_invalidation_and_rebuild_exactly_once() {
+    let cache = SteeringCache::new();
+    let (room, anchors) = deployment();
+    let spec = BlocConfig::for_room(&room).grid;
+    let master: Vec<f64> = anchors
+        .iter()
+        .map(|a| a.center().dist(anchors[0].center()))
+        .collect();
+    let base_hz = 2.402e9;
+    let step_hz = 2.0e6;
+
+    let hits0 = bloc_obs::counter("cache.steering.hits").get();
+    let miss0 = bloc_obs::counter("cache.steering.misses").get();
+    let inv0 = bloc_obs::counter("cache.steering.invalidations.breaker").get();
+
+    // Phase 1: 8 readers hammer the same key while an invalidator
+    // repeatedly retires it under the breaker cause. Every read must
+    // return a structurally sound table (never a torn or half-built
+    // one), whether it raced a hit, a rebuild, or an eviction.
+    const READERS: usize = 8;
+    const READS: usize = 200;
+    const INVALIDATIONS: usize = 50;
+    thread::scope(|s| {
+        for _ in 0..READERS {
+            s.spawn(|| {
+                for _ in 0..READS {
+                    let t = cache.tables(spec, &anchors, &master, base_hz, step_hz);
+                    assert_eq!(t.spec(), spec, "steering table must match its key");
+                    assert!(t.approx_bytes() > 0, "table must be fully built");
+                }
+            });
+        }
+        s.spawn(|| {
+            for _ in 0..INVALIDATIONS {
+                cache.invalidate_geometry_with_cause(&anchors, "breaker");
+                thread::yield_now();
+            }
+        });
+    });
+
+    // Conservation: every read was either a hit or a (counted) build —
+    // nothing double-counted, nothing lost in the race.
+    let hits = bloc_obs::counter("cache.steering.hits").get() - hits0;
+    let misses = bloc_obs::counter("cache.steering.misses").get() - miss0;
+    let total = (READERS * READS) as u64;
+    assert_eq!(
+        hits + misses,
+        total,
+        "hits ({hits}) + misses ({misses}) must equal the {total} reads"
+    );
+    // A rebuild can only follow an invalidation (plus the initial cold
+    // build); misses bound the thrash.
+    assert!(
+        misses >= 1 && misses <= INVALIDATIONS as u64 + 1,
+        "misses ({misses}) must stay within the invalidation budget"
+    );
+    assert!(
+        bloc_obs::counter("cache.steering.invalidations.breaker").get() - inv0
+            >= INVALIDATIONS as u64,
+        "every invalidation must be attributed to its cause"
+    );
+
+    // Phase 2: after one more invalidation, a stampede of concurrent
+    // same-key readers must produce exactly one build — the lock is
+    // held across the build, so latecomers block and share the Arc.
+    cache.invalidate_geometry_with_cause(&anchors, "breaker");
+    let miss1 = bloc_obs::counter("cache.steering.misses").get();
+    let barrier = Arc::new(Barrier::new(READERS));
+    let (cache_ref, anchors_ref, master_ref) = (&cache, &anchors, &master);
+    let tables: Vec<_> = thread::scope(|s| {
+        let handles: Vec<_> = (0..READERS)
+            .map(|_| {
+                let barrier = Arc::clone(&barrier);
+                s.spawn(move || {
+                    barrier.wait();
+                    cache_ref.tables(spec, anchors_ref, master_ref, base_hz, step_hz)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("reader must not panic"))
+            .collect()
+    });
+    assert!(
+        tables.windows(2).all(|w| Arc::ptr_eq(&w[0], &w[1])),
+        "a cold-key stampede must share one build"
+    );
+    assert_eq!(
+        bloc_obs::counter("cache.steering.misses").get() - miss1,
+        1,
+        "the stampede must rebuild exactly once"
+    );
+    assert_eq!(cache.len(), 1, "one deployment resident after the storm");
+}

@@ -11,6 +11,7 @@ use bloc_chan::{AnchorArray, AnchorDropout, Environment, FaultPlan, Interference
 use bloc_core::runtime::{HopMonitor, RetryPolicy, RoundOutcome, RuntimeConfig, SessionSupervisor};
 use bloc_core::tracker::FixDisposition;
 use bloc_core::{BlocConfig, BlocLocalizer, BreakerState, DeferReason};
+use bloc_num::par::Deadline;
 use bloc_num::P2;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -620,4 +621,179 @@ fn breaker_transitions_invalidate_the_sounder_path_cache() {
         !cache.is_empty(),
         "the cache ends warm after the last stable stretch"
     );
+}
+
+#[test]
+fn deadline_exhaustion_defers_with_typed_reason() {
+    let (room, anchors) = deployment();
+    let env = Environment::free_space();
+    let sounder = Sounder::new(&env, &anchors, quiet());
+    let channels = all_data_channels()[..12].to_vec();
+    let localizer = BlocLocalizer::new(BlocConfig::for_room(&room));
+    // Jitter 0 keeps the backoff charges exact, so the deferral's spent
+    // figure can be pinned bit-for-bit.
+    let config = RuntimeConfig {
+        retry: RetryPolicy {
+            max_retries: 2,
+            base_delay_us: 500,
+            max_delay_us: 4_000,
+            jitter: 0.0,
+            seed: 9,
+        },
+        ..Default::default()
+    };
+    let mut sup = SessionSupervisor::new(localizer, anchors.len(), config);
+    let truth = P2::new(2.0, 2.5);
+
+    // A budget exhausted on entry (the caller charged queueing delay
+    // before the round) skips the round's work entirely: sound() is
+    // never invoked.
+    let timed_out = bloc_obs::counter("runtime.rounds.timed_out").get();
+    let mut spent_on_queue = Deadline::budget(100);
+    spent_on_queue.charge(250);
+    let mut soundings = 0u32;
+    let out = sup.run_round_with_deadline(0.5, Some(&mut spent_on_queue), |attempt| {
+        soundings += 1;
+        sound(
+            &sounder,
+            &FaultPlan::default(),
+            &channels,
+            truth,
+            53,
+            0,
+            attempt,
+        )
+    });
+    match out {
+        RoundOutcome::Deferred(DeferReason::DeadlineExceeded {
+            budget_us,
+            spent_us,
+        }) => {
+            assert_eq!(budget_us, 100);
+            assert_eq!(spent_us, 250);
+        }
+        other => panic!("expected a deadline deferral, got {other:?}"),
+    }
+    assert_eq!(soundings, 0, "an exhausted budget must not sound");
+
+    // Mid-round: attempt 0 loses every tag packet (band quorum fails),
+    // and the first retry's 500 µs backoff overruns a 400 µs budget —
+    // the round defers with the deterministic virtual charge instead of
+    // burning the rest of its retry schedule.
+    let lost = FaultPlan {
+        tag_loss: 1.0,
+        ..Default::default()
+    };
+    let mut deadline = Deadline::budget(400);
+    let out = sup.run_round_with_deadline(0.5, Some(&mut deadline), |attempt| {
+        sound(&sounder, &lost, &channels, truth, 53, 1, attempt)
+    });
+    match out {
+        RoundOutcome::Deferred(DeferReason::DeadlineExceeded {
+            budget_us,
+            spent_us,
+        }) => {
+            assert_eq!(budget_us, 400);
+            assert_eq!(spent_us, 500, "jitter-free backoff charge is exact");
+        }
+        other => panic!("expected a mid-round deadline deferral, got {other:?}"),
+    }
+    assert!(
+        bloc_obs::counter("runtime.rounds.timed_out").get() - timed_out >= 2,
+        "both deferrals must be counted"
+    );
+
+    // The session is not damaged: an unbudgeted clean round fixes.
+    let out = sup.run_round(0.5, |attempt| {
+        sound(
+            &sounder,
+            &FaultPlan::default(),
+            &channels,
+            truth,
+            53,
+            2,
+            attempt,
+        )
+    });
+    assert!(
+        out.is_fix(),
+        "deadline deferrals must not poison the session"
+    );
+}
+
+#[test]
+fn bounded_breaker_ledger_reconciles_after_eviction() {
+    let (room, anchors) = deployment();
+    let env = Environment::free_space();
+    let sounder = Sounder::new(&env, &anchors, quiet());
+    let channels = all_data_channels()[..12].to_vec();
+    let localizer = BlocLocalizer::new(BlocConfig::for_room(&room));
+    // Twitchy breaker + tiny ledger: a flapping anchor overflows the
+    // 4-deep ring well within 40 rounds.
+    let config = RuntimeConfig {
+        open_after: 1,
+        cooldown_rounds: 2,
+        close_after: 1,
+        ledger_capacity: 4,
+        ..Default::default()
+    };
+    let mut sup = SessionSupervisor::new(localizer, anchors.len(), config);
+
+    let dead = FaultPlan {
+        dropouts: vec![AnchorDropout {
+            anchor: 2,
+            bands: 0..channels.len(),
+        }],
+        ..Default::default()
+    };
+    let clean = FaultPlan::default();
+    let before: u64 = ["closed", "open", "half_open"]
+        .iter()
+        .map(|s| bloc_obs::counter(&format!("runtime.breaker.{s}")).get())
+        .sum();
+
+    // Anchor 2 flaps: 5 dead rounds, 5 clean, repeated — each cycle
+    // walks its breaker through open → (failed probes →) half-open →
+    // closed again.
+    let truth = P2::new(1.5, 3.0);
+    for round in 0..40u64 {
+        let plan = if (round / 5) % 2 == 0 { &dead } else { &clean };
+        sup.run_round(0.5, |attempt| {
+            sound(&sounder, plan, &channels, truth, 59, round, attempt)
+        });
+    }
+
+    let ledger = sup.breaker_ledger();
+    assert_eq!(ledger.capacity(), 4);
+    assert_eq!(ledger.len(), 4, "ring must be full: {ledger:?}");
+    assert!(
+        ledger.evicted() > 0,
+        "40 flapping rounds must overflow a 4-deep ring"
+    );
+    assert_eq!(
+        ledger.total(),
+        ledger.len() as u64 + ledger.evicted(),
+        "total() is resident plus evicted by definition"
+    );
+    // Counters are process-global (other tests in this binary also move
+    // breakers), so the exact single-session reconciliation lives in the
+    // soak gates; here the counters must have recorded at least this
+    // session's transitions.
+    let after: u64 = ["closed", "open", "half_open"]
+        .iter()
+        .map(|s| bloc_obs::counter(&format!("runtime.breaker.{s}")).get())
+        .sum();
+    assert!(
+        after - before >= ledger.total(),
+        "every ledgered transition must also be counted ({} counted, {} ledgered)",
+        after - before,
+        ledger.total()
+    );
+    // The resident window holds the most recent transitions, in round
+    // order, all on the flapping anchor.
+    let rounds: Vec<u64> = ledger.iter().map(|t| t.round).collect();
+    let mut sorted = rounds.clone();
+    sorted.sort_unstable();
+    assert_eq!(rounds, sorted, "resident window must stay in order");
+    assert!(ledger.iter().all(|t| t.anchor == 2));
 }

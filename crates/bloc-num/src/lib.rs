@@ -47,6 +47,7 @@ pub mod linalg;
 pub mod par;
 pub mod peaks;
 pub mod point;
+pub mod seed;
 pub mod simd;
 pub mod stats;
 pub mod sweep;

@@ -63,6 +63,7 @@
 pub mod cache;
 pub mod event;
 pub mod json;
+pub mod ledger;
 pub mod local;
 pub mod metrics;
 pub mod mode;
@@ -73,6 +74,7 @@ pub mod trace;
 
 pub use cache::CacheStats;
 pub use event::{Event, Sink, Value};
+pub use ledger::BoundedLedger;
 pub use metrics::{Counter, Gauge, Histogram};
 pub use registry::Registry;
 pub use report::RunReport;

@@ -11,10 +11,30 @@
 //!   call (occupancy: the per-mode counters sum to the number of observations);
 //! * `<kind>.mode.transitions` — counter, incremented when the mode changed;
 //! * a `<kind>.mode` [`Event`] with `from`/`to` fields on every change.
+//!
+//! The tracker also keeps a *bounded* in-order transition history
+//! ([`ModeTracker::history`], a [`BoundedLedger`]): fleet-scale sessions
+//! run indefinitely, so the resident window is capped and evictions are
+//! counted — `history().total()` always equals
+//! [`ModeTracker::transitions`], bounded or not.
 
 #![deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 
+use crate::ledger::BoundedLedger;
 use crate::{counter, emit, Event};
+
+/// One recorded mode change (`"none"` is the from-state of the first
+/// observation).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModeTransition {
+    /// The mode left (or `"none"`).
+    pub from: String,
+    /// The mode entered.
+    pub to: String,
+}
+
+/// Default resident capacity of the transition history.
+pub const DEFAULT_HISTORY_CAPACITY: usize = 256;
 
 /// Records mode occupancy and transitions on the global registry. The
 /// `kind` prefix is fixed at construction; mode names should come from a
@@ -24,6 +44,7 @@ pub struct ModeTracker {
     kind: &'static str,
     current: Option<String>,
     transitions: u64,
+    history: BoundedLedger<ModeTransition>,
 }
 
 impl ModeTracker {
@@ -33,7 +54,15 @@ impl ModeTracker {
             kind,
             current: None,
             transitions: 0,
+            history: BoundedLedger::new(DEFAULT_HISTORY_CAPACITY),
         }
+    }
+
+    /// Overrides the resident capacity of the transition history (older
+    /// transitions are evicted and counted, not lost to reconciliation).
+    pub fn with_history_capacity(mut self, capacity: usize) -> Self {
+        self.history = BoundedLedger::new(capacity);
+        self
     }
 
     /// Records one observation of `mode`: bumps the occupancy counter
@@ -47,6 +76,10 @@ impl ModeTracker {
             let from = self.current.as_deref().unwrap_or("none").to_owned();
             counter(&format!("{}.mode.transitions", self.kind)).inc();
             self.transitions += 1;
+            self.history.push(ModeTransition {
+                from: from.clone(),
+                to: mode.to_owned(),
+            });
             emit(
                 Event::new("fallback.mode", mode.to_owned())
                     .field("kind", self.kind.to_owned())
@@ -56,6 +89,13 @@ impl ModeTracker {
             self.current = Some(mode.to_owned());
         }
         changed
+    }
+
+    /// The bounded transition history: the most recent changes, oldest
+    /// first, with `history().total()` equal to
+    /// [`ModeTracker::transitions`] even after evictions.
+    pub fn history(&self) -> &BoundedLedger<ModeTransition> {
+        &self.history
     }
 
     /// The mode most recently observed.
@@ -91,5 +131,33 @@ mod tests {
         assert_eq!(c("test_runtime.mode.transitions"), 3);
         assert_eq!(tracker.transitions(), 3);
         assert_eq!(tracker.current(), Some("csi"));
+        let hist: Vec<_> = tracker
+            .history()
+            .iter()
+            .map(|t| (t.from.as_str(), t.to.as_str()))
+            .collect();
+        assert_eq!(
+            hist,
+            vec![
+                ("none", "csi"),
+                ("csi", "fingerprint"),
+                ("fingerprint", "csi")
+            ]
+        );
+        assert_eq!(tracker.history().total(), tracker.transitions());
+    }
+
+    #[test]
+    fn bounded_history_still_reconciles_after_eviction() {
+        let mut tracker = ModeTracker::new("test_bounded").with_history_capacity(2);
+        for m in ["a", "b", "c", "d", "e"] {
+            tracker.observe(m);
+        }
+        assert_eq!(tracker.transitions(), 5);
+        assert_eq!(tracker.history().len(), 2);
+        assert_eq!(tracker.history().evicted(), 3);
+        assert_eq!(tracker.history().total(), tracker.transitions());
+        let last = tracker.history().last().map(|t| t.to.as_str());
+        assert_eq!(last, Some("e"));
     }
 }

@@ -18,6 +18,10 @@
 //! * [`fingerprint`] — the offline RSSI survey pass that trains the
 //!   degraded-mode [`bloc_core::FingerprintDb`] (deterministic across
 //!   worker thread counts).
+//! * [`fleet`] — the multi-site fleet testbed: deterministic scenarios,
+//!   a per-site fault menu and a [`bloc_core::FleetDriver`] with
+//!   injectable panics and latencies, for fleet-serving soaks and
+//!   determinism pins.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,10 +29,12 @@
 pub mod dataset;
 pub mod experiments;
 pub mod fingerprint;
+pub mod fleet;
 pub mod metrics;
 pub mod runner;
 pub mod scenario;
 
 pub use fingerprint::train_fingerprint_db;
+pub use fleet::{FleetTestbed, FleetTestbedDriver};
 pub use runner::{sweep, Method, SweepOutcome};
 pub use scenario::Scenario;

@@ -31,6 +31,20 @@ if [[ "${1:-}" != "quick" ]]; then
     # exactly with FaultPlan::predict_reception (see
     # crates/bloc-bench/src/bin/degraded_soak.rs).
     run cargo run --release -q -p bloc-bench --bin degraded_soak 120
+    # Fleet-serving soak: 200 tags over 4 sites under the full fault menu
+    # plus injected per-tag panics, deadline violations and a mid-run
+    # overload burst; fails on cross-tag contamination (sentinel tags not
+    # bit-identical to a solo replay), any bare dropped round, a shed
+    # without a degraded estimate, a ledger/obs mismatch, a missed
+    # site-level outage/recovery, or tags/s below the absolute floor;
+    # refreshes BENCH_fleet.json for the obs_report trend gate (see
+    # crates/bloc-bench/src/bin/fleet_soak.rs). The scalar leg re-proves
+    # the whole verdict — including the bit-identical sentinel replay —
+    # through the portable kernels.
+    # (scalar first: the second run's BENCH_fleet.json — the dispatched
+    # SIMD config — is the one the trend gate records)
+    run env BLOC_NO_SIMD=1 cargo run --release -q -p bloc-bench --bin fleet_soak 200
+    run cargo run --release -q -p bloc-bench --bin fleet_soak 200
     # Perf gate: verifies the fast likelihood kernels (≤ 1e-9) and the fast
     # channel-synthesis engine (≤ 1e-12) against their naive references and
     # enforces the speedup floors — ≥ 5× likelihood, ≥ 4× sounding single
