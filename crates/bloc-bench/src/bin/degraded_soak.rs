@@ -299,6 +299,15 @@ fn main() {
         counter("fallback.counts.localizations"),
         counter("fallback.refined_fixes"),
     );
+    // Search cost per round, from the engine's own ledger: every grid cell
+    // the likelihood kernel touched this run divided by the round count.
+    // Comparable directly against `perf_baseline`'s hierarchical figures.
+    let rounds_run = per_stage * STAGES.len() as u64;
+    println!(
+        "  search cost: {} cell evals over {rounds_run} rounds — {} cells/round",
+        counter("engine.cells_evaluated"),
+        counter("engine.cells_evaluated") / rounds_run.max(1),
+    );
 
     bloc_bench::maybe_finish_trace("degraded_soak");
     if violations.is_empty() {

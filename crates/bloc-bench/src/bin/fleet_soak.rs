@@ -204,6 +204,13 @@ fn main() {
     for (kind, n) in &tally {
         println!("    {kind:>11}: {n}");
     }
+    // Search cost per tag-round from the engine's own cell ledger — the
+    // number to watch when swapping the dense sweep for the hierarchy.
+    println!(
+        "  search cost: {} cell evals over {tag_rounds} tag-rounds — {} cells/round",
+        counter("engine.cells_evaluated"),
+        counter("engine.cells_evaluated") / tag_rounds.max(1),
+    );
 
     // ---- Gates -----------------------------------------------------------
     let mut violations: Vec<String> = Vec::new();

@@ -271,6 +271,18 @@ fn main() {
             "BENCH_fleet.json",
             bench_value("BENCH_fleet.json", "fleet", "tags_per_sec"),
         ),
+        // Dense-equivalent throughput of the coarse-to-fine localizer on
+        // the corridor venue: regresses when the kernel slows down OR the
+        // hierarchy starts spending more cells per fix.
+        (
+            "hierarchical_localize",
+            "BENCH_hierarchical.json",
+            bench_value(
+                "BENCH_hierarchical.json",
+                "hier_warm",
+                "effective_cell_evals_per_sec",
+            ),
+        ),
     ];
     let mut lines = String::new();
     println!();

@@ -370,8 +370,27 @@ impl SteeringTables {
 /// `cache.steering.resident_{entries,bytes}` gauges.
 #[derive(Debug, Clone)]
 pub struct SteeringCache {
-    inner: Arc<Mutex<HashMap<Vec<u64>, Arc<SteeringTables>>>>,
+    inner: Arc<Mutex<CacheInner>>,
     stats: bloc_obs::CacheStats,
+}
+
+/// One resident steering geometry plus the bookkeeping the LRU budget
+/// needs: its payload size and the last access tick.
+#[derive(Debug)]
+struct CacheEntry {
+    tables: Arc<SteeringTables>,
+    bytes: usize,
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    map: HashMap<Vec<u64>, CacheEntry>,
+    /// Monotone access clock; bumped on every lookup so eviction can
+    /// order entries by recency without timestamps.
+    tick: u64,
+    /// Resident-byte ceiling; `None` (the default) never evicts.
+    byte_budget: Option<usize>,
 }
 
 impl Default for SteeringCache {
@@ -447,10 +466,13 @@ impl SteeringCache {
         step_hz: f64,
     ) -> Arc<SteeringTables> {
         let key = cache_key(spec, anchors, master_anchor_dist, base_hz, step_hz);
-        let mut map = self.inner.lock().unwrap_or_else(|e| e.into_inner());
-        if let Some(hit) = map.get(&key) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(hit) = inner.map.get_mut(&key) {
+            hit.last_used = tick;
             self.stats.hit();
-            return Arc::clone(hit);
+            return Arc::clone(&hit.tables);
         }
         self.stats.miss();
         let built = Arc::new(SteeringTables::build(
@@ -460,16 +482,73 @@ impl SteeringCache {
             base_hz,
             step_hz,
         ));
-        map.insert(key, Arc::clone(&built));
-        self.publish_residency(&map);
+        let bytes = built.approx_bytes();
+        inner.map.insert(
+            key.clone(),
+            CacheEntry {
+                tables: Arc::clone(&built),
+                bytes,
+                last_used: tick,
+            },
+        );
+        self.enforce_budget(&mut inner, &key);
+        self.publish_residency(&inner);
         built
+    }
+
+    /// Evicts least-recently-used entries until resident bytes fit the
+    /// budget. The entry just inserted (`keep`) is never evicted — a
+    /// single over-budget geometry stays resident so the current caller
+    /// can still be served from cache; it becomes an eviction candidate
+    /// on the next insert. Evictions are reported as invalidations with
+    /// cause `capacity`.
+    fn enforce_budget(&self, inner: &mut CacheInner, keep: &[u64]) {
+        let Some(budget) = inner.byte_budget else {
+            return;
+        };
+        let mut resident: usize = inner.map.values().map(|e| e.bytes).sum();
+        let mut evicted = 0usize;
+        while resident > budget && inner.map.len() > 1 {
+            let victim = inner
+                .map
+                .iter()
+                .filter(|(k, _)| k.as_slice() != keep)
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone());
+            let Some(victim) = victim else { break };
+            if let Some(entry) = inner.map.remove(&victim) {
+                resident -= entry.bytes;
+                evicted += 1;
+            }
+        }
+        if evicted > 0 {
+            self.stats.invalidated("capacity", evicted);
+        }
     }
 
     /// Pushes the current entry/byte residency to the gauges; callers
     /// hold the map lock.
-    fn publish_residency(&self, map: &HashMap<Vec<u64>, Arc<SteeringTables>>) {
-        let bytes: usize = map.values().map(|t| t.approx_bytes()).sum();
-        self.stats.resident(map.len(), bytes);
+    fn publish_residency(&self, inner: &CacheInner) {
+        let bytes: usize = inner.map.values().map(|e| e.bytes).sum();
+        self.stats.resident(inner.map.len(), bytes);
+    }
+
+    /// Caps resident steering payload bytes; `None` (the default) never
+    /// evicts. Applies to every clone sharing this cache. With a budget
+    /// set, each insert evicts least-recently-used geometries until the
+    /// total fits (cause `capacity` in the telemetry), keeping venue-scale
+    /// coarse+patch working sets bounded across fleet sites.
+    pub fn set_byte_budget(&self, budget: Option<usize>) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.byte_budget = budget;
+    }
+
+    /// The configured resident-byte ceiling, if any.
+    pub fn byte_budget(&self) -> Option<usize> {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .byte_budget
     }
 
     /// Drops every cached deployment built for exactly this anchor
@@ -497,21 +576,25 @@ impl SteeringCache {
         // (master distances trail the geometry), so length + segment
         // equality is an exact match, not a prefix heuristic.
         let expect_len = KEY_ANCHOR_OFFSET + fp.len() + anchors.len();
-        let mut map = self.inner.lock().unwrap_or_else(|e| e.into_inner());
-        let before = map.len();
-        map.retain(|key, _| {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let before = inner.map.len();
+        inner.map.retain(|key, _| {
             key.len() != expect_len
                 || key[KEY_ANCHOR_OFFSET..KEY_ANCHOR_OFFSET + fp.len()] != fp[..]
         });
-        let removed = before - map.len();
+        let removed = before - inner.map.len();
         self.stats.invalidated(cause, removed);
-        self.publish_residency(&map);
+        self.publish_residency(&inner);
         removed
     }
 
     /// Number of cached deployments.
     pub fn len(&self) -> usize {
-        self.inner.lock().unwrap_or_else(|e| e.into_inner()).len()
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .map
+            .len()
     }
 
     /// True when nothing is cached yet.
@@ -746,6 +829,7 @@ impl LikelihoodEngine {
         };
         let map = self.kernel.anchor_map(&inputs, i, combining, self.threads);
         self.release_soa(soa);
+        bloc_obs::counter("engine.cells_evaluated").add(spec.len() as u64);
         map
     }
 
@@ -807,6 +891,9 @@ impl LikelihoodEngine {
             })
         };
         self.release_soa(soa);
+        // One kernel pass per alive anchor: the unit every dense-vs-
+        // hierarchical reduction gate and per-round soak report counts.
+        bloc_obs::counter("engine.cells_evaluated").add((spec.len() * alive.len()) as u64);
         joint
     }
 }
@@ -890,6 +977,47 @@ mod tests {
         let clone = cache.clone();
         let d = clone.tables(spec, &anchors, &dists, base, step);
         assert!(Arc::ptr_eq(&a, &d));
+    }
+
+    #[test]
+    fn steering_cache_byte_budget_evicts_lru() {
+        let anchors = vec![
+            AnchorArray::centered(0, P2::new(1.0, 0.0), P2::new(1.0, 0.0), 4),
+            AnchorArray::centered(1, P2::new(0.0, 1.0), P2::new(0.0, 1.0), 4),
+        ];
+        let dists = vec![0.0, anchors[1].antenna(0).dist(anchors[0].antenna(0))];
+        let (base, step) = (2.402e9, 2.0e6);
+        let spec_at = |res: f64| GridSpec::covering(P2::new(0.0, 0.0), P2::new(2.0, 2.0), res);
+
+        let cache = SteeringCache::new();
+        assert_eq!(cache.byte_budget(), None);
+        let a = cache.tables(spec_at(0.5), &anchors, &dists, base, step);
+        let b = cache.tables(spec_at(0.4), &anchors, &dists, base, step);
+        assert_eq!(cache.len(), 2);
+        // Size the budget so `a` plus the upcoming 0.25 m entry fit, but
+        // all three do not.
+        let c_bytes =
+            SteeringTables::build(spec_at(0.25), &anchors, &dists, base, step).approx_bytes();
+        cache.set_byte_budget(Some(a.approx_bytes() + c_bytes));
+        // Touch `a` so the 0.4 m entry is the least recently used, then
+        // insert a third: `b` must be the eviction victim.
+        let a2 = cache.tables(spec_at(0.5), &anchors, &dists, base, step);
+        assert!(Arc::ptr_eq(&a, &a2));
+        let _c = cache.tables(spec_at(0.25), &anchors, &dists, base, step);
+        assert_eq!(cache.len(), 2);
+        let b2 = cache.tables(spec_at(0.4), &anchors, &dists, base, step);
+        assert!(
+            !Arc::ptr_eq(&b, &b2),
+            "evicted entry must be rebuilt, not served stale"
+        );
+
+        // A single entry larger than the budget stays resident: the cache
+        // never evicts below one geometry.
+        cache.set_byte_budget(Some(1));
+        let big = cache.tables(spec_at(0.1), &anchors, &dists, base, step);
+        assert_eq!(cache.len(), 1);
+        let big2 = cache.tables(spec_at(0.1), &anchors, &dists, base, step);
+        assert!(Arc::ptr_eq(&big, &big2));
     }
 
     #[test]

@@ -81,6 +81,7 @@ pub mod engine;
 pub mod error;
 pub mod fallback;
 pub mod fleet;
+pub mod hierarchical;
 pub mod likelihood;
 pub mod localizer;
 pub mod multipath;
@@ -95,6 +96,10 @@ pub use fallback::{
 pub use fleet::{
     BatchReport, FleetConfig, FleetDriver, FleetSupervisor, ShedReason, ShedRound, SiteId,
     SiteSpec, SiteTransition, TagId, TagRound, TagRoundOutcome, TagTransition,
+};
+pub use hierarchical::{
+    EscapeReason, HierarchicalConfig, HierarchicalEstimate, HierarchicalFusedFix,
+    HierarchicalLocalizer,
 };
 pub use localizer::{BlocConfig, BlocLocalizer, Estimate};
 pub use runtime::{

@@ -230,23 +230,36 @@ pub(crate) fn weighted_joint(
     mut anchor_map: impl FnMut(usize) -> Grid2D,
 ) -> Grid2D {
     let mut joint = Grid2D::zeros(spec);
+    let weights = anchor_weights(corrected);
+    for (i, &w) in weights.iter().enumerate() {
+        if w <= 0.0 {
+            continue;
+        }
+        let mut map = anchor_map(i);
+        map.normalize_peak();
+        map.scale(w);
+        joint.add_assign(&map);
+    }
+    joint
+}
+
+/// The per-anchor weights of the [`weighted_joint`] contract: each
+/// anchor's surviving-evidence fraction relative to the best-covered
+/// anchor, `0.0` for dead anchors (and for everyone when nothing
+/// survived). Exposed so the hierarchical solver can assemble patch-level
+/// joints with exactly the dense weighting.
+pub(crate) fn anchor_weights(corrected: &CorrectedChannels) -> Vec<f64> {
     let fractions: Vec<f64> = (0..corrected.n_anchors())
         .map(|i| corrected.surviving_fraction(i))
         .collect();
     let best = fractions.iter().fold(0.0f64, |a, &b| a.max(b));
     if best <= 0.0 {
-        return joint;
+        return vec![0.0; fractions.len()];
     }
-    for (i, &frac) in fractions.iter().enumerate() {
-        if frac <= 0.0 {
-            continue;
-        }
-        let mut map = anchor_map(i);
-        map.normalize_peak();
-        map.scale(frac / best);
-        joint.add_assign(&map);
-    }
-    joint
+    fractions
+        .into_iter()
+        .map(|frac| if frac > 0.0 { frac / best } else { 0.0 })
+        .collect()
 }
 
 #[cfg(test)]

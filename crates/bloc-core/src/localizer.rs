@@ -199,7 +199,7 @@ impl BlocLocalizer {
     /// `bloc_chan::FaultPlan` records at sounding time). Counted exactly
     /// once per [`Self::localize`] call so one sounding → one localize
     /// reconciles the two families exactly.
-    fn record_recovered(corrected: &CorrectedChannels) {
+    pub(crate) fn record_recovered(corrected: &CorrectedChannels) {
         let m = &corrected.masking;
         if m.holes_masked > 0 {
             bloc_obs::counter("fault.recovered.holes").add(m.holes_masked as u64);
@@ -218,7 +218,7 @@ impl BlocLocalizer {
 
     /// The degradation evidence carried by estimates built from
     /// `corrected` (confidence is filled in once peaks are scored).
-    fn degradation_of(corrected: &CorrectedChannels) -> DegradationReport {
+    pub(crate) fn degradation_of(corrected: &CorrectedChannels) -> DegradationReport {
         DegradationReport {
             bands_total: corrected.masking.bands_total,
             bands_dropped: corrected.masking.bands_dropped,
@@ -234,7 +234,7 @@ impl BlocLocalizer {
     }
 
     /// Checks that `corrected` can support a fix at all.
-    fn check_usable(corrected: &CorrectedChannels) -> Result<(), LocalizeError> {
+    pub(crate) fn check_usable(corrected: &CorrectedChannels) -> Result<(), LocalizeError> {
         if corrected.bands.is_empty() {
             return Err(LocalizeError::NoUsableBands {
                 total: corrected.masking.bands_total,

@@ -82,12 +82,35 @@ pub fn score_peaks(grid: &Grid2D, anchor_refs: &[P2], config: &ScoreConfig) -> V
         return Vec::new();
     }
     let background = bloc_num::stats::median(grid.data());
-    let span = (max_v - background).max(f64::MIN_POSITIVE);
+    let peaks = find_peaks(grid, &config.peaks);
+    let scored = score_candidates(grid, &peaks, anchor_refs, config, background, max_v);
+    record_scored(&scored);
+    scored
+}
 
+/// The Eq. 18 scoring core with the normalization statistics made
+/// explicit: `background` is the diffuse correlation pedestal and `max_v`
+/// the reference peak height that `p_x` is measured against. Peaks are
+/// evaluated on `grid` (entropy windows are read from it) but may be
+/// normalized against statistics computed elsewhere — the hierarchical
+/// solver scores fine-patch peaks against the *venue-global* background
+/// and maximum so candidates from different patches rank on one scale,
+/// exactly as a dense sweep would rank them. Returns the peaks sorted by
+/// score, best first; does not touch the `multipath.*` counters (callers
+/// that produce a final candidate set use [`record_scored`]).
+pub fn score_candidates(
+    grid: &Grid2D,
+    peaks: &[Peak],
+    anchor_refs: &[P2],
+    config: &ScoreConfig,
+    background: f64,
+    max_v: f64,
+) -> Vec<ScoredPeak> {
+    let span = (max_v - background).max(f64::MIN_POSITIVE);
     let radius_cells = ((config.entropy_radius_m / grid.spec().resolution).round() as usize).max(1);
-    let mut scored: Vec<ScoredPeak> = find_peaks(grid, &config.peaks)
-        .into_iter()
-        .map(|peak| {
+    let mut scored: Vec<ScoredPeak> = peaks
+        .iter()
+        .map(|&peak| {
             // The diffuse correlation pedestal sits under every window and
             // would flatten the distribution regardless of lobe shape;
             // measure the entropy of the *above-background* likelihood.
@@ -113,10 +136,15 @@ pub fn score_peaks(grid: &Grid2D, anchor_refs: &[P2], config: &ScoreConfig) -> V
     // pipeline mid-fix.
     scored.sort_by(|x, y| y.score.total_cmp(&x.score));
     scored.retain(|s| s.score.is_finite());
-    bloc_obs::counter("multipath.peaks_scored").add(scored.len() as u64);
-    // Everything behind the winner is a rejected multipath candidate.
-    bloc_obs::counter("multipath.peaks_rejected").add(scored.len().saturating_sub(1) as u64);
     scored
+}
+
+/// Reports a final scored candidate set to the `multipath.*` counters:
+/// every candidate was scored, everything behind the winner is a rejected
+/// multipath candidate.
+pub fn record_scored(scored: &[ScoredPeak]) {
+    bloc_obs::counter("multipath.peaks_scored").add(scored.len() as u64);
+    bloc_obs::counter("multipath.peaks_rejected").add(scored.len().saturating_sub(1) as u64);
 }
 
 /// The naive §8.7 baseline: among the peaks, pick the one with the

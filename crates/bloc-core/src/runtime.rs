@@ -204,6 +204,12 @@ pub struct RuntimeConfig {
     pub retry: RetryPolicy,
     /// Tracker (innovation gate) tuning.
     pub tracker: TrackerConfig,
+    /// Hierarchical coarse-to-fine solver for the session's rounds:
+    /// `Some` localizes seeded from the live track (full coarse→fine when
+    /// no track), with fallback priors evaluated at the coarse level;
+    /// `None` (the default) keeps the dense solver.
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub hierarchical: Option<crate::hierarchical::HierarchicalConfig>,
     /// Resident capacity of the breaker-transition ledger. Older entries
     /// are evicted and counted ([`SessionSupervisor::breaker_ledger`]'s
     /// [`BoundedLedger::evicted`]), so `total()` still reconciles with
@@ -224,6 +230,7 @@ impl Default for RuntimeConfig {
             min_surviving_bands: 8,
             retry: RetryPolicy::default(),
             tracker: TrackerConfig::default(),
+            hierarchical: None,
             ledger_capacity: 4096,
         }
     }
@@ -432,7 +439,10 @@ impl SessionSupervisor {
     /// master and is never quarantined).
     pub fn new(localizer: BlocLocalizer, n_anchors: usize, config: RuntimeConfig) -> Self {
         assert!(n_anchors > 0, "a deployment needs at least the master");
-        let pipeline = TrackingPipeline::new(localizer, config.tracker);
+        let mut pipeline = TrackingPipeline::new(localizer, config.tracker);
+        if let Some(hcfg) = config.hierarchical {
+            pipeline = pipeline.with_hierarchical(hcfg);
+        }
         let ledger = BoundedLedger::new(config.ledger_capacity);
         Self {
             config,
@@ -654,7 +664,7 @@ impl SessionSupervisor {
                 });
                 continue;
             }
-            match self.pipeline.localizer().localize(&data) {
+            match self.pipeline.localize_round(&data, dt) {
                 Ok(est) => {
                     // The masking stage's verdict is a health observation
                     // too: an anchor the likelihood had to exclude
@@ -723,7 +733,10 @@ impl SessionSupervisor {
         if weights.csi >= 1.0 || !stack.has_estimators() {
             return (est, EstimateMode::Csi, FusionWeights::pure_csi());
         }
-        let grid = self.pipeline.localizer().config().grid;
+        // Priors must share the estimate's likelihood spec to fuse: the
+        // fine grid for dense rounds, the coarse selection surface or the
+        // seeded patch for hierarchical ones.
+        let grid = est.likelihood.spec();
         let basis = full.unwrap_or(data);
         let (fp, counts) = stack.priors(basis, grid);
         let weights = weights.restrict(true, fp.is_some(), counts.is_some());
@@ -775,7 +788,10 @@ impl SessionSupervisor {
         bloc_obs::counter("fallback.census.received").add(census.total_received() as u64);
         bloc_obs::counter("fallback.census.expected")
             .add((census.expected * data.anchors.len()) as u64);
-        let grid = self.pipeline.localizer().config().grid;
+        // CSI produced nothing, so there is no surface to match: estimate
+        // on the pipeline's prior grid (coarse when hierarchical — a
+        // fallback-only fix has metre-class uncertainty anyway).
+        let grid = self.pipeline.prior_grid();
         let fb = match self.fallback.as_ref() {
             Some(stack) => match stack.estimate(&data, grid) {
                 Ok(fb) => fb,

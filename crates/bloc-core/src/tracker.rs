@@ -385,6 +385,19 @@ impl Tracker {
         self.fixless_streak
     }
 
+    /// The radius (metres) a seeded likelihood search must cover so the
+    /// next fix cannot land outside it without also failing the
+    /// innovation gate: the gate bound in position units
+    /// (`gate_sigma · position_sigma`) plus the distance the tag can
+    /// travel in `dt` at the estimated speed. Coast widening inflates
+    /// `position_sigma`, so the radius grows with every fix-less round
+    /// exactly as the gate does. `None` before the first fix (or after a
+    /// dropped lock) — there is nothing to seed from.
+    pub fn search_radius(&self, dt: f64) -> Option<f64> {
+        let s = self.state()?;
+        Some(self.config.gate_sigma * s.position_sigma + s.velocity.norm() * dt.max(0.0))
+    }
+
     /// The current estimate, if initialized.
     pub fn state(&self) -> Option<TrackState> {
         let ax = self.axis.as_ref()?;
@@ -406,6 +419,7 @@ impl Tracker {
 #[derive(Debug, Clone)]
 pub struct TrackingPipeline {
     localizer: crate::localizer::BlocLocalizer,
+    hier: Option<crate::hierarchical::HierarchicalLocalizer>,
     tracker: Tracker,
 }
 
@@ -414,8 +428,67 @@ impl TrackingPipeline {
     pub fn new(localizer: crate::localizer::BlocLocalizer, config: TrackerConfig) -> Self {
         Self {
             localizer,
+            hier: None,
             tracker: Tracker::new(config),
         }
+    }
+
+    /// Enables the hierarchical coarse-to-fine solver: rounds with a live
+    /// track localize on a fine patch seeded at the track prediction
+    /// (bounded by [`Tracker::search_radius`]); rounds without one run
+    /// the full coarse→fine flow. The hierarchical localizer shares this
+    /// pipeline's engine and steering cache.
+    pub fn with_hierarchical(mut self, config: crate::hierarchical::HierarchicalConfig) -> Self {
+        self.hier = Some(crate::hierarchical::HierarchicalLocalizer::new(
+            self.localizer.clone(),
+            config,
+        ));
+        self
+    }
+
+    /// The hierarchical solver, when enabled.
+    pub fn hierarchical(&self) -> Option<&crate::hierarchical::HierarchicalLocalizer> {
+        self.hier.as_ref()
+    }
+
+    /// The grid fallback priors should be evaluated on for this
+    /// pipeline's rounds: the coarse candidate-selection grid when the
+    /// hierarchy is enabled (priors enter at the coarse level), the full
+    /// fine grid otherwise.
+    pub fn prior_grid(&self) -> bloc_num::GridSpec {
+        self.hier
+            .as_ref()
+            .map(|h| h.coarse_spec())
+            .unwrap_or(self.localizer.config().grid)
+    }
+
+    /// Localizes one sounding the way this pipeline is configured to:
+    /// dense when the hierarchy is off; seeded from the current track
+    /// (with the gate-derived search radius for a round `dt` seconds
+    /// after the last) when a track is live; full coarse→fine otherwise.
+    /// Does **not** feed the tracker — callers on their own schedule
+    /// (the runtime supervisor) gate and offer the fix themselves.
+    ///
+    /// # Errors
+    ///
+    /// The [`crate::error::LocalizeError`] of the failed fix.
+    pub fn localize_round(
+        &self,
+        data: &bloc_chan::sounder::SoundingData,
+        dt: f64,
+    ) -> Result<crate::localizer::Estimate, crate::error::LocalizeError> {
+        let Some(h) = &self.hier else {
+            return self.localizer.localize(data);
+        };
+        let seed = self
+            .tracker
+            .state()
+            .zip(self.tracker.search_radius(dt.max(0.0)));
+        let est = match seed {
+            Some((s, radius)) => h.localize_seeded(data, s.position, radius)?,
+            None => h.localize(data)?,
+        };
+        Ok(est.estimate)
     }
 
     /// Consumes one sounding taken `dt` seconds after the previous call.
@@ -432,7 +505,7 @@ impl TrackingPipeline {
         data: &bloc_chan::sounder::SoundingData,
         dt: f64,
     ) -> Result<TrackState, crate::error::LocalizeError> {
-        match self.localizer.localize(data) {
+        match self.localize_round(data, dt) {
             Ok(est) => Ok(self.offer_fix(est.position, dt).state()),
             Err(e) => {
                 self.tracker.coast(dt);

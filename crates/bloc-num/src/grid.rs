@@ -81,6 +81,121 @@ impl GridSpec {
         debug_assert!(ix < self.nx && iy < self.ny);
         iy * self.nx + ix
     }
+
+    /// A coarsened spec over the same region: the origin is kept and the
+    /// resolution multiplied by `factor`; cell counts round up so the
+    /// coarse grid covers at least the fine extent. Fine cell `(ix, iy)`
+    /// falls inside coarse cell `(ix / factor, iy / factor)`.
+    ///
+    /// # Panics
+    /// Panics when `factor == 0`.
+    pub fn coarsen(&self, factor: usize) -> GridSpec {
+        assert!(factor >= 1, "coarsening factor must be >= 1");
+        GridSpec {
+            origin: self.origin,
+            resolution: self.resolution * factor as f64,
+            nx: self.nx.div_ceil(factor),
+            ny: self.ny.div_ceil(factor),
+        }
+    }
+
+    /// An index-aligned sub-grid of `half_extent_m` metres around `center`,
+    /// clamped to this grid's bounds. The patch reuses this grid's cell
+    /// lattice exactly: patch cell `(j, k)` is parent cell
+    /// `(j + x0, k + y0)`, so estimates refined on a patch can be snapped
+    /// back onto parent cell centres with no resampling. A `center`
+    /// outside the grid clamps to the nearest border cell; the patch is
+    /// never empty (it is at least the 1×1 cell containing the clamped
+    /// centre).
+    ///
+    /// # Panics
+    /// Panics when the grid is empty.
+    pub fn patch(&self, center: P2, half_extent_m: f64) -> GridPatch {
+        assert!(!self.is_empty(), "cannot take a patch of an empty grid");
+        let r = ((half_extent_m.max(0.0)) / self.resolution).ceil() as usize;
+        let clamp_axis = |coord: f64, origin: f64, n: usize| -> usize {
+            let f = (coord - origin) / self.resolution;
+            if f <= 0.0 {
+                0
+            } else {
+                (f.floor() as usize).min(n - 1)
+            }
+        };
+        let cx = clamp_axis(center.x, self.origin.x, self.nx);
+        let cy = clamp_axis(center.y, self.origin.y, self.ny);
+        let x0 = cx.saturating_sub(r);
+        let y0 = cy.saturating_sub(r);
+        let x1 = (cx + r + 1).min(self.nx);
+        let y1 = (cy + r + 1).min(self.ny);
+        GridPatch {
+            spec: GridSpec {
+                origin: P2::new(
+                    self.origin.x + x0 as f64 * self.resolution,
+                    self.origin.y + y0 as f64 * self.resolution,
+                ),
+                resolution: self.resolution,
+                nx: x1 - x0,
+                ny: y1 - y0,
+            },
+            x0,
+            y0,
+        }
+    }
+}
+
+/// An index-aligned rectangular sub-window of a parent [`GridSpec`],
+/// produced by [`GridSpec::patch`]. Carries both the patch-local spec
+/// (for evaluating kernels over just the window) and the exact index
+/// offset back into the parent lattice.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GridPatch {
+    /// The patch-local grid geometry (same resolution as the parent).
+    pub spec: GridSpec,
+    /// Parent x-index of patch column 0.
+    pub x0: usize,
+    /// Parent y-index of patch row 0.
+    pub y0: usize,
+}
+
+impl GridPatch {
+    /// Maps patch-local cell `(ix, iy)` to the parent grid's indices.
+    #[inline]
+    pub fn to_parent(&self, ix: usize, iy: usize) -> (usize, usize) {
+        debug_assert!(ix < self.spec.nx && iy < self.spec.ny);
+        (ix + self.x0, iy + self.y0)
+    }
+
+    /// Maps parent cell indices into the patch, when covered.
+    #[inline]
+    pub fn from_parent(&self, ix: usize, iy: usize) -> Option<(usize, usize)> {
+        let jx = ix.checked_sub(self.x0)?;
+        let jy = iy.checked_sub(self.y0)?;
+        (jx < self.spec.nx && jy < self.spec.ny).then_some((jx, jy))
+    }
+
+    /// Distance (in cells) from patch-local `(ix, iy)` to the nearest patch
+    /// border that is *interior* to `parent` — i.e. a border created by the
+    /// windowing, not one the parent grid shares. `usize::MAX` when every
+    /// patch border coincides with a parent border (the patch spans the
+    /// whole parent along both axes). A small value means a local maximum
+    /// at this cell may be an artifact of the cut.
+    pub fn interior_border_dist(&self, parent: &GridSpec, ix: usize, iy: usize) -> usize {
+        debug_assert!(ix < self.spec.nx && iy < self.spec.ny);
+        let mut d = usize::MAX;
+        if self.x0 > 0 {
+            d = d.min(ix);
+        }
+        if self.x0 + self.spec.nx < parent.nx {
+            d = d.min(self.spec.nx - 1 - ix);
+        }
+        if self.y0 > 0 {
+            d = d.min(iy);
+        }
+        if self.y0 + self.spec.ny < parent.ny {
+            d = d.min(self.spec.ny - 1 - iy);
+        }
+        d
+    }
 }
 
 /// A dense real-valued grid with [`GridSpec`] geometry.
@@ -275,6 +390,26 @@ impl Grid2D {
         )
     }
 
+    /// Copies the values under `patch` (a window of this grid's own spec)
+    /// into a patch-shaped grid.
+    ///
+    /// # Panics
+    /// Panics when the patch window does not fit inside this grid.
+    pub fn extract(&self, patch: &GridPatch) -> Grid2D {
+        assert!(
+            patch.x0 + patch.spec.nx <= self.spec.nx && patch.y0 + patch.spec.ny <= self.spec.ny,
+            "patch window must lie inside the parent grid"
+        );
+        let mut out = Grid2D::zeros(patch.spec);
+        for iy in 0..patch.spec.ny {
+            for ix in 0..patch.spec.nx {
+                let (px, py) = patch.to_parent(ix, iy);
+                out.set(ix, iy, self.get(px, py));
+            }
+        }
+        out
+    }
+
     /// Extracts the values in a circular window of half-width `radius`
     /// cells centred on `(cx, cy)`, clipped to the grid.
     ///
@@ -433,7 +568,155 @@ mod tests {
         assert!((out - g.get(0, 0)).abs() < 1e-12);
     }
 
+    #[test]
+    fn coarsen_covers_and_maps_indices_odd_sizes() {
+        // 13×9 at 0.21 m coarsened by 4 → 4×3 cells of 0.84 m covering at
+        // least the fine extent, with fine (ix, iy) inside coarse
+        // (ix/4, iy/4).
+        let s = GridSpec {
+            origin: P2::new(-1.0, 0.5),
+            resolution: 0.21,
+            nx: 13,
+            ny: 9,
+        };
+        let c = s.coarsen(4);
+        assert_eq!((c.nx, c.ny), (4, 3));
+        assert_eq!(c.origin, s.origin);
+        assert!((c.resolution - 0.84).abs() < 1e-15);
+        assert!(c.nx as f64 * c.resolution >= s.nx as f64 * s.resolution - 1e-12);
+        assert!(c.ny as f64 * c.resolution >= s.ny as f64 * s.resolution - 1e-12);
+        for iy in 0..s.ny {
+            for ix in 0..s.nx {
+                let center = s.cell_center(ix, iy);
+                assert_eq!(c.cell_of(center), Some((ix / 4, iy / 4)));
+            }
+        }
+    }
+
+    #[test]
+    fn coarsen_by_one_is_identity() {
+        let s = spec_3x2();
+        assert_eq!(s.coarsen(1), s);
+    }
+
+    #[test]
+    #[should_panic(expected = "factor must be >= 1")]
+    fn coarsen_by_zero_panics() {
+        let _ = spec_3x2().coarsen(0);
+    }
+
+    #[test]
+    fn patch_interior_exact_index_mapping() {
+        let s = GridSpec {
+            origin: P2::new(-0.5, -0.5),
+            resolution: 0.08,
+            nx: 75,
+            ny: 88,
+        };
+        let center = s.cell_center(40, 50);
+        let p = s.patch(center, 0.4); // 0.4 / 0.08 = 5 cells each side
+        assert_eq!((p.x0, p.y0), (35, 45));
+        assert_eq!((p.spec.nx, p.spec.ny), (11, 11));
+        // Round-trip index mapping and near-identical cell centres (the
+        // patch origin is derived arithmetically, so centres agree to
+        // floating-point rounding, not necessarily bit-for-bit).
+        for iy in 0..p.spec.ny {
+            for ix in 0..p.spec.nx {
+                let (px, py) = p.to_parent(ix, iy);
+                assert_eq!(p.from_parent(px, py), Some((ix, iy)));
+                let a = p.spec.cell_center(ix, iy);
+                let b = s.cell_center(px, py);
+                assert!(a.dist(b) < 1e-10, "{a} vs {b}");
+            }
+        }
+        // The centre cell maps back to the requested parent cell.
+        assert_eq!(p.from_parent(40, 50), Some((5, 5)));
+        assert_eq!(p.from_parent(0, 0), None);
+    }
+
+    #[test]
+    fn patch_clamps_at_boundaries() {
+        let s = GridSpec {
+            origin: P2::ORIGIN,
+            resolution: 0.1,
+            nx: 20,
+            ny: 10,
+        };
+        // Near the lower-left corner: the window clips to the grid.
+        let p = s.patch(s.cell_center(1, 0), 0.3);
+        assert_eq!((p.x0, p.y0), (0, 0));
+        assert_eq!((p.spec.nx, p.spec.ny), (5, 4));
+        // A centre outside the grid clamps to the border cell.
+        let q = s.patch(P2::new(99.0, -99.0), 0.2);
+        assert_eq!((q.x0, q.y0), (17, 0));
+        assert_eq!((q.spec.nx, q.spec.ny), (3, 3));
+        // Degenerate half-extent: the single containing cell.
+        let r = s.patch(s.cell_center(7, 4), 0.0);
+        assert_eq!((r.x0, r.y0, r.spec.nx, r.spec.ny), (7, 4, 1, 1));
+    }
+
+    #[test]
+    fn patch_interior_border_distance() {
+        let s = GridSpec {
+            origin: P2::ORIGIN,
+            resolution: 0.1,
+            nx: 20,
+            ny: 10,
+        };
+        // Patch flush with the left and bottom parent borders: only its
+        // right and top edges are interior cuts.
+        let p = s.patch(s.cell_center(1, 1), 0.25);
+        assert_eq!((p.x0, p.y0), (0, 0));
+        let (nx, ny) = (p.spec.nx, p.spec.ny);
+        assert_eq!(p.interior_border_dist(&s, 0, 0), (nx - 1).min(ny - 1));
+        assert_eq!(p.interior_border_dist(&s, nx - 1, 0), 0);
+        assert_eq!(p.interior_border_dist(&s, 0, ny - 1), 0);
+        // A patch spanning the whole parent has no interior borders.
+        let q = s.patch(s.cell_center(10, 5), 100.0);
+        assert_eq!((q.spec.nx, q.spec.ny), (s.nx, s.ny));
+        assert_eq!(q.interior_border_dist(&s, 3, 3), usize::MAX);
+    }
+
+    #[test]
+    fn extract_copies_patch_values() {
+        let s = GridSpec {
+            origin: P2::ORIGIN,
+            resolution: 0.5,
+            nx: 9,
+            ny: 7,
+        };
+        let g = Grid2D::from_fn(s, |p| p.x * 10.0 + p.y);
+        let patch = s.patch(s.cell_center(4, 3), 0.75);
+        let sub = g.extract(&patch);
+        assert_eq!(sub.spec(), patch.spec);
+        for iy in 0..patch.spec.ny {
+            for ix in 0..patch.spec.nx {
+                let (px, py) = patch.to_parent(ix, iy);
+                assert_eq!(sub.get(ix, iy), g.get(px, py));
+            }
+        }
+    }
+
     proptest! {
+        #[test]
+        fn prop_patch_mapping_is_exact(
+            cx in 0usize..23, cy in 0usize..17, half in 0.0..2.0f64
+        ) {
+            let s = GridSpec { origin: P2::new(-0.7, 0.3), resolution: 0.13, nx: 23, ny: 17 };
+            let p = s.patch(s.cell_center(cx, cy), half);
+            prop_assert!(p.spec.nx >= 1 && p.spec.ny >= 1);
+            prop_assert!(p.x0 + p.spec.nx <= s.nx && p.y0 + p.spec.ny <= s.ny);
+            // The requested centre cell is always covered.
+            prop_assert!(p.from_parent(cx, cy).is_some());
+            for iy in 0..p.spec.ny {
+                for ix in 0..p.spec.nx {
+                    let (px, py) = p.to_parent(ix, iy);
+                    prop_assert_eq!(p.from_parent(px, py), Some((ix, iy)));
+                    prop_assert!(p.spec.cell_center(ix, iy).dist(s.cell_center(px, py)) < 1e-9);
+                }
+            }
+        }
+
         #[test]
         fn prop_bilinear_within_cell_bounds(x in 0.0..2.9f64, y in 0.0..2.9f64) {
             let s = GridSpec { origin: P2::ORIGIN, resolution: 1.0, nx: 3, ny: 3 };

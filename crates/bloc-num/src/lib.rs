@@ -53,5 +53,5 @@ pub mod stats;
 pub mod sweep;
 
 pub use complex::C64;
-pub use grid::{Grid2D, GridSpec};
+pub use grid::{Grid2D, GridPatch, GridSpec};
 pub use point::P2;

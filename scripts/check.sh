@@ -45,14 +45,23 @@ if [[ "${1:-}" != "quick" ]]; then
     # SIMD config — is the one the trend gate records)
     run env BLOC_NO_SIMD=1 cargo run --release -q -p bloc-bench --bin fleet_soak 200
     run cargo run --release -q -p bloc-bench --bin fleet_soak 200
+    # Hierarchical scalar leg: the coarse→fine localizer's floors (parity
+    # within one fine cell of dense, ≥ 8× cell-eval reduction, thread
+    # bit-identity, seeded tracking ≤ 10% of a dense sweep) re-proven
+    # through the portable sweep kernel. --hier-only skips the JSON write
+    # so the full SIMD run below records the dispatched config's
+    # BENCH_hierarchical.json for the trend gate.
+    run env BLOC_NO_SIMD=1 cargo run --release -q -p bloc-bench --bin perf_baseline 5 --hier-only
     # Perf gate: verifies the fast likelihood kernels (≤ 1e-9) and the fast
     # channel-synthesis engine (≤ 1e-12) against their naive references and
     # enforces the speedup floors — ≥ 5× likelihood, ≥ 4× sounding single
     # thread, a warm single-thread absolute floor of ≥ 8M cell-evals/s for
     # the SIMD sweep kernel, and the thread-scaling gate (≥ 2× at 4
-    # threads on hosts with ≥ 4 cores). Best-of-15 keeps the gate stable
-    # on noisy shared hosts; refreshes BENCH_likelihood.json and
-    # BENCH_sounding.json (see crates/bloc-bench/src/bin/perf_baseline.rs).
+    # threads on hosts with ≥ 4 cores). Also runs the hierarchical floors
+    # on the 34.3×9.9 m corridor at the native 8 cm grid. Best-of-15 keeps
+    # the gate stable on noisy shared hosts; refreshes
+    # BENCH_likelihood.json, BENCH_sounding.json and BENCH_hierarchical.json
+    # (see crates/bloc-bench/src/bin/perf_baseline.rs).
     run cargo run --release -q -p bloc-bench --bin perf_baseline 15
     # Observability gate: instrumentation overhead ≤ 2% vs a disabled
     # registry, par.* shard telemetry covering ≥ 95% of a calibrated
